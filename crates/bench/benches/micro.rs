@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks for the SMACS hot paths: keccak, ECDSA
+//! sign/recover, the Alg. 2 bitmap, ACR evaluation, token issuance, and
+//! the full on-chain verification path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use smacs_bench::setup::World;
+use smacs_contracts::BenchTarget;
+use smacs_core::bitmap::BitmapState;
+use smacs_core::client::build_call_data;
+use smacs_crypto::{keccak256, recover_address, Keypair};
+use smacs_primitives::Address;
+use smacs_token::{TokenRequest, TokenType};
+use smacs_ts::{RuleBook, TokenService, TokenServiceConfig};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let kp = Keypair::from_seed(1);
+    let digest = keccak256(b"benchmark digest");
+    let sig = kp.sign_digest(&digest);
+
+    group.bench_function("keccak256_86B", |b| {
+        let data = [0xABu8; 86];
+        b.iter(|| keccak256(std::hint::black_box(&data)))
+    });
+    group.bench_function("ecdsa_sign", |b| b.iter(|| kp.sign_digest(&digest)));
+    group.bench_function("ecdsa_recover", |b| {
+        b.iter(|| recover_address(&digest, &sig).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap");
+    group.bench_function("try_use_sequential_1k", |b| {
+        b.iter_batched(
+            || BitmapState::new(126_000),
+            |mut bm| {
+                for i in 0..1_000u128 {
+                    assert!(bm.try_use(i).is_accepted());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("try_use_window_slide", |b| {
+        b.iter_batched(
+            || {
+                let mut bm = BitmapState::new(1_024);
+                for i in 0..1_024u128 {
+                    bm.try_use(i);
+                }
+                bm
+            },
+            |mut bm| bm.try_use(2_000),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acr");
+    let client = Keypair::from_seed(2).address();
+    let rules = smacs_bench::fig9::fig6_rules(client, 10_000);
+    let req = TokenRequest::super_token(Address::from_low_u64(0xC0), client);
+    group.bench_function("check_10k_whitelist", |b| {
+        b.iter(|| rules.check(std::hint::black_box(&req)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_issuance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("issuance");
+    let client = Keypair::from_seed(2).address();
+    let contract = Address::from_low_u64(0xC0);
+    let ts = TokenService::new(
+        Keypair::from_seed(3),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    for (label, req) in [
+        ("super", TokenRequest::super_token(contract, client)),
+        (
+            "method",
+            TokenRequest::method_token(contract, client, BenchTarget::PING_SIG),
+        ),
+        (
+            "argument",
+            TokenRequest::argument_token(
+                contract,
+                client,
+                BenchTarget::PING_SIG,
+                vec![],
+                BenchTarget::ping_payload(1, 2),
+            ),
+        ),
+    ] {
+        group.bench_function(label, |b| b.iter(|| ts.issue(&req, 0).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_verify_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("onchain_verify");
+    group.sample_size(20);
+    for ttype in TokenType::ALL {
+        let mut world = World::new();
+        let payload = BenchTarget::ping_payload(3, 4);
+        let token = world.issue(ttype, world.target, BenchTarget::PING_SIG, &payload, false);
+        let data = build_call_data(&payload, world.target, token);
+        let from = world.client.address();
+        let target = world.target;
+        group.bench_function(format!("dry_run_{ttype}"), |b| {
+            b.iter(|| {
+                let (result, gas, _, _) = world.chain.dry_run(from, target, 0, data.clone());
+                assert!(result.is_ok());
+                gas
+            })
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the full `cargo bench` sweep under a couple of minutes; the
+    // measured operations are microseconds-scale, so short windows are
+    // statistically fine.
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_crypto, bench_bitmap, bench_rules, bench_issuance, bench_verify_path
+}
+criterion_main!(benches);

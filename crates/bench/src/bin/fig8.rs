@@ -1,0 +1,5 @@
+//! Regenerate Fig. 8.
+fn main() {
+    let series = smacs_bench::fig8::measure();
+    print!("{}", smacs_bench::fig8::report(&series));
+}

@@ -1,0 +1,5 @@
+//! Regenerate the §II-B / §II-D on-chain whitelist cost anchors.
+fn main() {
+    let (ten_k, bluzelle) = smacs_bench::motivation::measure();
+    print!("{}", smacs_bench::motivation::report(&ten_k, &bluzelle));
+}

@@ -1,0 +1,5 @@
+//! Regenerate the §VI-B(b) runtime-tool throughput numbers.
+fn main() {
+    let results = smacs_bench::runtime_tools::measure();
+    print!("{}", smacs_bench::runtime_tools::report(&results));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table II.
+fn main() {
+    let rows = smacs_bench::table2::measure();
+    print!("{}", smacs_bench::table2::report(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table III.
+fn main() {
+    let rows = smacs_bench::table3::measure();
+    print!("{}", smacs_bench::table3::report(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Table IV.
+fn main() {
+    let rows = smacs_bench::table4::measure();
+    print!("{}", smacs_bench::table4::report(&rows));
+}

@@ -1,0 +1,264 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! **A. One-time tracking: Alg. 2 bitmap vs. the naive scheme.** §IV-C:
+//! "A trivial way for the contract to realize this is to store the index
+//! values of all one-time tokens having made a successful access. However,
+//! as the on-chain storage is expensive, this approach can be costly and
+//! impractical." The ablation measures both.
+//!
+//! **B. Shield overhead.** The same call against the same contract,
+//! unshielded vs. SMACS-shielded — the end-to-end price of Alg. 1.
+//!
+//! **C. Per-call vs. update cost.** An on-chain whitelist checks cheaper
+//! *per call* (one `SLOAD` vs. one `ecrecover`-based verification); SMACS
+//! wins on updates (0 gas vs. one transaction per list edit) and on
+//! privacy. The ablation quantifies the crossover.
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Chain, Contract, VmError};
+use smacs_contracts::{BenchTarget, OnChainWhitelistSale};
+use smacs_core::storage_bitmap::StorageBitmap;
+use smacs_primitives::U256;
+use smacs_token::TokenType;
+use std::sync::Arc;
+
+use crate::setup::World;
+
+/// A contract tracking one-time indexes the naive way: one storage slot
+/// per used index.
+struct NaiveTracker;
+
+const USED_MAPPING_SLOT: u64 = 7;
+
+impl Contract for NaiveTracker {
+    fn name(&self) -> &'static str {
+        "NaiveTracker"
+    }
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().unwrap();
+        if sel == abi::selector("use(uint256)") {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let index = args[0].as_uint().unwrap();
+            let slot = ctx.mapping_slot(USED_MAPPING_SLOT, &index.to_be_bytes())?;
+            let used = ctx.sload_u256(slot)?;
+            ctx.require(used.is_zero(), "naive: index used")?;
+            ctx.sstore_u256(slot, U256::ONE)?;
+            Ok(Vec::new())
+        } else {
+            ctx.revert("unknown")
+        }
+    }
+}
+
+/// A contract tracking indexes with the Alg. 2 bitmap.
+struct BitmapTracker {
+    n_bits: u64,
+}
+
+impl Contract for BitmapTracker {
+    fn name(&self) -> &'static str {
+        "BitmapTracker"
+    }
+    fn constructor(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        StorageBitmap::init(ctx, self.n_bits)
+    }
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().unwrap();
+        if sel == abi::selector("use(uint256)") {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let index = args[0].as_uint().unwrap().low_u128();
+            let verdict = StorageBitmap::try_use(ctx, index)?;
+            ctx.require(verdict.is_accepted(), "bitmap: rejected")?;
+            Ok(Vec::new())
+        } else {
+            ctx.revert("unknown")
+        }
+    }
+}
+
+/// Ablation A results.
+#[derive(Clone, Debug)]
+pub struct OneTimeAblation {
+    /// Indexes consumed in the run.
+    pub uses: usize,
+    /// Average per-use gas, naive scheme.
+    pub naive_avg_gas: f64,
+    /// Average per-use gas, bitmap.
+    pub bitmap_avg_gas: f64,
+    /// Live storage slots after the run, naive scheme.
+    pub naive_slots: usize,
+    /// Live storage slots after the run, bitmap (words + metadata).
+    pub bitmap_slots: usize,
+}
+
+/// Run ablation A over `uses` sequential indexes.
+pub fn measure_one_time(uses: usize) -> OneTimeAblation {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(26));
+    let (naive, _) = chain.deploy(&owner, Arc::new(NaiveTracker)).unwrap();
+    let (bitmap, _) = chain
+        .deploy_with_limit(&owner, Arc::new(BitmapTracker { n_bits: 4_096 }), 0, 20_000_000)
+        .unwrap();
+
+    let mut naive_gas = 0u64;
+    let mut bitmap_gas = 0u64;
+    for i in 0..uses {
+        let call = abi::encode_call(
+            "use(uint256)",
+            &[smacs_chain::AbiValue::Uint(U256::from(i))],
+        );
+        let r = chain.call_contract(&owner, naive.address, 0, call.clone()).unwrap();
+        assert!(r.status.is_success());
+        naive_gas += r.gas_used;
+        let r = chain.call_contract(&owner, bitmap.address, 0, call).unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        bitmap_gas += r.gas_used;
+    }
+    OneTimeAblation {
+        uses,
+        naive_avg_gas: naive_gas as f64 / uses as f64,
+        bitmap_avg_gas: bitmap_gas as f64 / uses as f64,
+        naive_slots: chain.state().storage_slot_count(naive.address),
+        bitmap_slots: chain.state().storage_slot_count(bitmap.address),
+    }
+}
+
+/// Ablation B results.
+#[derive(Clone, Debug)]
+pub struct ShieldAblation {
+    /// Gas for the call against the unshielded contract.
+    pub unshielded_gas: u64,
+    /// Gas for the same call (super token) against the shielded contract.
+    pub shielded_gas: u64,
+}
+
+impl ShieldAblation {
+    /// The absolute access-control surcharge per call.
+    pub fn overhead(&self) -> u64 {
+        self.shielded_gas - self.unshielded_gas
+    }
+}
+
+/// Run ablation B.
+pub fn measure_shield_overhead() -> ShieldAblation {
+    // Unshielded baseline.
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let (plain, _) = chain.deploy(&owner, Arc::new(BenchTarget)).unwrap();
+    let r = chain
+        .call_contract(&owner, plain.address, 0, BenchTarget::ping_payload(3, 4))
+        .unwrap();
+    assert!(r.status.is_success());
+    let unshielded_gas = r.gas_used;
+
+    // Shielded with a super token.
+    let mut world = World::new();
+    let payload = BenchTarget::ping_payload(3, 4);
+    let token = world.issue(TokenType::Super, world.target, BenchTarget::PING_SIG, &payload, false);
+    let r = world
+        .client
+        .call_with_token(&mut world.chain, world.target, 0, &payload, token)
+        .unwrap();
+    assert!(r.status.is_success());
+    ShieldAblation {
+        unshielded_gas,
+        shielded_gas: r.gas_used,
+    }
+}
+
+/// Ablation C results: the per-call vs. per-update trade.
+#[derive(Clone, Debug)]
+pub struct AccessControlTrade {
+    /// Per-call surcharge of an on-chain whitelist membership check.
+    pub onchain_check_gas: u64,
+    /// Per-call surcharge of SMACS verification (super token).
+    pub smacs_check_gas: u64,
+    /// Per-update cost of the on-chain whitelist (one add transaction).
+    pub onchain_update_gas: u64,
+    /// Per-update cost of a SMACS rule edit.
+    pub smacs_update_gas: u64,
+}
+
+impl AccessControlTrade {
+    /// Calls per list update below which SMACS is cheaper overall.
+    pub fn break_even_calls_per_update(&self) -> f64 {
+        let per_call_penalty = self.smacs_check_gas.saturating_sub(self.onchain_check_gas) as f64;
+        if per_call_penalty == 0.0 {
+            return f64::INFINITY;
+        }
+        self.onchain_update_gas as f64 / per_call_penalty
+    }
+}
+
+/// Run ablation C.
+pub fn measure_access_control_trade() -> AccessControlTrade {
+    // On-chain whitelist: membership check cost = buy() with vs. a plain
+    // unchecked sale method is hard to isolate; measure the add (update)
+    // and approximate the check as keccak + sload (≈250 gas) from the gas
+    // schedule — plus measure the actual buy to sanity-check.
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(26));
+    let buyer = chain.funded_keypair(2, 10u128.pow(24));
+    let (sale, _) = chain
+        .deploy(&owner, Arc::new(OnChainWhitelistSale::new(owner.address())))
+        .unwrap();
+    let add = chain
+        .call_contract(&owner, sale.address, 0, OnChainWhitelistSale::add_payload(buyer.address()))
+        .unwrap();
+    let onchain_update_gas = add.gas_used;
+    let schedule = chain.schedule().clone();
+    let onchain_check_gas = schedule.sload + schedule.keccak_cost(52);
+
+    let shield = measure_shield_overhead();
+    AccessControlTrade {
+        onchain_check_gas,
+        smacs_check_gas: shield.overhead(),
+        onchain_update_gas,
+        smacs_update_gas: 0,
+    }
+}
+
+/// Render all three ablations.
+pub fn report(one_time: &OneTimeAblation, shield: &ShieldAblation, trade: &AccessControlTrade) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation A: one-time tracking — Alg. 2 bitmap vs naive per-index slots\n");
+    out.push_str(&format!(
+        "  {} uses | naive {:.0} gas/use, {} slots | bitmap {:.0} gas/use, {} slots\n",
+        one_time.uses,
+        one_time.naive_avg_gas,
+        one_time.naive_slots,
+        one_time.bitmap_avg_gas,
+        one_time.bitmap_slots,
+    ));
+    out.push_str(&format!(
+        "  bitmap saves {:.0}% storage and {:.0}% steady-state gas per use\n",
+        100.0 * (1.0 - one_time.bitmap_slots as f64 / one_time.naive_slots as f64),
+        100.0 * (1.0 - one_time.bitmap_avg_gas / one_time.naive_avg_gas),
+    ));
+
+    out.push_str("\nAblation B: shield overhead (same call, same contract)\n");
+    out.push_str(&format!(
+        "  unshielded {} gas | shielded {} gas | access control costs {} gas/call\n",
+        shield.unshielded_gas,
+        shield.shielded_gas,
+        shield.overhead(),
+    ));
+
+    out.push_str("\nAblation C: per-call vs per-update access control cost\n");
+    out.push_str(&format!(
+        "  per call:   on-chain whitelist ≈{} gas | SMACS verification ≈{} gas\n",
+        trade.onchain_check_gas, trade.smacs_check_gas,
+    ));
+    out.push_str(&format!(
+        "  per update: on-chain whitelist {} gas | SMACS rule edit {} gas\n",
+        trade.onchain_update_gas, trade.smacs_update_gas,
+    ));
+    out.push_str(&format!(
+        "  an on-chain list amortizes its update over ≈{:.2} calls; below that rate —\n",
+        trade.break_even_calls_per_update(),
+    ));
+    out.push_str(
+        "  or whenever rules must stay private/updatable/complex — SMACS wins despite the per-call premium\n",
+    );
+    out
+}

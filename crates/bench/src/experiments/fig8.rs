@@ -1,0 +1,72 @@
+//! Fig. 8 — aggregated gas cost for verifying multiple tokens (call-chain
+//! depths 1–4), four series: Super, Method, Argument, Argument one-time.
+//!
+//! The paper's figure shows linear growth in the number of tokens with the
+//! argument series roughly 2× the others.
+
+use smacs_token::TokenType;
+
+use crate::experiments::table3::{measure_depth, Row};
+
+/// One series of the figure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Label as the paper's legend prints it.
+    pub label: &'static str,
+    /// Token type of this series.
+    pub ttype: TokenType,
+    /// One-time property.
+    pub one_time: bool,
+    /// Total gas per depth 1–4.
+    pub points: Vec<Row>,
+}
+
+/// Paper-reported Fig. 8 totals, read off the plotted series
+/// (depth 1–4). The non-argument series are derived from Table II totals
+/// scaled linearly, which is what the figure shows.
+pub const PAPER_ARGUMENT_ONE_TIME: [u64; 4] = [416_248, 839_675, 1_263_809, 1_699_911];
+
+/// Run all four series.
+pub fn measure() -> Vec<Series> {
+    let configs: [(&'static str, TokenType, bool); 4] = [
+        ("Super", TokenType::Super, false),
+        ("Method", TokenType::Method, false),
+        ("Argument", TokenType::Argument, false),
+        ("Arg. (one-time)", TokenType::Argument, true),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, ttype, one_time)| Series {
+            label,
+            ttype,
+            one_time,
+            points: (1..=4)
+                .map(|depth| measure_depth(ttype, one_time, depth))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Render the figure's data as rows (number of tokens × four series).
+pub fn report(series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 8: aggregated gas cost for verifying multiple tokens\n");
+    out.push_str(&format!("{:>7}", "tokens"));
+    for s in series {
+        out.push_str(&format!(" {:>16}", s.label));
+    }
+    out.push('\n');
+    for depth in 0..4 {
+        out.push_str(&format!("{:>7}", depth + 1));
+        for s in series {
+            out.push_str(&format!(" {:>16}", s.points[depth].total));
+        }
+        out.push('\n');
+    }
+    out.push_str("paper (Arg. one-time): ");
+    for v in PAPER_ARGUMENT_ONE_TIME {
+        out.push_str(&format!("{v} "));
+    }
+    out.push('\n');
+    out
+}

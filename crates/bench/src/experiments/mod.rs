@@ -1,0 +1,10 @@
+//! One module per table/figure of the paper's evaluation (§VI).
+
+pub mod ablation;
+pub mod fig8;
+pub mod fig9;
+pub mod motivation;
+pub mod runtime_tools;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,107 @@
+//! Table II — single-token processing gas cost.
+//!
+//! For each token type (Super / Method / Argument), with and without the
+//! one-time property: the Verify / Misc (/ Bitmap) gas split and the USD
+//! conversion, against the paper's published values.
+
+use smacs_chain::gas::gas_to_usd;
+use smacs_contracts::BenchTarget;
+use smacs_token::TokenType;
+
+use crate::setup::World;
+
+/// One measured row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Token type measured.
+    pub ttype: TokenType,
+    /// Whether the one-time property was set.
+    pub one_time: bool,
+    /// Gas attributed to Alg. 1's signature path.
+    pub verify: u64,
+    /// Gas attributed to Alg. 2 bookkeeping.
+    pub bitmap: u64,
+    /// Everything else: base tx, calldata, dispatch, method body.
+    pub misc: u64,
+    /// Total transaction gas.
+    pub total: u64,
+}
+
+impl Row {
+    /// USD at the paper's conversion (1 gwei, $247/ETH).
+    pub fn usd(&self) -> f64 {
+        gas_to_usd(self.total)
+    }
+}
+
+/// The paper's Table II values: (type, one_time, verify, misc, bitmap,
+/// total).
+pub const PAPER: [(TokenType, bool, u64, u64, u64, u64); 6] = [
+    (TokenType::Super, false, 108_282, 57_675, 0, 165_957),
+    (TokenType::Method, false, 115_108, 57_675, 0, 172_783),
+    (TokenType::Argument, false, 330_889, 57_678, 0, 388_567),
+    (TokenType::Super, true, 108_531, 57_426, 27_471, 193_428),
+    (TokenType::Method, true, 115_651, 56_994, 27_839, 200_484),
+    (TokenType::Argument, true, 330_914, 57_331, 28_003, 416_248),
+];
+
+/// Run the measurement: one fresh world per row.
+pub fn measure() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for one_time in [false, true] {
+        for ttype in TokenType::ALL {
+            let mut world = World::new();
+            let payload = BenchTarget::ping_payload(3, 4);
+            let token = world.issue(ttype, world.target, BenchTarget::PING_SIG, &payload, one_time);
+            let receipt = world
+                .client
+                .call_with_token(&mut world.chain, world.target, 0, &payload, token)
+                .expect("submit");
+            assert!(
+                receipt.status.is_success(),
+                "{ttype}/{one_time}: {:?}",
+                receipt.status
+            );
+            rows.push(Row {
+                ttype,
+                one_time,
+                verify: receipt.breakdown.section("verify"),
+                bitmap: receipt.breakdown.section("bitmap"),
+                misc: receipt.breakdown.misc() + receipt.breakdown.section("parse"),
+                total: receipt.breakdown.total,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the table with the paper comparison.
+pub fn report(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II: single token processing gas cost\n");
+    out.push_str(&format!(
+        "{:<10} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>8} | {:>9} {:>8} {:>6}\n",
+        "type", "one-time", "verify", "misc", "bitmap", "total", "USD", "paper", "p.USD", "ratio"
+    ));
+    for row in rows {
+        let paper = PAPER
+            .iter()
+            .find(|(t, o, ..)| *t == row.ttype && *o == row.one_time)
+            .expect("paper row");
+        let paper_total = paper.5;
+        out.push_str(&format!(
+            "{:<10} {:>8} | {:>9} {:>9} {:>9} {:>9} {:>8.3} | {:>9} {:>8.3} {:>6.2}\n",
+            row.ttype.to_string(),
+            row.one_time,
+            row.verify,
+            row.misc,
+            row.bitmap,
+            row.total,
+            row.usd(),
+            paper_total,
+            gas_to_usd(paper_total),
+            row.total as f64 / paper_total as f64,
+        ));
+    }
+    out
+}

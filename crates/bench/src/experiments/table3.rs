@@ -1,0 +1,112 @@
+//! Table III — gas cost for multiple one-time argument tokens along a call
+//! chain of depth 1–4 (Fig. 5 contracts), with the Verify / Misc / Bitmap /
+//! Parse split.
+
+use smacs_chain::gas::gas_to_usd;
+use smacs_contracts::ChainLink;
+use smacs_primitives::Address;
+use smacs_token::{Token, TokenType};
+
+use crate::setup::World;
+
+/// One measured depth.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Number of tokens (= chain depth).
+    pub tokens: usize,
+    /// Aggregated Alg. 1 signature-path gas across all frames.
+    pub verify: u64,
+    /// Aggregated Alg. 2 gas.
+    pub bitmap: u64,
+    /// Token-array parsing gas (zero for a single token, as in the paper).
+    pub parse: u64,
+    /// Everything else.
+    pub misc: u64,
+    /// Total transaction gas.
+    pub total: u64,
+}
+
+impl Row {
+    /// USD at the paper's conversion.
+    pub fn usd(&self) -> f64 {
+        gas_to_usd(self.total)
+    }
+}
+
+/// The paper's Table III: (tokens, verify, misc, bitmap, parse, total).
+pub const PAPER: [(usize, u64, u64, u64, u64, u64); 4] = [
+    (1, 330_914, 57_331, 28_003, 0, 416_248),
+    (2, 662_952, 102_991, 56_746, 16_986, 839_675),
+    (3, 994_552, 150_463, 84_612, 34_182, 1_263_809),
+    (4, 1_326_506, 203_499, 112_034, 57_872, 1_699_911),
+];
+
+/// Measure a chain of `depth` one-time argument tokens; generic over the
+/// token type so Fig. 8 can reuse it.
+pub fn measure_depth(ttype: TokenType, one_time: bool, depth: usize) -> Row {
+    let (mut world, links) = World::with_chain_depth(depth);
+    let payload = ChainLink::poke_payload();
+    let tokens: Vec<(Address, Token)> = links
+        .iter()
+        .map(|&addr| {
+            (
+                addr,
+                world.issue(ttype, addr, ChainLink::POKE_SIG, &payload, one_time),
+            )
+        })
+        .collect();
+    let receipt = world
+        .client
+        .call_with_tokens(&mut world.chain, links[0], 0, &payload, &tokens)
+        .expect("submit");
+    assert!(
+        receipt.status.is_success(),
+        "depth {depth}: {:?}",
+        receipt.status
+    );
+    Row {
+        tokens: depth,
+        verify: receipt.breakdown.section("verify"),
+        bitmap: receipt.breakdown.section("bitmap"),
+        parse: receipt.breakdown.section("parse"),
+        misc: receipt.breakdown.misc(),
+        total: receipt.breakdown.total,
+    }
+}
+
+/// Run the Table III sweep (one-time argument tokens, depths 1–4).
+pub fn measure() -> Vec<Row> {
+    (1..=4)
+        .map(|depth| measure_depth(TokenType::Argument, true, depth))
+        .collect()
+}
+
+/// Render the table with the paper comparison.
+pub fn report(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table III: gas cost for multiple one-time argument tokens\n");
+    out.push_str(&format!(
+        "{:>6} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} | {:>9} {:>6}\n",
+        "tokens", "verify", "misc", "bitmap", "parse", "total", "USD", "paper", "ratio"
+    ));
+    for row in rows {
+        let paper_total = PAPER
+            .iter()
+            .find(|(n, ..)| *n == row.tokens)
+            .map(|p| p.5)
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "{:>6} | {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.3} | {:>9} {:>6.2}\n",
+            row.tokens,
+            row.verify,
+            row.misc,
+            row.bitmap,
+            row.parse,
+            row.total,
+            row.usd(),
+            paper_total,
+            row.total as f64 / paper_total as f64,
+        ));
+    }
+    out
+}

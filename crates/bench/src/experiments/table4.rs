@@ -1,0 +1,110 @@
+//! Table IV — one-time bitmap storage and deployment cost at the paper's
+//! three transaction frequencies (35 / 3.5 / 0.35 tx/s, 1-hour lifetime).
+//!
+//! The cost is one-time, paid at contract creation: the shield's
+//! constructor pre-touches every bitmap word (see
+//! [`smacs_core::storage_bitmap::StorageBitmap::init`]).
+
+use smacs_chain::gas::gas_to_usd;
+use smacs_contracts::BenchTarget;
+use smacs_core::bitmap::bitmap_bits_for;
+use smacs_core::owner::{OwnerToolkit, ShieldParams};
+use smacs_chain::Chain;
+
+/// One measured frequency.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Transaction frequency (tx/s).
+    pub tx_rate: f64,
+    /// Bitmap size in bits.
+    pub bits: u64,
+    /// Bitmap size in KB (bits / 8 / 1024 — the paper's unit).
+    pub storage_kb: f64,
+    /// Gas attributable to bitmap initialization (shielded deployment
+    /// minus a bitmap-free shielded deployment).
+    pub deployment_gas: u64,
+    /// Total gas of the shielded deployment.
+    pub total_deploy_gas: u64,
+}
+
+impl Row {
+    /// USD of the bitmap share at the paper's conversion.
+    pub fn usd(&self) -> f64 {
+        gas_to_usd(self.deployment_gas)
+    }
+}
+
+/// The paper's Table IV: (tx_rate, storage KB, deployment gas).
+pub const PAPER: [(f64, f64, u64); 3] = [
+    (35.0, 15.38, 8_849_037),
+    (3.5, 1.54, 886_054),
+    (0.35, 0.154, 88_605),
+];
+
+fn deploy_gas(rate: f64, disable_one_time: bool) -> u64 {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(26));
+    let toolkit = OwnerToolkit::new(owner, smacs_crypto::Keypair::from_seed(9_000));
+    let params = ShieldParams {
+        token_lifetime_secs: 3_600,
+        max_tx_per_second: rate,
+        disable_one_time,
+    };
+    let (_, receipt) = toolkit
+        .deploy_shielded_with_limit(
+            &mut chain,
+            std::sync::Arc::new(BenchTarget),
+            &params,
+            60_000_000,
+        )
+        .expect("deployment");
+    assert!(receipt.status.is_success(), "{:?}", receipt.status);
+    receipt.breakdown.total
+}
+
+/// Run the sweep.
+pub fn measure() -> Vec<Row> {
+    let baseline = deploy_gas(35.0, true); // shield without any bitmap
+    PAPER
+        .iter()
+        .map(|&(rate, _, _)| {
+            let bits = bitmap_bits_for(3_600, rate);
+            let total = deploy_gas(rate, false);
+            Row {
+                tx_rate: rate,
+                bits,
+                storage_kb: bits as f64 / 8.0 / 1024.0,
+                deployment_gas: total - baseline,
+                total_deploy_gas: total,
+            }
+        })
+        .collect()
+}
+
+/// Render the table with the paper comparison.
+pub fn report(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table IV: one-time storage cost for the bitmap (paid at deployment)\n");
+    out.push_str(&format!(
+        "{:>8} | {:>9} {:>11} {:>12} {:>8} | {:>11} {:>9} {:>6}\n",
+        "tx/s", "bits", "storage KB", "deploy gas", "USD", "paper gas", "p.KB", "ratio"
+    ));
+    for row in rows {
+        let paper = PAPER
+            .iter()
+            .find(|(r, ..)| *r == row.tx_rate)
+            .expect("paper row");
+        out.push_str(&format!(
+            "{:>8.2} | {:>9} {:>11.3} {:>12} {:>8.3} | {:>11} {:>9.3} {:>6.2}\n",
+            row.tx_rate,
+            row.bits,
+            row.storage_kb,
+            row.deployment_gas,
+            row.usd(),
+            paper.2,
+            paper.1,
+            row.deployment_gas as f64 / paper.2 as f64,
+        ));
+    }
+    out
+}

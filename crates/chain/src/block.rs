@@ -1,0 +1,96 @@
+//! Blocks and the block-level environment contracts observe.
+
+use serde::{Deserialize, Serialize};
+use smacs_crypto::{keccak256, Keccak256};
+use smacs_primitives::H256;
+
+use crate::tx::SignedTransaction;
+
+/// The block context visible to executing contracts (`block.timestamp` is
+/// the `now()` of Alg. 1's expiry check).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockEnv {
+    /// Block height.
+    pub number: u64,
+    /// Unix timestamp in seconds.
+    pub timestamp: u64,
+}
+
+impl BlockEnv {
+    /// The genesis environment at a chosen start time.
+    pub fn genesis(timestamp: u64) -> Self {
+        BlockEnv {
+            number: 0,
+            timestamp,
+        }
+    }
+}
+
+/// A mined block: an ordered list of transactions plus chain linkage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// Block height.
+    pub number: u64,
+    /// Unix timestamp in seconds (monotone non-decreasing along the chain).
+    pub timestamp: u64,
+    /// Hash of the parent block.
+    pub parent_hash: H256,
+    /// The included transactions, in execution order.
+    pub transactions: Vec<SignedTransaction>,
+}
+
+impl Block {
+    /// The block hash: keccak over header fields and transaction hashes.
+    pub fn hash(&self) -> H256 {
+        let mut hasher = Keccak256::new();
+        hasher.update(&self.number.to_be_bytes());
+        hasher.update(&self.timestamp.to_be_bytes());
+        hasher.update(self.parent_hash.as_bytes());
+        for tx in &self.transactions {
+            hasher.update(tx.hash().as_bytes());
+        }
+        hasher.finalize()
+    }
+
+    /// The conventional genesis block.
+    pub fn genesis(timestamp: u64) -> Self {
+        Block {
+            number: 0,
+            timestamp,
+            parent_hash: keccak256(b"smacs-genesis"),
+            transactions: Vec::new(),
+        }
+    }
+
+    /// The environment contracts see while this block executes.
+    pub fn env(&self) -> BlockEnv {
+        BlockEnv {
+            number: self.number,
+            timestamp: self.timestamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_depends_on_contents() {
+        let genesis = Block::genesis(1_500_000_000);
+        let mut other = genesis.clone();
+        other.timestamp += 1;
+        assert_ne!(genesis.hash(), other.hash());
+    }
+
+    #[test]
+    fn env_mirrors_header() {
+        let block = Block {
+            number: 7,
+            timestamp: 99,
+            parent_hash: H256::ZERO,
+            transactions: vec![],
+        };
+        assert_eq!(block.env(), BlockEnv { number: 7, timestamp: 99 });
+    }
+}

@@ -1,0 +1,358 @@
+//! World state: accounts, balances, nonces, contract storage — with a
+//! write journal supporting nested snapshots and reverts.
+//!
+//! All persistent contract data lives here (as in the EVM's storage trie),
+//! keyed by `(contract address, 32-byte slot)`. Contracts themselves are
+//! stateless logic (see [`crate::contract`]); that separation is what makes
+//! snapshot/revert, `eth_call`-style dry runs, and TS-side testnet forking
+//! uniform and cheap.
+
+use serde::{Deserialize, Serialize};
+use smacs_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+
+/// Per-account data.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccountInfo {
+    /// Transaction count for EOAs / creation count for contracts. The
+    /// nonce is Ethereum's replay protection (§II-C).
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: u128,
+    /// Length in bytes of the deployed code image (zero for EOAs). The
+    /// simulator does not store bytecode — contracts are Rust values — but
+    /// the length drives the code-deposit gas charge at deployment.
+    pub code_len: usize,
+    /// Whether this address hosts a contract.
+    pub is_contract: bool,
+}
+
+#[derive(Clone, Debug)]
+enum JournalEntry {
+    StorageChanged {
+        addr: Address,
+        key: H256,
+        prev: Option<H256>,
+    },
+    BalanceChanged {
+        addr: Address,
+        prev: u128,
+    },
+    NonceChanged {
+        addr: Address,
+        prev: u64,
+    },
+    AccountCreated {
+        addr: Address,
+    },
+}
+
+/// The replicated world state of the simulated chain.
+#[derive(Clone, Debug, Default)]
+pub struct WorldState {
+    accounts: HashMap<Address, AccountInfo>,
+    storage: HashMap<(Address, H256), H256>,
+    journal: Vec<JournalEntry>,
+}
+
+/// A snapshot handle from [`WorldState::snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Snapshot(usize);
+
+impl WorldState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account info, if the account exists.
+    pub fn account(&self, addr: Address) -> Option<&AccountInfo> {
+        self.accounts.get(&addr)
+    }
+
+    /// True iff the account exists (has been touched with funds, a nonce,
+    /// or code).
+    pub fn exists(&self, addr: Address) -> bool {
+        self.accounts.contains_key(&addr)
+    }
+
+    /// Current balance in wei (0 for absent accounts).
+    pub fn balance(&self, addr: Address) -> u128 {
+        self.accounts.get(&addr).map(|a| a.balance).unwrap_or(0)
+    }
+
+    /// Current nonce (0 for absent accounts).
+    pub fn nonce(&self, addr: Address) -> u64 {
+        self.accounts.get(&addr).map(|a| a.nonce).unwrap_or(0)
+    }
+
+    /// True iff `addr` hosts a contract.
+    pub fn is_contract(&self, addr: Address) -> bool {
+        self.accounts
+            .get(&addr)
+            .map(|a| a.is_contract)
+            .unwrap_or(false)
+    }
+
+    fn ensure_account(&mut self, addr: Address) -> &mut AccountInfo {
+        if !self.accounts.contains_key(&addr) {
+            self.journal.push(JournalEntry::AccountCreated { addr });
+            self.accounts.insert(addr, AccountInfo::default());
+        }
+        self.accounts.get_mut(&addr).expect("just inserted")
+    }
+
+    /// Create (or overwrite) an account outright — used for genesis alloc.
+    pub fn create_account(&mut self, addr: Address, balance: u128) {
+        let account = self.ensure_account(addr);
+        account.balance = balance;
+    }
+
+    /// Mark `addr` as a deployed contract with a given code length.
+    pub fn set_contract(&mut self, addr: Address, code_len: usize) {
+        let account = self.ensure_account(addr);
+        account.is_contract = true;
+        account.code_len = code_len;
+    }
+
+    /// Set the balance (journaled).
+    pub fn set_balance(&mut self, addr: Address, balance: u128) {
+        let prev = self.balance(addr);
+        self.ensure_account(addr);
+        self.journal.push(JournalEntry::BalanceChanged { addr, prev });
+        self.accounts.get_mut(&addr).expect("ensured").balance = balance;
+    }
+
+    /// Credit wei to an account.
+    pub fn credit(&mut self, addr: Address, amount: u128) {
+        let new = self.balance(addr).saturating_add(amount);
+        self.set_balance(addr, new);
+    }
+
+    /// Debit wei from an account; `false` (and no change) on insufficient
+    /// funds.
+    pub fn debit(&mut self, addr: Address, amount: u128) -> bool {
+        let current = self.balance(addr);
+        if current < amount {
+            return false;
+        }
+        self.set_balance(addr, current - amount);
+        true
+    }
+
+    /// Increment the nonce (journaled).
+    pub fn bump_nonce(&mut self, addr: Address) {
+        let prev = self.nonce(addr);
+        self.ensure_account(addr);
+        self.journal.push(JournalEntry::NonceChanged { addr, prev });
+        self.accounts.get_mut(&addr).expect("ensured").nonce = prev + 1;
+    }
+
+    /// Read a storage slot (zero for never-written slots, like the EVM).
+    pub fn storage_get(&self, addr: Address, key: H256) -> H256 {
+        self.storage.get(&(addr, key)).copied().unwrap_or(H256::ZERO)
+    }
+
+    /// Write a storage slot (journaled). Writing zero clears the slot.
+    pub fn storage_set(&mut self, addr: Address, key: H256, value: H256) {
+        let prev = self.storage.get(&(addr, key)).copied();
+        self.journal.push(JournalEntry::StorageChanged { addr, key, prev });
+        if value.is_zero() {
+            self.storage.remove(&(addr, key));
+        } else {
+            self.storage.insert((addr, key), value);
+        }
+    }
+
+    /// Convenience: read a slot as a [`U256`].
+    pub fn storage_get_u256(&self, addr: Address, key: H256) -> U256 {
+        self.storage_get(addr, key).to_u256()
+    }
+
+    /// Convenience: write a slot from a [`U256`].
+    pub fn storage_set_u256(&mut self, addr: Address, key: H256, value: U256) {
+        self.storage_set(addr, key, H256::from_u256(value));
+    }
+
+    /// Number of live (non-zero) storage slots for `addr`.
+    pub fn storage_slot_count(&self, addr: Address) -> usize {
+        self.storage.keys().filter(|(a, _)| *a == addr).count()
+    }
+
+    /// Take a snapshot; a later [`WorldState::revert_to`] undoes every write
+    /// made since.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.journal.len())
+    }
+
+    /// Undo all writes made after `snapshot` (in reverse order).
+    pub fn revert_to(&mut self, snapshot: Snapshot) {
+        while self.journal.len() > snapshot.0 {
+            match self.journal.pop().expect("len checked") {
+                JournalEntry::StorageChanged { addr, key, prev } => match prev {
+                    Some(v) if !v.is_zero() => {
+                        self.storage.insert((addr, key), v);
+                    }
+                    _ => {
+                        self.storage.remove(&(addr, key));
+                    }
+                },
+                JournalEntry::BalanceChanged { addr, prev } => {
+                    if let Some(acct) = self.accounts.get_mut(&addr) {
+                        acct.balance = prev;
+                    }
+                }
+                JournalEntry::NonceChanged { addr, prev } => {
+                    if let Some(acct) = self.accounts.get_mut(&addr) {
+                        acct.nonce = prev;
+                    }
+                }
+                JournalEntry::AccountCreated { addr } => {
+                    self.accounts.remove(&addr);
+                }
+            }
+        }
+    }
+
+    /// Discard journal history (e.g. after a block commits). Snapshots taken
+    /// before this call must not be used afterwards.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Deep-copy the state — the TS uses this to run candidate transactions
+    /// on an isolated off-chain fork (§V).
+    pub fn fork(&self) -> WorldState {
+        WorldState {
+            accounts: self.accounts.clone(),
+            storage: self.storage.clone(),
+            journal: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    fn key(n: u64) -> H256 {
+        H256::from_u256(U256::from_u64(n))
+    }
+
+    #[test]
+    fn balances_credit_debit() {
+        let mut state = WorldState::new();
+        state.credit(addr(1), 100);
+        assert_eq!(state.balance(addr(1)), 100);
+        assert!(state.debit(addr(1), 60));
+        assert_eq!(state.balance(addr(1)), 40);
+        assert!(!state.debit(addr(1), 41));
+        assert_eq!(state.balance(addr(1)), 40);
+    }
+
+    #[test]
+    fn storage_defaults_to_zero() {
+        let state = WorldState::new();
+        assert_eq!(state.storage_get(addr(1), key(0)), H256::ZERO);
+    }
+
+    #[test]
+    fn storage_set_get_clear() {
+        let mut state = WorldState::new();
+        state.storage_set_u256(addr(1), key(0), U256::from_u64(7));
+        assert_eq!(state.storage_get_u256(addr(1), key(0)), U256::from_u64(7));
+        assert_eq!(state.storage_slot_count(addr(1)), 1);
+        state.storage_set_u256(addr(1), key(0), U256::ZERO);
+        assert_eq!(state.storage_slot_count(addr(1)), 0);
+    }
+
+    #[test]
+    fn snapshot_revert_restores_everything() {
+        let mut state = WorldState::new();
+        state.credit(addr(1), 100);
+        state.storage_set_u256(addr(2), key(5), U256::from_u64(1));
+        let snap = state.snapshot();
+
+        state.debit(addr(1), 30);
+        state.bump_nonce(addr(1));
+        state.storage_set_u256(addr(2), key(5), U256::from_u64(2));
+        state.storage_set_u256(addr(2), key(6), U256::from_u64(3));
+        state.credit(addr(3), 55);
+
+        state.revert_to(snap);
+        assert_eq!(state.balance(addr(1)), 100);
+        assert_eq!(state.nonce(addr(1)), 0);
+        assert_eq!(state.storage_get_u256(addr(2), key(5)), U256::from_u64(1));
+        assert_eq!(state.storage_get_u256(addr(2), key(6)), U256::ZERO);
+        assert!(!state.exists(addr(3)));
+    }
+
+    #[test]
+    fn nested_snapshots() {
+        let mut state = WorldState::new();
+        state.storage_set_u256(addr(1), key(0), U256::from_u64(1));
+        let outer = state.snapshot();
+        state.storage_set_u256(addr(1), key(0), U256::from_u64(2));
+        let inner = state.snapshot();
+        state.storage_set_u256(addr(1), key(0), U256::from_u64(3));
+        state.revert_to(inner);
+        assert_eq!(state.storage_get_u256(addr(1), key(0)), U256::from_u64(2));
+        state.revert_to(outer);
+        assert_eq!(state.storage_get_u256(addr(1), key(0)), U256::from_u64(1));
+    }
+
+    #[test]
+    fn fork_is_isolated() {
+        let mut state = WorldState::new();
+        state.credit(addr(1), 10);
+        let mut fork = state.fork();
+        fork.credit(addr(1), 90);
+        fork.storage_set_u256(addr(2), key(0), U256::from_u64(9));
+        assert_eq!(state.balance(addr(1)), 10);
+        assert_eq!(state.storage_get_u256(addr(2), key(0)), U256::ZERO);
+        assert_eq!(fork.balance(addr(1)), 100);
+    }
+
+    #[test]
+    fn contract_marking() {
+        let mut state = WorldState::new();
+        state.set_contract(addr(7), 1234);
+        assert!(state.is_contract(addr(7)));
+        assert_eq!(state.account(addr(7)).unwrap().code_len, 1234);
+        assert!(!state.is_contract(addr(8)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_revert_restores_storage(
+            writes in prop::collection::vec((0u64..4, 0u64..4, any::<u64>()), 1..24),
+            split in 0usize..24,
+        ) {
+            let mut state = WorldState::new();
+            let split = split.min(writes.len());
+            for (a, k, v) in &writes[..split] {
+                state.storage_set_u256(addr(*a), key(*k), U256::from_u64(*v));
+            }
+            // Record state before the snapshot region.
+            let mut expected = std::collections::HashMap::new();
+            for a in 0..4u64 {
+                for k in 0..4u64 {
+                    expected.insert((a, k), state.storage_get_u256(addr(a), key(k)));
+                }
+            }
+            let snap = state.snapshot();
+            for (a, k, v) in &writes[split..] {
+                state.storage_set_u256(addr(*a), key(*k), U256::from_u64(*v));
+            }
+            state.revert_to(snap);
+            for ((a, k), v) in expected {
+                prop_assert_eq!(state.storage_get_u256(addr(a), key(k)), v);
+            }
+        }
+    }
+}

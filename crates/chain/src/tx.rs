@@ -1,0 +1,179 @@
+//! Transactions: signed data packages originated by externally owned
+//! accounts (§II-C of the paper).
+//!
+//! A transaction carries a nonce (Ethereum's replay protection — validated
+//! by the network but *not* visible to contracts, which is why SMACS needs
+//! its own in-contract one-time token mechanism, §IV-C), a gas limit and
+//! price, an optional target, a wei value, and calldata. The signing digest
+//! is the keccak256 of the RLP-encoded body, and the sender is recovered
+//! from the signature — the `tx.origin` seen by every frame of the call
+//! chain.
+
+use serde::{Deserialize, Serialize};
+use smacs_crypto::{keccak256, recover_address, Keypair, Signature};
+use smacs_primitives::rlp::{self, Item, ToRlp};
+use smacs_primitives::{Address, Bytes, H256};
+use std::fmt;
+
+/// An unsigned transaction body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Sender's account nonce — must equal the account's current nonce.
+    pub nonce: u64,
+    /// Gas price in wei per gas unit.
+    pub gas_price: u128,
+    /// Gas limit for the whole transaction.
+    pub gas_limit: u64,
+    /// Callee; `None` denotes a contract-creation transaction.
+    pub to: Option<Address>,
+    /// Transferred value in wei.
+    pub value: u128,
+    /// Calldata (method selector + ABI-encoded arguments, possibly with a
+    /// SMACS token array embedded).
+    pub data: Bytes,
+}
+
+impl Transaction {
+    /// A plain call with sensible defaults for gas (callers override as
+    /// needed).
+    pub fn call(nonce: u64, to: Address, value: u128, data: impl Into<Bytes>) -> Self {
+        Transaction {
+            nonce,
+            gas_price: 1_000_000_000, // 1 gwei — the paper-era default
+            gas_limit: 8_000_000,
+            to: Some(to),
+            value,
+            data: data.into(),
+        }
+    }
+
+    fn rlp_body(&self) -> Item {
+        Item::List(vec![
+            self.nonce.to_rlp(),
+            self.gas_price.to_rlp(),
+            (self.gas_limit as u64).to_rlp(),
+            match self.to {
+                Some(addr) => addr.to_rlp(),
+                None => Item::Bytes(vec![]),
+            },
+            self.value.to_rlp(),
+            self.data.to_rlp(),
+        ])
+    }
+
+    /// The digest an EOA signs: `keccak256(rlp(body))`.
+    pub fn signing_digest(&self) -> H256 {
+        keccak256(&rlp::encode(&self.rlp_body()))
+    }
+
+    /// Sign with `keypair`, producing a [`SignedTransaction`].
+    pub fn sign(self, keypair: &Keypair) -> SignedTransaction {
+        let signature = keypair.sign_digest(&self.signing_digest());
+        SignedTransaction {
+            tx: self,
+            signature,
+        }
+    }
+}
+
+/// A signed transaction ready for submission.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedTransaction {
+    /// The signed body.
+    pub tx: Transaction,
+    /// 65-byte recoverable signature over [`Transaction::signing_digest`].
+    pub signature: Signature,
+}
+
+impl SignedTransaction {
+    /// Recover the sender address; `None` if the signature is invalid.
+    /// Before processing a transaction, "their authenticity is validated by
+    /// the Ethereum network" (§II-C) — the chain rejects `None`.
+    pub fn sender(&self) -> Option<Address> {
+        recover_address(&self.tx.signing_digest(), &self.signature)
+    }
+
+    /// The transaction hash (id): keccak over the RLP body plus signature.
+    pub fn hash(&self) -> H256 {
+        let item = Item::List(vec![
+            self.tx.rlp_body(),
+            Item::Bytes(self.signature.to_bytes().to_vec()),
+        ]);
+        keccak256(&rlp::encode(&item))
+    }
+}
+
+impl fmt::Debug for SignedTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SignedTransaction(hash={}, nonce={}, to={:?})",
+            self.hash(),
+            self.tx.nonce,
+            self.tx.to
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_primitives::U256;
+
+    fn sample_tx(nonce: u64) -> Transaction {
+        Transaction::call(nonce, Address::from_low_u64(9), 42, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn sender_recovery_round_trip() {
+        let kp = Keypair::from_seed(100);
+        let signed = sample_tx(0).sign(&kp);
+        assert_eq!(signed.sender(), Some(kp.address()));
+    }
+
+    #[test]
+    fn tampering_changes_recovered_sender() {
+        let kp = Keypair::from_seed(101);
+        let mut signed = sample_tx(0).sign(&kp);
+        signed.tx.value = 43;
+        assert_ne!(signed.sender(), Some(kp.address()));
+    }
+
+    #[test]
+    fn nonce_affects_digest_and_hash() {
+        let kp = Keypair::from_seed(102);
+        let a = sample_tx(0).sign(&kp);
+        let b = sample_tx(1).sign(&kp);
+        assert_ne!(a.tx.signing_digest(), b.tx.signing_digest());
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn creation_tx_has_empty_to() {
+        let tx = Transaction {
+            nonce: 0,
+            gas_price: 1,
+            gas_limit: 100_000,
+            to: None,
+            value: 0,
+            data: Bytes::new(),
+        };
+        // Digest must differ from a call to the zero address.
+        let call = Transaction {
+            to: Some(Address::ZERO),
+            ..tx.clone()
+        };
+        assert_ne!(tx.signing_digest(), call.signing_digest());
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        let kp = Keypair::from_seed(103);
+        let signed = sample_tx(5).sign(&kp);
+        assert_eq!(signed.hash(), signed.hash());
+        // And sensitive to data.
+        let mut other = signed.clone();
+        other.tx.data = Bytes(U256::from_u64(7).to_be_bytes().to_vec());
+        assert_ne!(signed.hash(), other.hash());
+    }
+}

@@ -1,0 +1,413 @@
+//! The Fig. 7 re-entrancy case study: `Bank`, `Attacker`, and `SafeBank`.
+//!
+//! `Bank` is the paper's "simplified version of TheDAO": deposits are
+//! recorded in a balance mapping and `withdraw()` *sends the ether before
+//! zeroing the balance*, handing control to the recipient's fallback while
+//! the stale balance is still recorded. `Attacker` exploits exactly that:
+//! its fallback re-enters `Bank.withdraw()` once, collecting the deposit
+//! twice. `SafeBank` applies checks-effects-interactions and is immune.
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{Address, H256, U256};
+
+const BALANCE_MAPPING_SLOT: u64 = 0;
+
+fn balance_slot(ctx: &mut CallContext<'_, '_>, owner: Address) -> Result<H256, VmError> {
+    ctx.mapping_slot(BALANCE_MAPPING_SLOT, owner.as_bytes())
+}
+
+/// The vulnerable bank of Fig. 7.
+///
+/// Methods:
+/// - `addBalance()` (payable) — credit `msg.value` to `balance[msg.sender]`;
+/// - `withdraw()` — send `balance[msg.sender]` to `msg.sender` **then**
+///   zero the balance (the re-entrancy bug);
+/// - `balanceOf(address)` — view.
+pub struct Bank;
+
+impl Contract for Bank {
+    fn name(&self) -> &'static str {
+        "Bank"
+    }
+
+    fn code_len(&self) -> usize {
+        1_800
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector("addBalance()") {
+            let sender = ctx.msg_sender();
+            let slot = balance_slot(ctx, sender)?;
+            let current = ctx.sload_u256(slot)?;
+            let deposit = U256::from_u128(ctx.msg_value());
+            ctx.sstore_u256(slot, current.wrapping_add(deposit))?;
+            Ok(Vec::new())
+        } else if sel == abi::selector("withdraw()") {
+            let sender = ctx.msg_sender();
+            let slot = balance_slot(ctx, sender)?;
+            let amount = ctx.sload_u256(slot)?;
+            let amount_wei = amount.to_u128().unwrap_or(u128::MAX);
+            if amount_wei > 0 {
+                // Fig. 7 line 8: `msg.sender.call.value(amount)()` — the
+                // external call happens BEFORE the balance is zeroed,
+                // handing control (and a stale balance) to the recipient's
+                // fallback.
+                ctx.transfer(sender, amount_wei)?;
+            }
+            // Fig. 7 line 9 — too late.
+            ctx.sstore_u256(slot, U256::ZERO)?;
+            Ok(Vec::new())
+        } else if sel == abi::selector("balanceOf(address)") {
+            let args = ctx.decode_args(&[AbiType::Address])?;
+            let owner = args[0].as_address().expect("decoded as address");
+            let slot = balance_slot(ctx, owner)?;
+            Ok(ctx.sload_u256(slot)?.to_be_bytes().to_vec())
+        } else {
+            ctx.revert("Bank: unknown method")
+        }
+    }
+
+    fn fallback(&self, _ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        // Accept plain deposits (they just raise the contract balance).
+        Ok(())
+    }
+}
+
+/// The fixed bank: checks-effects-interactions (zero the balance before the
+/// external call).
+pub struct SafeBank;
+
+impl Contract for SafeBank {
+    fn name(&self) -> &'static str {
+        "SafeBank"
+    }
+
+    fn code_len(&self) -> usize {
+        1_850
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector("addBalance()") {
+            let sender = ctx.msg_sender();
+            let slot = balance_slot(ctx, sender)?;
+            let current = ctx.sload_u256(slot)?;
+            let deposit = U256::from_u128(ctx.msg_value());
+            ctx.sstore_u256(slot, current.wrapping_add(deposit))?;
+            Ok(Vec::new())
+        } else if sel == abi::selector("withdraw()") {
+            let sender = ctx.msg_sender();
+            let slot = balance_slot(ctx, sender)?;
+            let amount = ctx.sload_u256(slot)?;
+            let amount_wei = amount.to_u128().unwrap_or(u128::MAX);
+            // Effects first …
+            ctx.sstore_u256(slot, U256::ZERO)?;
+            // … interaction last: a re-entering fallback sees balance 0.
+            if amount_wei > 0 {
+                ctx.transfer(sender, amount_wei)?;
+            }
+            Ok(Vec::new())
+        } else if sel == abi::selector("balanceOf(address)") {
+            let args = ctx.decode_args(&[AbiType::Address])?;
+            let owner = args[0].as_address().expect("decoded as address");
+            let slot = balance_slot(ctx, owner)?;
+            Ok(ctx.sload_u256(slot)?.to_be_bytes().to_vec())
+        } else {
+            ctx.revert("SafeBank: unknown method")
+        }
+    }
+
+    fn fallback(&self, _ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        Ok(())
+    }
+}
+
+/// The Fig. 7 attacker. Storage slot 0 holds the `isAttack` re-entry flag;
+/// the target bank address is a construction parameter (Solidity's
+/// constructor argument `_bank`).
+pub struct Attacker {
+    bank: Address,
+}
+
+const IS_ATTACK_SLOT: H256 = H256([0u8; 32]);
+
+impl Attacker {
+    /// An attacker aimed at `bank`.
+    pub fn new(bank: Address) -> Self {
+        Attacker { bank }
+    }
+
+    /// The ABI payload for `Bank.withdraw()`.
+    pub fn withdraw_payload() -> Vec<u8> {
+        abi::encode_call("withdraw()", &[])
+    }
+}
+
+impl Contract for Attacker {
+    fn name(&self) -> &'static str {
+        "Attacker"
+    }
+
+    fn code_len(&self) -> usize {
+        1_200
+    }
+
+    fn constructor(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        // isAttack = true (Fig. 7 constructor).
+        ctx.sstore_u256(IS_ATTACK_SLOT, U256::ONE)
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector("deposit()") {
+            // Fig. 7: `bank.call.value(2).addBalance()` — deposit 2 wei.
+            ctx.call(self.bank, 2, abi::encode_call("addBalance()", &[]))?;
+            Ok(Vec::new())
+        } else if sel == abi::selector("withdraw()") {
+            ctx.call(self.bank, 0, Self::withdraw_payload())?;
+            Ok(Vec::new())
+        } else {
+            ctx.revert("Attacker: unknown method")
+        }
+    }
+
+    fn fallback(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        // Fig. 7's payable fallback: on the first incoming transfer,
+        // re-enter Bank.withdraw() while the outer withdraw is mid-flight.
+        let is_attack = ctx.sload_u256(IS_ATTACK_SLOT)?;
+        if is_attack == U256::ONE {
+            ctx.sstore_u256(IS_ATTACK_SLOT, U256::ZERO)?;
+            ctx.call(self.bank, 0, Self::withdraw_payload())?;
+        }
+        Ok(())
+    }
+}
+
+/// An *adaptive* attacker targeting a SMACS-protected bank: it forwards
+/// the client-supplied token array on its way in, stashes the exact
+/// token-bearing calldata in storage, and replays it from its fallback to
+/// re-enter `withdraw()`. Against one-time tokens the replay fails — the
+/// outer frame already consumed the bitmap index — which is precisely the
+/// paper's Example 4 defense. Storage layout: slot 0 = `isAttack`,
+/// keccak-derived slots hold the stashed calldata (length + 32-byte
+/// chunks).
+pub struct SmacsAwareAttacker {
+    bank: Address,
+}
+
+impl SmacsAwareAttacker {
+    /// An adaptive attacker aimed at `bank`.
+    pub fn new(bank: Address) -> Self {
+        SmacsAwareAttacker { bank }
+    }
+
+    fn stash_len_slot() -> H256 {
+        smacs_crypto::keccak256(b"attacker.stash.len")
+    }
+
+    fn stash_chunk_slot(i: u64) -> H256 {
+        smacs_crypto::keccak256_concat(&[b"attacker.stash.chunk", &i.to_be_bytes()])
+    }
+
+    fn stash(ctx: &mut CallContext<'_, '_>, data: &[u8]) -> Result<(), VmError> {
+        ctx.sstore_u256(Self::stash_len_slot(), U256::from(data.len()))?;
+        for (i, chunk) in data.chunks(32).enumerate() {
+            let mut word = [0u8; 32];
+            word[..chunk.len()].copy_from_slice(chunk);
+            ctx.sstore(Self::stash_chunk_slot(i as u64), H256(word))?;
+        }
+        Ok(())
+    }
+
+    fn unstash(ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let len = ctx.sload_u256(Self::stash_len_slot())?.low_u64() as usize;
+        let mut data = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(32) {
+            let word = ctx.sload(Self::stash_chunk_slot(i as u64))?;
+            data.extend_from_slice(&word.0);
+        }
+        data.truncate(len);
+        Ok(data)
+    }
+}
+
+impl Contract for SmacsAwareAttacker {
+    fn name(&self) -> &'static str {
+        "SmacsAwareAttacker"
+    }
+
+    fn code_len(&self) -> usize {
+        2_000
+    }
+
+    fn constructor(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        ctx.sstore_u256(IS_ATTACK_SLOT, U256::ONE)
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector("deposit()") {
+            // Forward the caller's token array to the shielded bank.
+            smacs_core::verify::forward_call(
+                ctx,
+                self.bank,
+                2,
+                &abi::encode_call("addBalance()", &[]),
+            )?;
+            Ok(Vec::new())
+        } else if sel == abi::selector("withdraw()") {
+            // Build the exact token-bearing calldata for Bank.withdraw(),
+            // stash it for the fallback replay, then strike.
+            let data = ctx.msg_data().to_vec();
+            let (_, tokens) = smacs_token::split_tokens(&data)
+                .map_err(|e| VmError::Revert(format!("attacker: {e}")))?;
+            let bank_call = smacs_token::append_tokens(&Self::withdraw_payload_inner(), &tokens);
+            Self::stash(ctx, &bank_call)?;
+            ctx.call(self.bank, 0, bank_call)?;
+            Ok(Vec::new())
+        } else {
+            ctx.revert("SmacsAwareAttacker: unknown method")
+        }
+    }
+
+    fn fallback(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        let is_attack = ctx.sload_u256(IS_ATTACK_SLOT)?;
+        if is_attack == U256::ONE {
+            ctx.sstore_u256(IS_ATTACK_SLOT, U256::ZERO)?;
+            let replay = Self::unstash(ctx)?;
+            // Re-enter Bank.withdraw() with the stashed (already used)
+            // token.
+            ctx.call(self.bank, 0, replay)?;
+        }
+        Ok(())
+    }
+}
+
+impl SmacsAwareAttacker {
+    fn withdraw_payload_inner() -> Vec<u8> {
+        abi::encode_call("withdraw()", &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_chain::Chain;
+    use std::sync::Arc;
+
+    /// The attack end to end on an *unprotected* Bank: the attacker
+    /// deposits 2 wei and withdraws 4 — the paper's "effectively moves all
+    /// ether from Bank".
+    #[test]
+    fn reentrancy_attack_drains_unprotected_bank() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let victim = chain.funded_keypair(2, 10u128.pow(20));
+        let attacker_eoa = chain.funded_keypair(3, 10u128.pow(20));
+
+        let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
+        // An honest victim deposits 2 wei.
+        let r = chain
+            .call_contract(&victim, bank.address, 2, abi::encode_call("addBalance()", &[]))
+            .unwrap();
+        assert!(r.status.is_success());
+
+        let (attacker, _) = chain
+            .deploy(&attacker_eoa, Arc::new(Attacker::new(bank.address)))
+            .unwrap();
+        chain.fund_account(attacker.address, 10); // gas money for value calls
+        let r = chain
+            .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert_eq!(chain.state().balance(bank.address), 4);
+
+        // The attack: withdraw re-enters and collects 2 + 2.
+        let before = chain.state().balance(attacker.address);
+        let r = chain
+            .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("withdraw()", &[]))
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        let after = chain.state().balance(attacker.address);
+        assert_eq!(after - before, 4, "attacker should have drained the victim's 2 wei too");
+        assert_eq!(chain.state().balance(bank.address), 0);
+        // The trace shows Bank re-entered.
+        assert!(r.trace.has_reentrancy(bank.address));
+    }
+
+    #[test]
+    fn safe_bank_resists_the_same_attack() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let victim = chain.funded_keypair(2, 10u128.pow(20));
+        let attacker_eoa = chain.funded_keypair(3, 10u128.pow(20));
+
+        let (bank, _) = chain.deploy(&owner, Arc::new(SafeBank)).unwrap();
+        chain
+            .call_contract(&victim, bank.address, 2, abi::encode_call("addBalance()", &[]))
+            .unwrap();
+        let (attacker, _) = chain
+            .deploy(&attacker_eoa, Arc::new(Attacker::new(bank.address)))
+            .unwrap();
+        chain.fund_account(attacker.address, 10);
+        chain
+            .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+            .unwrap();
+
+        let before = chain.state().balance(attacker.address);
+        let r = chain
+            .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("withdraw()", &[]))
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        let after = chain.state().balance(attacker.address);
+        // Only the attacker's own 2 wei come back; the re-entrant call saw
+        // balance 0.
+        assert_eq!(after - before, 2);
+        assert_eq!(chain.state().balance(bank.address), 2); // victim's deposit intact
+    }
+
+    #[test]
+    fn honest_deposit_withdraw_cycle() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let user = chain.funded_keypair(2, 10u128.pow(20));
+        for bank_logic in [Arc::new(Bank) as Arc<dyn Contract>, Arc::new(SafeBank)] {
+            let (bank, _) = chain.deploy(&owner, bank_logic).unwrap();
+            chain
+                .call_contract(&user, bank.address, 500, abi::encode_call("addBalance()", &[]))
+                .unwrap();
+            assert_eq!(chain.state().balance(bank.address), 500);
+            let r = chain
+                .call_contract(&user, bank.address, 0, abi::encode_call("withdraw()", &[]))
+                .unwrap();
+            assert!(r.status.is_success());
+            assert_eq!(chain.state().balance(bank.address), 0);
+        }
+    }
+
+    #[test]
+    fn balance_of_view() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let user = chain.funded_keypair(2, 10u128.pow(20));
+        let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
+        chain
+            .call_contract(&user, bank.address, 123, abi::encode_call("addBalance()", &[]))
+            .unwrap();
+        let (result, _, _, _) = chain.dry_run(
+            user.address(),
+            bank.address,
+            0,
+            abi::encode_call(
+                "balanceOf(address)",
+                &[smacs_chain::AbiValue::Address(user.address())],
+            ),
+        );
+        assert_eq!(
+            U256::from_be_slice(&result.unwrap()).unwrap(),
+            U256::from_u64(123)
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The Fig. 5 call chain: `SC_A → SC_B → SC_C`, generalized to any depth.
+//!
+//! Each link bumps its own hop counter and forwards to the next link. When
+//! links are SMACS-shielded, forwarding goes through
+//! [`smacs_core::verify::forward_call`], which re-attaches the
+//! transaction's token array so the next contract can extract its own token
+//! (§IV-D).
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{Address, H256, U256};
+
+/// One link of the chain. `next = None` terminates it.
+pub struct ChainLink {
+    next: Option<Address>,
+}
+
+impl ChainLink {
+    /// Canonical signature of the chain-walking method. It carries two
+    /// uint256 arguments so argument-token payloads match the Table II
+    /// workload (the paper measures the same method across the chain).
+    pub const POKE_SIG: &'static str = "poke(uint256,uint256)";
+
+    /// A terminal link.
+    pub fn terminal() -> Self {
+        ChainLink { next: None }
+    }
+
+    /// A link forwarding to `next`.
+    pub fn forwarding_to(next: Address) -> Self {
+        ChainLink { next: Some(next) }
+    }
+
+    /// The `poke(a, b)` payload used by every hop.
+    pub fn poke_payload() -> Vec<u8> {
+        abi::encode_call(
+            Self::POKE_SIG,
+            &[
+                smacs_chain::AbiValue::Uint(U256::from_u64(3)),
+                smacs_chain::AbiValue::Uint(U256::from_u64(4)),
+            ],
+        )
+    }
+
+    /// Read a link's hop counter from chain state.
+    pub fn hops(chain: &smacs_chain::Chain, link: Address) -> U256 {
+        chain.state().storage_get_u256(link, H256::ZERO)
+    }
+}
+
+impl Contract for ChainLink {
+    fn name(&self) -> &'static str {
+        "ChainLink"
+    }
+
+    fn code_len(&self) -> usize {
+        1_100
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(Self::POKE_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint, AbiType::Uint])?;
+            let _ = (args[0].as_uint(), args[1].as_uint());
+            let hops = ctx.sload_u256(H256::ZERO)?;
+            ctx.sstore_u256(H256::ZERO, hops.wrapping_add(U256::ONE))?;
+            if let Some(next) = self.next {
+                // Forward with the token array re-attached so the next
+                // SMACS-enabled link finds its token.
+                smacs_core::verify::forward_call(ctx, next, 0, &Self::poke_payload())?;
+            }
+            Ok(Vec::new())
+        } else {
+            ctx.revert("ChainLink: unknown method")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_chain::Chain;
+    use smacs_core::client::ClientWallet;
+    use smacs_core::owner::{OwnerToolkit, ShieldParams};
+    use smacs_token::{signing_digest, PayloadContext, Token, TokenType, NO_INDEX};
+    use std::sync::Arc;
+
+    /// Deploy a shielded chain of `depth` links; returns addresses from
+    /// entry (SC_A) to terminal.
+    fn deploy_chain(
+        chain: &mut Chain,
+        toolkit: &OwnerToolkit,
+        depth: usize,
+    ) -> Vec<Address> {
+        let params = ShieldParams {
+            token_lifetime_secs: 3600,
+            max_tx_per_second: 0.35,
+            disable_one_time: false,
+        };
+        let mut addrs: Vec<Address> = Vec::new();
+        let mut next: Option<Address> = None;
+        for _ in 0..depth {
+            let link = match next {
+                Some(addr) => ChainLink::forwarding_to(addr),
+                None => ChainLink::terminal(),
+            };
+            let (deployed, _) = toolkit
+                .deploy_shielded(chain, Arc::new(link), &params)
+                .unwrap();
+            next = Some(deployed.address);
+            addrs.push(deployed.address);
+        }
+        addrs.reverse(); // entry first
+        addrs
+    }
+
+    fn method_token(
+        toolkit: &OwnerToolkit,
+        sender: Address,
+        contract: Address,
+        expire: u32,
+    ) -> Token {
+        let ctx = PayloadContext {
+            sender,
+            contract,
+            selector: Some(abi::selector(ChainLink::POKE_SIG)),
+            calldata: None,
+        };
+        let digest = signing_digest(TokenType::Method, expire, NO_INDEX, &ctx);
+        Token {
+            ttype: TokenType::Method,
+            expire,
+            index: NO_INDEX,
+            signature: toolkit.ts_keypair().sign_digest(&digest),
+        }
+    }
+
+    #[test]
+    fn three_link_chain_with_tokens_for_each() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(24));
+        let client_kp = chain.funded_keypair(2, 10u128.pow(24));
+        let toolkit = OwnerToolkit::new(owner, smacs_crypto::Keypair::from_seed(500));
+        let links = deploy_chain(&mut chain, &toolkit, 3);
+        let client = ClientWallet::new(client_kp);
+        let expire = (chain.pending_env().timestamp + 3000) as u32;
+
+        // One method token per contract on the chain (Fig. 5's three TSes
+        // collapse to one toolkit here; the array format is identical).
+        let tokens: Vec<(Address, Token)> = links
+            .iter()
+            .map(|&addr| (addr, method_token(&toolkit, client.address(), addr, expire)))
+            .collect();
+
+        let r = client
+            .call_with_tokens(
+                &mut chain,
+                links[0],
+                0,
+                &ChainLink::poke_payload(),
+                &tokens,
+            )
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        for &link in &links {
+            assert_eq!(ChainLink::hops(&chain, link), U256::ONE, "link {link}");
+        }
+        // The trace reaches depth 2 (0-indexed).
+        assert_eq!(r.trace.max_depth(), 2);
+    }
+
+    #[test]
+    fn missing_middle_token_stops_the_chain() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(24));
+        let client_kp = chain.funded_keypair(2, 10u128.pow(24));
+        let toolkit = OwnerToolkit::new(owner, smacs_crypto::Keypair::from_seed(500));
+        let links = deploy_chain(&mut chain, &toolkit, 3);
+        let client = ClientWallet::new(client_kp);
+        let expire = (chain.pending_env().timestamp + 3000) as u32;
+
+        // Tokens for the first and third links only.
+        let tokens = vec![
+            (links[0], method_token(&toolkit, client.address(), links[0], expire)),
+            (links[2], method_token(&toolkit, client.address(), links[2], expire)),
+        ];
+        let r = client
+            .call_with_tokens(&mut chain, links[0], 0, &ChainLink::poke_payload(), &tokens)
+            .unwrap();
+        // SC_B rejects; the whole transaction reverts (atomicity), so not
+        // even SC_A's hop counter survives.
+        assert_eq!(r.revert_reason(), Some("SMACS: no token for this contract"));
+        for &link in &links {
+            assert_eq!(ChainLink::hops(&chain, link), U256::ZERO);
+        }
+    }
+
+    #[test]
+    fn unshielded_chain_works_without_tokens() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(24));
+        let toolkit = OwnerToolkit::new(owner, smacs_crypto::Keypair::from_seed(500));
+        // Legacy (unshielded) links: forward_call still works — it simply
+        // finds an empty token array to re-attach… so build the calldata
+        // with an empty array appended.
+        let (c, _) = toolkit
+            .deploy_legacy(&mut chain, Arc::new(ChainLink::terminal()))
+            .unwrap();
+        let (b, _) = toolkit
+            .deploy_legacy(&mut chain, Arc::new(ChainLink::forwarding_to(c.address)))
+            .unwrap();
+        let (a, _) = toolkit
+            .deploy_legacy(&mut chain, Arc::new(ChainLink::forwarding_to(b.address)))
+            .unwrap();
+        let data = smacs_token::append_tokens(&ChainLink::poke_payload(), &Default::default());
+        let r = chain
+            .call_contract(toolkit.owner(), a.address, 0, data)
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        for addr in [a.address, b.address, c.address] {
+            assert_eq!(ChainLink::hops(&chain, addr), U256::ONE);
+        }
+    }
+}

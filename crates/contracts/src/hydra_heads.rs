@@ -1,0 +1,195 @@
+//! Hydra heads (§V-A): N independent implementations of one intended
+//! logic.
+//!
+//! "multiple independent program instances written in different programming
+//! languages but with the same intended high-level logic run in parallel" —
+//! here, structurally different Rust implementations of a running-total
+//! adder, plus a deliberately buggy head whose output diverges on a
+//! specific input. The Hydra uniformity rule (in `smacs-verifiers`) runs
+//! all heads on forked testnets and issues a token only when every head
+//! produces the identical output.
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{H256, U256};
+
+/// Which structural variant a head uses — stands in for the paper's
+/// "different programming languages".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HydraStyle {
+    /// Direct `total += x`.
+    Direct,
+    /// Accumulate via doubling/halving decomposition.
+    ShiftAdd,
+    /// Accumulate through a subtraction identity (`total = total − (−x)`,
+    /// in wrapping arithmetic).
+    TwosComplement,
+}
+
+/// The adder logic every head implements: `add(uint256)` updates a running
+/// total and returns it; `total()` reads it.
+pub struct AdderHead {
+    style: HydraStyle,
+}
+
+impl AdderHead {
+    /// Canonical signature of the measured method.
+    pub const ADD_SIG: &'static str = "add(uint256)";
+
+    /// A head of the given style.
+    pub fn new(style: HydraStyle) -> Self {
+        AdderHead { style }
+    }
+
+    /// Payload for `add(x)`.
+    pub fn add_payload(x: u64) -> Vec<u8> {
+        abi::encode_call(
+            Self::ADD_SIG,
+            &[smacs_chain::AbiValue::Uint(U256::from_u64(x))],
+        )
+    }
+
+    fn combine(&self, total: U256, x: U256) -> U256 {
+        match self.style {
+            HydraStyle::Direct => total.wrapping_add(x),
+            HydraStyle::ShiftAdd => {
+                // Sum x into total one binary digit at a time.
+                let mut acc = total;
+                let mut addend = x;
+                let mut unit = U256::ONE;
+                while !addend.is_zero() {
+                    if addend.bit(0) {
+                        acc = acc.wrapping_add(unit);
+                    }
+                    addend = addend >> 1;
+                    unit = unit << 1;
+                }
+                acc
+            }
+            HydraStyle::TwosComplement => {
+                // total − (2^256 − x) ≡ total + x (mod 2^256).
+                let neg_x = U256::ZERO.wrapping_sub(x);
+                total.wrapping_sub(neg_x)
+            }
+        }
+    }
+}
+
+impl Contract for AdderHead {
+    fn name(&self) -> &'static str {
+        match self.style {
+            HydraStyle::Direct => "AdderHead(direct)",
+            HydraStyle::ShiftAdd => "AdderHead(shift-add)",
+            HydraStyle::TwosComplement => "AdderHead(twos-complement)",
+        }
+    }
+
+    fn code_len(&self) -> usize {
+        1_000
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(Self::ADD_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let x = args[0].as_uint().expect("decoded uint");
+            let total = ctx.sload_u256(H256::ZERO)?;
+            let new_total = self.combine(total, x);
+            ctx.sstore_u256(H256::ZERO, new_total)?;
+            Ok(new_total.to_be_bytes().to_vec())
+        } else if sel == abi::selector("total()") {
+            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+        } else {
+            ctx.revert("AdderHead: unknown method")
+        }
+    }
+}
+
+/// A head with a planted bug: `add(13)` drops the carry — "it is likely
+/// that certain erroneous state is triggered for some heads" (§V-A).
+pub struct BuggyAdderHead;
+
+impl BuggyAdderHead {
+    /// The input that triggers the divergence.
+    pub const TRIGGER: u64 = 13;
+}
+
+impl Contract for BuggyAdderHead {
+    fn name(&self) -> &'static str {
+        "BuggyAdderHead"
+    }
+
+    fn code_len(&self) -> usize {
+        1_000
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(AdderHead::ADD_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let x = args[0].as_uint().expect("decoded uint");
+            let total = ctx.sload_u256(H256::ZERO)?;
+            let new_total = if x == U256::from_u64(Self::TRIGGER) {
+                total.wrapping_add(x).wrapping_sub(U256::ONE) // off by one
+            } else {
+                total.wrapping_add(x)
+            };
+            ctx.sstore_u256(H256::ZERO, new_total)?;
+            Ok(new_total.to_be_bytes().to_vec())
+        } else if sel == abi::selector("total()") {
+            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+        } else {
+            ctx.revert("BuggyAdderHead: unknown method")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_chain::Chain;
+    use std::sync::Arc;
+
+    fn run_head(logic: Arc<dyn Contract>, inputs: &[u64]) -> Vec<U256> {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let (head, _) = chain.deploy(&owner, logic).unwrap();
+        inputs
+            .iter()
+            .map(|&x| {
+                let r = chain
+                    .call_contract(&owner, head.address, 0, AdderHead::add_payload(x))
+                    .unwrap();
+                assert!(r.status.is_success());
+                U256::from_be_slice(&r.return_data).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_heads_agree() {
+        let inputs = [1u64, 2, 1000, 0, 99999, 13];
+        let direct = run_head(Arc::new(AdderHead::new(HydraStyle::Direct)), &inputs);
+        let shift = run_head(Arc::new(AdderHead::new(HydraStyle::ShiftAdd)), &inputs);
+        let twos = run_head(Arc::new(AdderHead::new(HydraStyle::TwosComplement)), &inputs);
+        assert_eq!(direct, shift);
+        assert_eq!(direct, twos);
+        // And the totals are right.
+        let expected: u64 = inputs.iter().sum();
+        assert_eq!(*direct.last().unwrap(), U256::from_u64(expected));
+    }
+
+    #[test]
+    fn buggy_head_diverges_only_on_trigger() {
+        let benign = [1u64, 2, 1000];
+        assert_eq!(
+            run_head(Arc::new(BuggyAdderHead), &benign),
+            run_head(Arc::new(AdderHead::new(HydraStyle::Direct)), &benign)
+        );
+        let trigger = [BuggyAdderHead::TRIGGER];
+        assert_ne!(
+            run_head(Arc::new(BuggyAdderHead), &trigger),
+            run_head(Arc::new(AdderHead::new(HydraStyle::Direct)), &trigger)
+        );
+    }
+}

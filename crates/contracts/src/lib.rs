@@ -1,0 +1,28 @@
+//! Example and benchmark contracts for the SMACS reproduction.
+//!
+//! - [`bank`] — the Fig. 7 re-entrancy case study: the vulnerable `Bank`
+//!   (a simplified TheDAO), the `Attacker` that drains it through its
+//!   fallback, and a `SafeBank` fixed with checks-effects-interactions;
+//! - [`token_sale`] — the §II-D motivation: a token sale restricted to
+//!   approved users, in both the SMACS form (access control off-chain) and
+//!   the on-chain-whitelist baseline whose costs the paper quotes
+//!   (Bluzelle's 9.345 ETH for 7 473 addresses);
+//! - [`callchain`] — the Fig. 5 chain `SC_A → SC_B → SC_C`, parameterized
+//!   to arbitrary depth for Table III / Fig. 8;
+//! - [`hydra_heads`] — N structurally different implementations of one
+//!   intended logic (plus a deliberately buggy head) for the §V-A Hydra
+//!   uniformity rule;
+//! - [`bench_target`] — the minimal application contract the gas tables
+//!   are measured against.
+
+pub mod bank;
+pub mod bench_target;
+pub mod callchain;
+pub mod hydra_heads;
+pub mod token_sale;
+
+pub use bank::{Attacker, Bank, SafeBank, SmacsAwareAttacker};
+pub use bench_target::BenchTarget;
+pub use callchain::ChainLink;
+pub use hydra_heads::{AdderHead, BuggyAdderHead, HydraStyle};
+pub use token_sale::{OnChainWhitelistSale, SmacsSale};

@@ -1,0 +1,70 @@
+//! Gas calibration for the SMACS verification path.
+//!
+//! The chain simulator charges Yellow-Paper primitives exactly (`ecrecover`
+//! 3000, `SLOAD` 200, `SSTORE` 20000/5000, keccak 30+6/word, …), but the
+//! paper's measured verification costs (Table II) are dominated by
+//! *Solidity-level* overhead its prototype pays on top of those primitives:
+//! copying the token out of calldata into memory, `abi.encodePacked`
+//! assembly of the signing payload, string handling for `argName`/
+//! `argValue`, and the v0.4.24 ABI decoder. A Rust contract does not pay
+//! those costs natively, so the shield charges them explicitly through
+//! [`smacs_chain::CallContext::charge_compute`], with constants calibrated
+//! once against Table II's anchors:
+//!
+//! | anchor                         | paper value | calibration target |
+//! |--------------------------------|-------------|--------------------|
+//! | super-token Verify             | 108 282     | `VERIFY_BASE_STEPS` + primitives ≈ 108k |
+//! | method − super Verify          |   6 826     | `METHOD_EXTRA_STEPS` |
+//! | argument − method Verify       | 215 781     | `ARG_PER_PAYLOAD_BYTE_STEPS × payload_len` |
+//! | one-time Bitmap surcharge      | ~27 500–28 000 | primitives (SSTORE-dominated) + `BITMAP_OVERHEAD_STEPS` |
+//!
+//! The *shapes* the experiments assert (argument > method > super; linear
+//! growth in call-chain depth; bitmap surcharge roughly constant) are
+//! structural — they come from which primitives run, not from these
+//! constants. The constants only pin absolute magnitudes near the paper's.
+
+/// Solidity-overhead steps for extracting one token from calldata, memory
+/// staging, and `abi.encodePacked` reconstruction of the base payload
+/// (`type ‖ expire ‖ index ‖ origin ‖ this`).
+pub const VERIFY_BASE_STEPS: u64 = 104_800;
+
+/// Additional steps for method tokens: `msg.sig` extraction and its
+/// concatenation into the payload.
+pub const METHOD_EXTRA_STEPS: u64 = 6_600;
+
+/// Per-byte steps for argument tokens: the paper's prototype processes
+/// `argName`/`argValue` as Solidity strings and re-hashes the full
+/// `msg.data`, which its Table II prices at ≈216k gas for its benchmark
+/// method; normalized per payload byte.
+pub const ARG_PER_PAYLOAD_BYTE_STEPS: u64 = 3_170;
+
+/// Steps for parsing one entry of a multi-token array (§IV-D). Every frame
+/// on an n-deep chain scans the full n-entry array, so the transaction pays
+/// ≈ `n² × PARSE_PER_ENTRY_STEPS`; calibrated against Table III's Parse
+/// column (≈17k at n = 2).
+pub const PARSE_PER_ENTRY_STEPS: u64 = 4_100;
+
+/// Bitmap bookkeeping steps beyond raw storage ops (branching, pointer
+/// arithmetic, bit masking in Solidity).
+pub const BITMAP_OVERHEAD_STEPS: u64 = 6_900;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_recovers_table2_verify_ordering() {
+        // With the chain primitives added (ecrecover 3000 + sload 200 +
+        // keccak ≈ 50), the calibrated constants must keep the paper's
+        // strict ordering and rough magnitudes.
+        let primitives = 3_000 + 200 + 50;
+        let super_v = VERIFY_BASE_STEPS + primitives;
+        let method_v = super_v + METHOD_EXTRA_STEPS;
+        // The paper's benchmark method carries a ~68-byte payload.
+        let argument_v = method_v + ARG_PER_PAYLOAD_BYTE_STEPS * 68;
+        assert!(super_v < method_v && method_v < argument_v);
+        assert!((100_000..120_000).contains(&super_v), "{super_v}");
+        assert!((105_000..125_000).contains(&method_v), "{method_v}");
+        assert!((300_000..360_000).contains(&argument_v), "{argument_v}");
+    }
+}

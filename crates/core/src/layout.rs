@@ -1,0 +1,142 @@
+//! Storage layout for the SMACS metadata a shielded contract keeps.
+//!
+//! The shield reserves slots derived from keccak-hashed labels (the same
+//! collision-avoidance idiom Solidity uses for mappings), so SMACS metadata
+//! can never collide with the wrapped contract's own slots:
+//!
+//! - `smacs.ts`           — the TS verification address (the 20-byte address
+//!   form of `pk_TS`; `ecrecover`-based verification compares against it);
+//! - `smacs.bitmap.meta`  — packed window state: `start` (u128) ‖
+//!   `start_ptr` (u64) ‖ `n_bits` (u64);
+//! - `smacs.bitmap.epoch` — reset epoch (bumping it logically zeroes every
+//!   word without O(n) clears);
+//! - `smacs.bitmap.word`  — base for per-word slots, keyed by (epoch, index).
+
+use smacs_crypto::keccak256_concat;
+use smacs_primitives::{H256, U256};
+
+/// Slot holding the TS address (`pk_TS`).
+pub fn ts_address_slot() -> H256 {
+    smacs_crypto::keccak256(b"smacs.ts")
+}
+
+/// Slot holding the packed bitmap window state.
+pub fn bitmap_meta_slot() -> H256 {
+    smacs_crypto::keccak256(b"smacs.bitmap.meta")
+}
+
+/// Slot holding the bitmap reset epoch.
+pub fn bitmap_epoch_slot() -> H256 {
+    smacs_crypto::keccak256(b"smacs.bitmap.epoch")
+}
+
+/// Slot for bitmap word `word_index` under reset epoch `epoch`.
+pub fn bitmap_word_slot(epoch: u64, word_index: u64) -> H256 {
+    keccak256_concat(&[
+        b"smacs.bitmap.word",
+        &epoch.to_be_bytes(),
+        &word_index.to_be_bytes(),
+    ])
+}
+
+/// Pack the bitmap window state into one storage word.
+pub fn pack_bitmap_meta(start: u128, start_ptr: u64, n_bits: u64) -> H256 {
+    let mut bytes = [0u8; 32];
+    bytes[..16].copy_from_slice(&start.to_be_bytes());
+    bytes[16..24].copy_from_slice(&start_ptr.to_be_bytes());
+    bytes[24..].copy_from_slice(&n_bits.to_be_bytes());
+    H256(bytes)
+}
+
+/// Unpack [`pack_bitmap_meta`].
+pub fn unpack_bitmap_meta(word: H256) -> (u128, u64, u64) {
+    let start = u128::from_be_bytes(word.0[..16].try_into().expect("16 bytes"));
+    let start_ptr = u64::from_be_bytes(word.0[16..24].try_into().expect("8 bytes"));
+    let n_bits = u64::from_be_bytes(word.0[24..].try_into().expect("8 bytes"));
+    (start, start_ptr, n_bits)
+}
+
+/// Store an address in a storage word (right-aligned, like Solidity).
+pub fn address_to_word(addr: smacs_primitives::Address) -> H256 {
+    let mut bytes = [0u8; 32];
+    bytes[12..].copy_from_slice(addr.as_bytes());
+    H256(bytes)
+}
+
+/// Read an address back from a storage word.
+pub fn word_to_address(word: H256) -> smacs_primitives::Address {
+    smacs_primitives::Address::from_slice(&word.0[12..]).expect("20-byte suffix")
+}
+
+/// Number of 256-bit storage words needed for an `n_bits` bitmap.
+pub fn bitmap_word_count(n_bits: u64) -> u64 {
+    n_bits.div_ceil(256)
+}
+
+/// Set bit `bit` in a 256-bit storage word.
+pub fn set_bit(word: H256, bit: u32) -> H256 {
+    H256::from_u256(word.to_u256() | (U256::ONE << bit))
+}
+
+/// Test bit `bit` in a 256-bit storage word.
+pub fn get_bit(word: H256, bit: u32) -> bool {
+    word.to_u256().bit(bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_primitives::Address;
+
+    #[test]
+    fn slots_are_distinct() {
+        let slots = [
+            ts_address_slot(),
+            bitmap_meta_slot(),
+            bitmap_epoch_slot(),
+            bitmap_word_slot(0, 0),
+            bitmap_word_slot(0, 1),
+            bitmap_word_slot(1, 0),
+        ];
+        for (i, a) in slots.iter().enumerate() {
+            for b in &slots[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn meta_pack_round_trip() {
+        let cases = [(0u128, 0u64, 1u64), (u128::MAX, u64::MAX, 126_000), (42, 7, 256)];
+        for (start, ptr, n) in cases {
+            assert_eq!(unpack_bitmap_meta(pack_bitmap_meta(start, ptr, n)), (start, ptr, n));
+        }
+    }
+
+    #[test]
+    fn address_word_round_trip() {
+        let addr = Address::from_low_u64(0xDEADBEEF);
+        assert_eq!(word_to_address(address_to_word(addr)), addr);
+    }
+
+    #[test]
+    fn word_count_rounds_up() {
+        assert_eq!(bitmap_word_count(1), 1);
+        assert_eq!(bitmap_word_count(256), 1);
+        assert_eq!(bitmap_word_count(257), 2);
+        assert_eq!(bitmap_word_count(126_000), 493);
+    }
+
+    #[test]
+    fn bit_ops() {
+        let w = H256::ZERO;
+        assert!(!get_bit(w, 0));
+        let w = set_bit(w, 0);
+        assert!(get_bit(w, 0));
+        let w = set_bit(w, 255);
+        assert!(get_bit(w, 255));
+        assert!(!get_bit(w, 128));
+        // Setting is idempotent.
+        assert_eq!(set_bit(w, 0), w);
+    }
+}

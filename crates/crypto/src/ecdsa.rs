@@ -1,0 +1,347 @@
+//! secp256k1 ECDSA with public-key recovery, Ethereum style.
+//!
+//! Signatures are the 65-byte `(r ‖ s ‖ v)` layout with the recovery id `v`
+//! in the trailing byte (encoded as 27/28 as Ethereum's `ecrecover` expects).
+//! Addresses are the last 20 bytes of `keccak256(uncompressed_pubkey[1..])`.
+
+use k256::ecdsa::{RecoveryId, SigningKey, VerifyingKey};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use smacs_primitives::{Address, H256};
+use std::fmt;
+
+use crate::keccak256;
+
+/// A secp256k1 public key (uncompressed SEC1 form, 64 bytes sans the 0x04
+/// tag).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey(pub [u8; 64]);
+
+impl PublicKey {
+    /// The Ethereum address for this key: the last 20 bytes of
+    /// `keccak256(pubkey)`.
+    pub fn address(&self) -> Address {
+        let hash = keccak256(&self.0);
+        Address::from_slice(&hash.0[12..]).expect("20-byte suffix of a 32-byte hash")
+    }
+
+    fn from_verifying_key(vk: &VerifyingKey) -> Self {
+        let point = vk.to_encoded_point(false);
+        let mut out = [0u8; 64];
+        out.copy_from_slice(&point.as_bytes()[1..]);
+        PublicKey(out)
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", self.address())
+    }
+}
+
+/// A 65-byte recoverable ECDSA signature: `r` (32) ‖ `s` (32) ‖ `v` (1).
+///
+/// This is the `signature` field of the paper's 86-byte token (Fig. 3).
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// The 32-byte `r` component.
+    pub r: [u8; 32],
+    /// The 32-byte `s` component (low-s normalized).
+    pub s: [u8; 32],
+    /// The recovery id, Ethereum-encoded as 27 or 28.
+    pub v: u8,
+}
+
+/// Errors produced when parsing or recovering signatures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SignatureError {
+    /// Wire image was not exactly 65 bytes.
+    BadLength,
+    /// The `v` byte was not 27 or 28.
+    BadRecoveryId,
+    /// The `(r, s)` pair is not a valid curve signature.
+    Malformed,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::BadLength => write!(f, "signature must be exactly 65 bytes"),
+            SignatureError::BadRecoveryId => write!(f, "recovery id must be 27 or 28"),
+            SignatureError::Malformed => write!(f, "malformed (r, s) signature components"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+impl Signature {
+    /// Total wire size: 65 bytes, as in the paper's Fig. 3.
+    pub const SIZE: usize = 65;
+
+    /// Serialize to the 65-byte `(r ‖ s ‖ v)` wire image.
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..32].copy_from_slice(&self.r);
+        out[32..64].copy_from_slice(&self.s);
+        out[64] = self.v;
+        out
+    }
+
+    /// Parse from the 65-byte wire image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SignatureError> {
+        if bytes.len() != Self::SIZE {
+            return Err(SignatureError::BadLength);
+        }
+        let v = bytes[64];
+        if v != 27 && v != 28 {
+            return Err(SignatureError::BadRecoveryId);
+        }
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..64]);
+        Ok(Signature { r, s, v })
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature(r=0x{}, s=0x{}, v={})",
+            hex::encode(&self.r[..4]),
+            hex::encode(&self.s[..4]),
+            self.v
+        )
+    }
+}
+
+/// A secp256k1 keypair. The TS holds one of these as `(pk_TS, sk_TS)`; every
+/// externally owned account holds one for transaction signing.
+#[derive(Clone)]
+pub struct Keypair {
+    signing: SigningKey,
+    public: PublicKey,
+}
+
+impl Keypair {
+    /// Generate a fresh random keypair.
+    pub fn random<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        loop {
+            rng.fill_bytes(&mut bytes);
+            if let Ok(sk) = SigningKey::from_bytes((&bytes).into()) {
+                return Self::from_signing_key(sk);
+            }
+        }
+    }
+
+    /// Deterministic keypair from a seed — for tests and reproducible
+    /// experiments. Not for production key material.
+    pub fn from_seed(seed: u64) -> Self {
+        // Stretch the seed through keccak until it lands in the field.
+        let mut candidate = keccak256(&seed.to_be_bytes()).0;
+        loop {
+            if let Ok(sk) = SigningKey::from_bytes((&candidate).into()) {
+                return Self::from_signing_key(sk);
+            }
+            candidate = keccak256(&candidate).0;
+        }
+    }
+
+    /// Construct from raw 32-byte private scalar.
+    pub fn from_secret_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        SigningKey::from_bytes(bytes.into())
+            .ok()
+            .map(Self::from_signing_key)
+    }
+
+    fn from_signing_key(signing: SigningKey) -> Self {
+        let public = PublicKey::from_verifying_key(signing.verifying_key());
+        Keypair { signing, public }
+    }
+
+    /// The raw 32-byte private scalar — needed by persistence layers.
+    /// Handle with the care private key material deserves.
+    pub fn secret_bytes(&self) -> [u8; 32] {
+        self.signing.to_bytes().into()
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// The Ethereum address controlled by this keypair.
+    pub fn address(&self) -> Address {
+        self.public.address()
+    }
+
+    /// Sign a 32-byte digest, producing a recoverable 65-byte signature.
+    ///
+    /// Deterministic (RFC 6979), like Ethereum clients.
+    pub fn sign_digest(&self, digest: &H256) -> Signature {
+        let (sig, recid) = self
+            .signing
+            .sign_prehash_recoverable(&digest.0)
+            .expect("signing a 32-byte digest cannot fail");
+        let sig = sig.normalize_s().unwrap_or(sig);
+        // Re-derive the recovery id after low-s normalization: flipping s
+        // flips the parity bit.
+        let recid = RecoveryId::trial_recovery_from_prehash(
+            self.signing.verifying_key(),
+            &digest.0,
+            &sig,
+        )
+        .unwrap_or(recid);
+        let bytes = sig.to_bytes();
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Signature {
+            r,
+            s,
+            v: 27 + recid.to_byte(),
+        }
+    }
+
+    /// Sign an arbitrary message by hashing it with keccak256 first.
+    pub fn sign_message(&self, message: &[u8]) -> Signature {
+        self.sign_digest(&keccak256(message))
+    }
+}
+
+impl fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Keypair({})", self.address())
+    }
+}
+
+/// `ecrecover`: recover the signer's address from a digest and a recoverable
+/// signature. Returns `None` for invalid signatures — the caller treats that
+/// as a failed verification, exactly like Solidity's `ecrecover` returning
+/// the zero address.
+pub fn recover_address(digest: &H256, signature: &Signature) -> Option<Address> {
+    let recid = RecoveryId::from_byte(signature.v.checked_sub(27)?)?;
+    let mut rs = [0u8; 64];
+    rs[..32].copy_from_slice(&signature.r);
+    rs[32..].copy_from_slice(&signature.s);
+    let sig = k256::ecdsa::Signature::from_slice(&rs).ok()?;
+    let vk = VerifyingKey::recover_from_prehash(&digest.0, &sig, recid).ok()?;
+    Some(PublicKey::from_verifying_key(&vk).address())
+}
+
+/// Verify that `signature` over `digest` was produced by the holder of
+/// `expected` — the contract-side `SigVerify_pk(·)` of Alg. 1.
+pub fn verify_with_address(digest: &H256, signature: &Signature, expected: Address) -> bool {
+    recover_address(digest, signature) == Some(expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sign_and_recover() {
+        let kp = Keypair::from_seed(1);
+        let digest = keccak256(b"message");
+        let sig = kp.sign_digest(&digest);
+        assert_eq!(recover_address(&digest, &sig), Some(kp.address()));
+        assert!(verify_with_address(&digest, &sig, kp.address()));
+    }
+
+    #[test]
+    fn wrong_digest_recovers_different_address() {
+        let kp = Keypair::from_seed(2);
+        let sig = kp.sign_message(b"original");
+        let tampered = keccak256(b"tampered");
+        assert_ne!(recover_address(&tampered, &sig), Some(kp.address()));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = Keypair::from_seed(3);
+        let digest = keccak256(b"msg");
+        let mut sig = kp.sign_digest(&digest);
+        sig.r[0] ^= 0x01;
+        assert_ne!(recover_address(&digest, &sig), Some(kp.address()));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let kp = Keypair::from_seed(4);
+        let sig = kp.sign_message(b"wire");
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), Signature::SIZE);
+        assert_eq!(Signature::from_bytes(&bytes), Ok(sig));
+    }
+
+    #[test]
+    fn wire_rejects_bad_input() {
+        assert_eq!(Signature::from_bytes(&[0u8; 64]), Err(SignatureError::BadLength));
+        let mut bytes = [0u8; 65];
+        bytes[64] = 5;
+        assert_eq!(Signature::from_bytes(&bytes), Err(SignatureError::BadRecoveryId));
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(Keypair::from_seed(9).address(), Keypair::from_seed(9).address());
+        assert_ne!(Keypair::from_seed(9).address(), Keypair::from_seed(10).address());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = Keypair::from_seed(11);
+        let d = keccak256(b"rfc6979");
+        assert_eq!(kp.sign_digest(&d), kp.sign_digest(&d));
+    }
+
+    #[test]
+    fn random_keypairs_differ() {
+        let mut rng = rand::thread_rng();
+        let a = Keypair::random(&mut rng);
+        let b = Keypair::random(&mut rng);
+        assert_ne!(a.address(), b.address());
+    }
+
+    #[test]
+    fn known_address_vector() {
+        // Private key 0x...01 corresponds to a well-known address:
+        // 0x7e5f4552091a69125d5dfcb7b8c2659029395bdf
+        let mut sk = [0u8; 32];
+        sk[31] = 1;
+        let kp = Keypair::from_secret_bytes(&sk).unwrap();
+        assert_eq!(
+            kp.address().to_hex(),
+            "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+        );
+    }
+
+    #[test]
+    fn zero_secret_rejected() {
+        assert!(Keypair::from_secret_bytes(&[0u8; 32]).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_sign_recover(seed in 1u64..1_000_000, msg in prop::collection::vec(any::<u8>(), 0..128)) {
+            let kp = Keypair::from_seed(seed);
+            let digest = keccak256(&msg);
+            let sig = kp.sign_digest(&digest);
+            prop_assert_eq!(recover_address(&digest, &sig), Some(kp.address()));
+        }
+
+        #[test]
+        fn prop_signature_binds_message(seed in 1u64..1_000_000, a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+            prop_assume!(a != b);
+            let kp = Keypair::from_seed(seed);
+            let sig = kp.sign_message(&a);
+            prop_assert!(!verify_with_address(&keccak256(&b), &sig, kp.address()));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! keccak256 — Ethereum's ubiquitous hash function.
+
+use smacs_primitives::H256;
+use tiny_keccak::{Hasher, Keccak};
+
+/// Hash `data` with keccak256 (the original Keccak, not NIST SHA-3).
+pub fn keccak256(data: &[u8]) -> H256 {
+    let mut hasher = Keccak::v256();
+    hasher.update(data);
+    let mut out = [0u8; 32];
+    hasher.finalize(&mut out);
+    H256(out)
+}
+
+/// Hash the concatenation of several byte slices without materializing the
+/// concatenated buffer (the `abi.encodePacked` + `keccak256` idiom Alg. 1's
+/// payload reconstruction uses).
+pub fn keccak256_concat(parts: &[&[u8]]) -> H256 {
+    let mut hasher = Keccak::v256();
+    for part in parts {
+        hasher.update(part);
+    }
+    let mut out = [0u8; 32];
+    hasher.finalize(&mut out);
+    H256(out)
+}
+
+/// An incremental keccak256 hasher for streaming use.
+pub struct Keccak256 {
+    inner: Keccak,
+}
+
+impl Keccak256 {
+    /// Start a new hash computation.
+    pub fn new() -> Self {
+        Keccak256 {
+            inner: Keccak::v256(),
+        }
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(self) -> H256 {
+        let mut out = [0u8; 32];
+        self.inner.finalize(&mut out);
+        H256(out)
+    }
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Well-known keccak256 test vectors.
+    #[test]
+    fn empty_input_vector() {
+        assert_eq!(
+            keccak256(b"").to_hex(),
+            "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            keccak256(b"abc").to_hex(),
+            "0x4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn solidity_selector_vector() {
+        // The canonical ERC-20 transfer selector: keccak("transfer(address,uint256)")[..4] = a9059cbb.
+        let h = keccak256(b"transfer(address,uint256)");
+        assert_eq!(&h.0[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn concat_matches_plain() {
+        let joined = keccak256(b"hello world");
+        let parts = keccak256_concat(&[b"hello", b" ", b"world"]);
+        assert_eq!(joined, parts);
+    }
+
+    #[test]
+    fn streaming_matches_plain() {
+        let mut h = Keccak256::new();
+        h.update(b"str");
+        h.update(b"eam");
+        assert_eq!(h.finalize(), keccak256(b"stream"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Ethereum-compatible cryptography for SMACS.
+//!
+//! The paper (§VI) uses "the Ethereum's ECDSA signature scheme as the default
+//! one, as Ethereum provides a native and optimized support for it". This
+//! crate provides exactly that stack:
+//!
+//! - [`keccak256`] — the hash Ethereum uses everywhere (addresses, method
+//!   selectors, transaction ids, signing digests);
+//! - [`Keypair`] — a secp256k1 private/public key pair with the standard
+//!   Ethereum address derivation (last 20 bytes of `keccak256(pubkey)`);
+//! - [`Signature`] — the 65-byte `(r ‖ s ‖ v)` recoverable signature layout
+//!   the paper's 86-byte token embeds (Fig. 3);
+//! - [`recover_address`] — the `ecrecover` primitive contracts use for
+//!   signature verification (Alg. 1's `SigVerify`).
+
+pub mod ecdsa;
+pub mod keccak;
+
+pub use ecdsa::{recover_address, Keypair, PublicKey, Signature, SignatureError};
+pub use keccak::{keccak256, keccak256_concat, Keccak256};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_sign_recover() {
+        let kp = Keypair::from_seed(7);
+        let digest = keccak256(b"smacs end to end");
+        let sig = kp.sign_digest(&digest);
+        assert_eq!(recover_address(&digest, &sig), Some(kp.address()));
+    }
+}

@@ -1,0 +1,233 @@
+//! The abstract syntax tree for the Solidity subset.
+
+use std::fmt;
+
+/// Method visibility (§II-B of the paper enumerates all four).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Visibility {
+    /// Callable from other contracts and via transactions only.
+    External,
+    /// Callable internally or via messages.
+    Public,
+    /// Callable from this contract and derived contracts.
+    Internal,
+    /// Callable from this contract only.
+    Private,
+}
+
+impl Visibility {
+    /// Whether the method is part of the contract interface — the ones the
+    /// SMACS transformation must guard.
+    pub fn is_externally_callable(self) -> bool {
+        matches!(self, Visibility::External | Visibility::Public)
+    }
+
+    /// The Solidity keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Visibility::External => "external",
+            Visibility::Public => "public",
+            Visibility::Internal => "internal",
+            Visibility::Private => "private",
+        }
+    }
+}
+
+impl fmt::Display for Visibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A type name (kept as written: `uint`, `address`, `mapping(address=>uint)`,
+/// …).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeName {
+    /// An elementary or user-defined type, by name.
+    Elementary(String),
+    /// `mapping(keyType => valueType)`.
+    Mapping(Box<TypeName>, Box<TypeName>),
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeName::Elementary(name) => f.write_str(name),
+            TypeName::Mapping(k, v) => write!(f, "mapping({k}=>{v})"),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String),
+    /// Number literal (source text).
+    Number(String),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Member access `base.member`.
+    Member(Box<Expr>, String),
+    /// Index `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Call `callee(args…)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Unary `!x` or `-x`.
+    Unary(&'static str, Box<Expr>),
+    /// Binary `a op b`.
+    Binary(&'static str, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: a bare identifier.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Convenience: `callee(args…)` with an identifier callee.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(Box::new(Expr::ident(name)), args)
+    }
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// Local declaration `type name (= value);`.
+    VarDecl {
+        /// Declared type.
+        ty: TypeName,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        value: Option<Expr>,
+    },
+    /// Assignment `target op value;` where op ∈ {=, +=, -=}.
+    Assign {
+        /// Assignment target (identifier, index, or member).
+        target: Expr,
+        /// `=`, `+=`, or `-=`.
+        op: &'static str,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Bare expression statement (usually a call).
+    Expr(Expr),
+    /// `if (cond) { … } else { … }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Optional else-branch.
+        else_branch: Option<Vec<Stmt>>,
+    },
+    /// `while (cond) { … }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` / `return expr;`.
+    Return(Option<Expr>),
+    /// `throw;` (Solidity v0.4).
+    Throw,
+}
+
+/// A function parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: TypeName,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Function name; the contract-name constructor convention of Solidity
+    /// v0.4 (`function Attacker(...)`) is preserved verbatim.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Visibility (defaults to public, as Solidity v0.4 did).
+    pub visibility: Visibility,
+    /// `payable` marker.
+    pub payable: bool,
+    /// Optional single return type (subset: at most one).
+    pub returns: Option<TypeName>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// True for the anonymous fallback `function() payable { … }`.
+    pub is_fallback: bool,
+}
+
+/// A state-variable declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StateVar {
+    /// Declared type.
+    pub ty: TypeName,
+    /// Variable name.
+    pub name: String,
+    /// Optional initializer.
+    pub value: Option<Expr>,
+}
+
+/// A contract definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ContractDef {
+    /// Contract name.
+    pub name: String,
+    /// State variables in order.
+    pub state_vars: Vec<StateVar>,
+    /// Functions in order.
+    pub functions: Vec<Function>,
+}
+
+impl ContractDef {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A parsed source file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceUnit {
+    /// Contracts in order of appearance.
+    pub contracts: Vec<ContractDef>,
+}
+
+impl SourceUnit {
+    /// Find a contract by name.
+    pub fn contract(&self, name: &str) -> Option<&ContractDef> {
+        self.contracts.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_classification() {
+        assert!(Visibility::External.is_externally_callable());
+        assert!(Visibility::Public.is_externally_callable());
+        assert!(!Visibility::Internal.is_externally_callable());
+        assert!(!Visibility::Private.is_externally_callable());
+    }
+
+    #[test]
+    fn type_display() {
+        let mapping = TypeName::Mapping(
+            Box::new(TypeName::Elementary("address".into())),
+            Box::new(TypeName::Elementary("uint".into())),
+        );
+        assert_eq!(mapping.to_string(), "mapping(address=>uint)");
+    }
+}

@@ -1,0 +1,674 @@
+//! An interpreter for the Solidity subset: contracts written in
+//! Solidity-lite source run directly on the chain simulator.
+//!
+//! [`InterpretedContract`] implements [`smacs_chain::Contract`], so an
+//! interpreted contract deploys, dispatches by real 4-byte selectors,
+//! reads/writes real (gas-charged) storage, makes real message calls —
+//! including the `addr.call.value(x)()` low-level pattern the Fig. 7
+//! re-entrancy attack rides on — and can be wrapped in the SMACS shield
+//! like any native contract. This also lets a Hydra head be *literally*
+//! written in a different language (§V-A).
+//!
+//! Storage layout: state variable `i` (declaration order) lives in slot
+//! `i`; mapping entries at `keccak256(key ‖ slot)`, as Solidity lays them
+//! out.
+
+use smacs_chain::abi::{self, AbiType, AbiValue, Selector};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{Address, H256, U256};
+use std::collections::HashMap;
+
+use crate::ast::{ContractDef, Expr, Function, Stmt, TypeName};
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Any `uint*` (EVM-style 256-bit wrapping arithmetic).
+    Uint(U256),
+    /// `bool`.
+    Bool(bool),
+    /// `address`.
+    Address(Address),
+    /// `string`.
+    Str(String),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Uint(_) => "uint256",
+            Value::Bool(_) => "bool",
+            Value::Address(_) => "address",
+            Value::Str(_) => "string",
+        }
+    }
+
+    fn as_uint(&self) -> Result<U256, VmError> {
+        match self {
+            Value::Uint(v) => Ok(*v),
+            other => Err(VmError::Revert(format!(
+                "interp: expected uint, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, VmError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(VmError::Revert(format!(
+                "interp: expected bool, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_address(&self) -> Result<Address, VmError> {
+        match self {
+            Value::Address(a) => Ok(*a),
+            other => Err(VmError::Revert(format!(
+                "interp: expected address, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn to_abi(&self) -> AbiValue {
+        match self {
+            Value::Uint(v) => AbiValue::Uint(*v),
+            Value::Bool(b) => AbiValue::Bool(*b),
+            Value::Address(a) => AbiValue::Address(*a),
+            Value::Str(s) => AbiValue::String(s.clone()),
+        }
+    }
+
+    fn from_abi(value: &AbiValue) -> Value {
+        match value {
+            AbiValue::Uint(v) => Value::Uint(*v),
+            AbiValue::Bool(b) => Value::Bool(*b),
+            AbiValue::Address(a) => Value::Address(*a),
+            AbiValue::String(s) => Value::Str(s.clone()),
+            AbiValue::Bytes(b) => Value::Str(String::from_utf8_lossy(b).into_owned()),
+        }
+    }
+
+    /// Default value for a declared type.
+    fn default_for(ty: &TypeName) -> Value {
+        match canonical_type(ty).as_str() {
+            "bool" => Value::Bool(false),
+            "address" => Value::Address(Address::ZERO),
+            "string" => Value::Str(String::new()),
+            _ => Value::Uint(U256::ZERO),
+        }
+    }
+
+    fn to_word(&self) -> H256 {
+        match self {
+            Value::Uint(v) => H256::from_u256(*v),
+            Value::Bool(b) => H256::from_u256(if *b { U256::ONE } else { U256::ZERO }),
+            Value::Address(a) => {
+                let mut bytes = [0u8; 32];
+                bytes[12..].copy_from_slice(a.as_bytes());
+                H256(bytes)
+            }
+            Value::Str(_) => H256::ZERO, // strings not storable in the subset
+        }
+    }
+
+    fn from_word(word: H256, ty: &TypeName) -> Value {
+        match canonical_type(ty).as_str() {
+            "bool" => Value::Bool(!word.is_zero()),
+            "address" => Value::Address(
+                Address::from_slice(&word.0[12..]).expect("20-byte suffix"),
+            ),
+            _ => Value::Uint(word.to_u256()),
+        }
+    }
+}
+
+/// Canonical Solidity type name (`uint` → `uint256`) for signature
+/// construction.
+pub fn canonical_type(ty: &TypeName) -> String {
+    match ty {
+        TypeName::Elementary(name) => match name.as_str() {
+            "uint" => "uint256".to_string(),
+            "int" => "int256".to_string(),
+            other => other.to_string(),
+        },
+        TypeName::Mapping(..) => "mapping".to_string(),
+    }
+}
+
+/// The canonical selector of a function definition.
+pub fn function_selector(function: &Function) -> Selector {
+    let params: Vec<String> = function.params.iter().map(|p| canonical_type(&p.ty)).collect();
+    abi::selector(&format!("{}({})", function.name, params.join(",")))
+}
+
+fn abi_type_for(ty: &TypeName) -> AbiType {
+    match canonical_type(ty).as_str() {
+        "bool" => AbiType::Bool,
+        "address" => AbiType::Address,
+        "string" => AbiType::String,
+        "bytes" => AbiType::Bytes,
+        _ => AbiType::Uint,
+    }
+}
+
+enum Flow {
+    Normal,
+    Return(Option<Value>),
+}
+
+/// A deployed, interpreted Solidity-lite contract.
+pub struct InterpretedContract {
+    def: ContractDef,
+    ctor_args: Vec<Value>,
+    leaked_name: &'static str,
+    /// state variable name → (slot, declared type)
+    layout: HashMap<String, (u64, TypeName)>,
+}
+
+impl InterpretedContract {
+    /// Interpret `def`, with constructor arguments for the v0.4-style
+    /// constructor (the function named after the contract), if any.
+    pub fn new(def: ContractDef, ctor_args: Vec<Value>) -> Self {
+        let layout = def
+            .state_vars
+            .iter()
+            .enumerate()
+            .map(|(i, var)| (var.name.clone(), (i as u64, var.ty.clone())))
+            .collect();
+        let leaked_name: &'static str = Box::leak(def.name.clone().into_boxed_str());
+        InterpretedContract {
+            def,
+            ctor_args,
+            leaked_name,
+            layout,
+        }
+    }
+
+    /// Parse `src` and interpret the contract named `name`.
+    pub fn from_source(src: &str, name: &str, ctor_args: Vec<Value>) -> Result<Self, String> {
+        let unit = crate::parser::parse(src).map_err(|e| e.to_string())?;
+        let def = unit
+            .contract(name)
+            .ok_or_else(|| format!("no contract {name} in source"))?
+            .clone();
+        Ok(Self::new(def, ctor_args))
+    }
+
+    fn dispatch_target(&self, selector: Selector) -> Option<&Function> {
+        self.def
+            .functions
+            .iter()
+            .filter(|f| !f.is_fallback && f.name != self.def.name)
+            .find(|f| function_selector(f) == selector)
+    }
+
+    fn run_function(
+        &self,
+        ctx: &mut CallContext<'_, '_>,
+        function: &Function,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, VmError> {
+        if args.len() != function.params.len() {
+            return Err(VmError::Revert(format!(
+                "interp: {} expects {} args, got {}",
+                function.name,
+                function.params.len(),
+                args.len()
+            )));
+        }
+        let mut env = Env {
+            contract: self,
+            locals: HashMap::new(),
+        };
+        for (param, value) in function.params.iter().zip(args) {
+            env.locals.insert(param.name.clone(), value);
+        }
+        match env.exec_block(ctx, &function.body)? {
+            Flow::Return(value) => Ok(value),
+            Flow::Normal => Ok(None),
+        }
+    }
+}
+
+impl Contract for InterpretedContract {
+    fn name(&self) -> &'static str {
+        self.leaked_name
+    }
+
+    fn code_len(&self) -> usize {
+        // Interpreted code images scale with the AST's printed size.
+        crate::printer::print_source(&crate::ast::SourceUnit {
+            contracts: vec![self.def.clone()],
+        })
+        .len()
+    }
+
+    fn constructor(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        // Initialize declared state variables.
+        for var in &self.def.state_vars {
+            if let Some(init) = &var.value {
+                let mut env = Env {
+                    contract: self,
+                    locals: HashMap::new(),
+                };
+                let value = env.eval(ctx, init)?;
+                let (slot, _) = self.layout[&var.name];
+                ctx.sstore(H256::from_u256(U256::from_u64(slot)), value.to_word())?;
+            }
+        }
+        // Run the v0.4-style constructor, if present.
+        if let Some(ctor) = self.def.function(&self.def.name) {
+            self.run_function(ctx, ctor, self.ctor_args.clone())?;
+        }
+        Ok(())
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        let selector = ctx.msg_sig().expect("execute implies selector");
+        let Some(function) = self.dispatch_target(selector) else {
+            return Err(VmError::Revert(format!(
+                "interp: no method with selector {selector}"
+            )));
+        };
+        let types: Vec<AbiType> = function.params.iter().map(|p| abi_type_for(&p.ty)).collect();
+        let args = ctx
+            .decode_args(&types)?
+            .iter()
+            .map(Value::from_abi)
+            .collect();
+        let function = function.clone();
+        match self.run_function(ctx, &function, args)? {
+            Some(value) => Ok(value.to_word().0.to_vec()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn fallback(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
+        let fallback = self.def.functions.iter().find(|f| f.is_fallback).cloned();
+        if let Some(function) = fallback {
+            self.run_function(ctx, &function, Vec::new())?;
+        }
+        Ok(())
+    }
+}
+
+struct Env<'c> {
+    contract: &'c InterpretedContract,
+    locals: HashMap<String, Value>,
+}
+
+impl<'c> Env<'c> {
+    fn exec_block(&mut self, ctx: &mut CallContext<'_, '_>, body: &[Stmt]) -> Result<Flow, VmError> {
+        for stmt in body {
+            match self.exec_stmt(ctx, stmt)? {
+                Flow::Normal => {}
+                flow @ Flow::Return(_) => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, ctx: &mut CallContext<'_, '_>, stmt: &Stmt) -> Result<Flow, VmError> {
+        ctx.charge_compute(3)?; // per-statement interpreter overhead
+        match stmt {
+            Stmt::VarDecl { ty, name, value } => {
+                let initial = match value {
+                    Some(expr) => self.eval(ctx, expr)?,
+                    None => Value::default_for(ty),
+                };
+                self.locals.insert(name.clone(), initial);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, op, value } => {
+                let rhs = self.eval(ctx, value)?;
+                let new = match *op {
+                    "=" => rhs,
+                    "+=" => {
+                        let current = self.read_target(ctx, target)?;
+                        Value::Uint(current.as_uint()?.wrapping_add(rhs.as_uint()?))
+                    }
+                    "-=" => {
+                        let current = self.read_target(ctx, target)?;
+                        Value::Uint(current.as_uint()?.wrapping_sub(rhs.as_uint()?))
+                    }
+                    other => return Err(VmError::Revert(format!("interp: bad op {other}"))),
+                };
+                self.write_target(ctx, target, new)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(expr) => {
+                self.eval(ctx, expr)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(ctx, cond)?.as_bool()? {
+                    self.exec_block(ctx, then_branch)
+                } else if let Some(else_branch) = else_branch {
+                    self.exec_block(ctx, else_branch)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(ctx, cond)?.as_bool()? {
+                    match self.exec_block(ctx, body)? {
+                        Flow::Normal => {}
+                        flow @ Flow::Return(_) => return Ok(flow),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(value) => {
+                let value = match value {
+                    Some(expr) => Some(self.eval(ctx, expr)?),
+                    None => None,
+                };
+                Ok(Flow::Return(value))
+            }
+            Stmt::Throw => Err(VmError::Revert("interp: throw".into())),
+        }
+    }
+
+    fn state_slot(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        name: &str,
+        key: Option<&Value>,
+    ) -> Result<(H256, TypeName), VmError> {
+        let (slot, ty) = self
+            .contract
+            .layout
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VmError::Revert(format!("interp: unknown state var {name}")))?;
+        match (&ty, key) {
+            (TypeName::Mapping(_, value_ty), Some(key)) => {
+                let key_word = key.to_word();
+                let slot = ctx.mapping_slot(slot, key_word.as_bytes())?;
+                Ok((slot, (**value_ty).clone()))
+            }
+            (_, None) => Ok((H256::from_u256(U256::from_u64(slot)), ty)),
+            (_, Some(_)) => Err(VmError::Revert(format!(
+                "interp: {name} is not a mapping"
+            ))),
+        }
+    }
+
+    fn read_target(&mut self, ctx: &mut CallContext<'_, '_>, target: &Expr) -> Result<Value, VmError> {
+        self.eval(ctx, target)
+    }
+
+    fn write_target(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        target: &Expr,
+        value: Value,
+    ) -> Result<(), VmError> {
+        match target {
+            Expr::Ident(name) => {
+                if self.locals.contains_key(name) {
+                    self.locals.insert(name.clone(), value);
+                    Ok(())
+                } else {
+                    let (slot, _) = self.state_slot(ctx, name, None)?;
+                    ctx.sstore(slot, value.to_word())
+                }
+            }
+            Expr::Index(base, key) => {
+                let Expr::Ident(name) = base.as_ref() else {
+                    return Err(VmError::Revert("interp: bad index target".into()));
+                };
+                let key = self.eval(ctx, key)?;
+                let (slot, _) = self.state_slot(ctx, name, Some(&key))?;
+                ctx.sstore(slot, value.to_word())
+            }
+            other => Err(VmError::Revert(format!(
+                "interp: unsupported assignment target {other:?}"
+            ))),
+        }
+    }
+
+    fn eval(&mut self, ctx: &mut CallContext<'_, '_>, expr: &Expr) -> Result<Value, VmError> {
+        ctx.charge_compute(1)?; // per-node interpreter overhead
+        match expr {
+            Expr::Number(text) => {
+                let value = if let Some(hex) = text.strip_prefix("0x") {
+                    U256::from_hex_str(hex)
+                } else {
+                    U256::from_dec_str(text)
+                }
+                .ok_or_else(|| VmError::Revert(format!("interp: bad number {text}")))?;
+                Ok(Value::Uint(value))
+            }
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Ident(name) => {
+                if let Some(value) = self.locals.get(name) {
+                    return Ok(value.clone());
+                }
+                if self.contract.layout.contains_key(name) {
+                    let (slot, ty) = self.state_slot(ctx, name, None)?;
+                    let word = ctx.sload(slot)?;
+                    return Ok(Value::from_word(word, &ty));
+                }
+                Err(VmError::Revert(format!("interp: unknown identifier {name}")))
+            }
+            Expr::Member(base, member) => self.eval_member(ctx, base, member),
+            Expr::Index(base, key) => {
+                let Expr::Ident(name) = base.as_ref() else {
+                    return Err(VmError::Revert("interp: bad index base".into()));
+                };
+                let key = self.eval(ctx, key)?;
+                let (slot, ty) = self.state_slot(ctx, name, Some(&key))?;
+                let word = ctx.sload(slot)?;
+                Ok(Value::from_word(word, &ty))
+            }
+            Expr::Unary(op, inner) => {
+                let value = self.eval(ctx, inner)?;
+                match *op {
+                    "!" => Ok(Value::Bool(!value.as_bool()?)),
+                    "-" => Ok(Value::Uint(U256::ZERO.wrapping_sub(value.as_uint()?))),
+                    other => Err(VmError::Revert(format!("interp: bad unary {other}"))),
+                }
+            }
+            Expr::Binary(op, left, right) => {
+                // Short-circuit logic first.
+                if *op == "&&" {
+                    return Ok(Value::Bool(
+                        self.eval(ctx, left)?.as_bool()? && self.eval(ctx, right)?.as_bool()?,
+                    ));
+                }
+                if *op == "||" {
+                    return Ok(Value::Bool(
+                        self.eval(ctx, left)?.as_bool()? || self.eval(ctx, right)?.as_bool()?,
+                    ));
+                }
+                let lhs = self.eval(ctx, left)?;
+                let rhs = self.eval(ctx, right)?;
+                match *op {
+                    "==" => Ok(Value::Bool(lhs == rhs)),
+                    "!=" => Ok(Value::Bool(lhs != rhs)),
+                    "<" => Ok(Value::Bool(lhs.as_uint()? < rhs.as_uint()?)),
+                    "<=" => Ok(Value::Bool(lhs.as_uint()? <= rhs.as_uint()?)),
+                    ">" => Ok(Value::Bool(lhs.as_uint()? > rhs.as_uint()?)),
+                    ">=" => Ok(Value::Bool(lhs.as_uint()? >= rhs.as_uint()?)),
+                    "+" => Ok(Value::Uint(lhs.as_uint()?.wrapping_add(rhs.as_uint()?))),
+                    "-" => Ok(Value::Uint(lhs.as_uint()?.wrapping_sub(rhs.as_uint()?))),
+                    "*" => Ok(Value::Uint(lhs.as_uint()?.wrapping_mul(rhs.as_uint()?))),
+                    "/" => Ok(Value::Uint(lhs.as_uint()?.div_evm(rhs.as_uint()?))),
+                    "%" => Ok(Value::Uint(lhs.as_uint()?.rem_evm(rhs.as_uint()?))),
+                    other => Err(VmError::Revert(format!("interp: bad binary {other}"))),
+                }
+            }
+            Expr::Call(callee, args) => self.eval_call(ctx, callee, args),
+        }
+    }
+
+    fn eval_member(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        base: &Expr,
+        member: &str,
+    ) -> Result<Value, VmError> {
+        // The Solidity globals (§II-C).
+        if let Expr::Ident(name) = base {
+            match (name.as_str(), member) {
+                ("msg", "sender") => return Ok(Value::Address(ctx.msg_sender())),
+                ("msg", "value") => return Ok(Value::Uint(U256::from_u128(ctx.msg_value()))),
+                ("tx", "origin") => return Ok(Value::Address(ctx.tx_origin())),
+                ("block", "timestamp") => return Ok(Value::Uint(U256::from_u64(ctx.now()))),
+                ("block", "number") => {
+                    return Ok(Value::Uint(U256::from_u64(ctx.block().number)))
+                }
+                _ => {}
+            }
+        }
+        // `addr.balance`.
+        if member == "balance" {
+            let addr = self.eval(ctx, base)?.as_address()?;
+            return Ok(Value::Uint(U256::from_u128(ctx.balance_of(addr)?)));
+        }
+        Err(VmError::Revert(format!("interp: unknown member .{member}")))
+    }
+
+    fn eval_call(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        callee: &Expr,
+        args: &[Expr],
+    ) -> Result<Value, VmError> {
+        // Builtins and internal calls by bare name.
+        if let Expr::Ident(name) = callee {
+            match name.as_str() {
+                "require" | "assert" => {
+                    let cond = self.eval(ctx, &args[0])?.as_bool()?;
+                    return if cond {
+                        Ok(Value::Bool(true))
+                    } else {
+                        Err(VmError::Revert(format!("interp: {name} failed")))
+                    };
+                }
+                _ => {}
+            }
+            // Internal method call.
+            if let Some(function) = self.contract.def.function(name) {
+                let function = function.clone();
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval(ctx, arg)?);
+                }
+                let result = self.contract.run_function(ctx, &function, values)?;
+                return Ok(result.unwrap_or(Value::Bool(true)));
+            }
+        }
+
+        // Low-level value call: `addr.call.value(v)(…)` — the calldata-less
+        // form triggers the recipient's fallback; either form evaluates to
+        // a success bool without propagating the callee's revert, exactly
+        // like Solidity's low-level `.call`.
+        if let Expr::Call(inner_callee, inner_args) = callee {
+            if let Expr::Member(call_base, value_word) = inner_callee.as_ref() {
+                if value_word == "value" {
+                    if let Expr::Member(addr_expr, call_word) = call_base.as_ref() {
+                        if call_word == "call" {
+                            let target = self.eval(ctx, addr_expr)?.as_address()?;
+                            let amount = self.eval(ctx, &inner_args[0])?.as_uint()?;
+                            let wei = amount.to_u128().ok_or_else(|| {
+                                VmError::Revert("interp: transfer amount too large".into())
+                            })?;
+                            return Ok(self.low_level_call(ctx, target, wei, Vec::new()));
+                        }
+                    }
+                }
+            }
+        }
+
+        // `addr.call.value(v).method(args…)` — value call with calldata.
+        if let Expr::Member(value_call, method) = callee {
+            if let Expr::Call(inner_callee, inner_args) = value_call.as_ref() {
+                if let Expr::Member(call_base, value_word) = inner_callee.as_ref() {
+                    if value_word == "value" {
+                        if let Expr::Member(addr_expr, call_word) = call_base.as_ref() {
+                            if call_word == "call" {
+                                let target = self.eval(ctx, addr_expr)?.as_address()?;
+                                let amount = self.eval(ctx, &inner_args[0])?.as_uint()?;
+                                let wei = amount.to_u128().ok_or_else(|| {
+                                    VmError::Revert("interp: transfer amount too large".into())
+                                })?;
+                                let calldata = self.build_external_calldata(ctx, method, args)?;
+                                return Ok(self.low_level_call(ctx, target, wei, calldata));
+                            }
+                        }
+                    }
+                }
+            }
+            // High-level external call: `addr.method(args…)`. Reverts
+            // propagate, the decoded return value (or true) comes back.
+            let base = callee_base_address(callee)?.clone();
+            let target = self.eval(ctx, &base)?.as_address()?;
+            let calldata = self.build_external_calldata(ctx, method, args)?;
+            let ret = ctx.call(target, 0, calldata)?;
+            return Ok(decode_return(&ret));
+        }
+
+        Err(VmError::Revert(format!(
+            "interp: unsupported call shape {callee:?}"
+        )))
+    }
+
+    fn build_external_calldata(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        method: &str,
+        args: &[Expr],
+    ) -> Result<Vec<u8>, VmError> {
+        let mut values = Vec::with_capacity(args.len());
+        for arg in args {
+            values.push(self.eval(ctx, arg)?);
+        }
+        let types: Vec<&str> = values.iter().map(|v| v.type_name()).collect();
+        let signature = format!("{method}({})", types.join(","));
+        let abi_args: Vec<AbiValue> = values.iter().map(|v| v.to_abi()).collect();
+        Ok(abi::encode_call(&signature, &abi_args))
+    }
+
+    fn low_level_call(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        target: Address,
+        wei: u128,
+        calldata: Vec<u8>,
+    ) -> Value {
+        match ctx.call(target, wei, calldata) {
+            Ok(_) => Value::Bool(true),
+            // Low-level calls swallow callee reverts (Solidity semantics);
+            // out-of-gas still ends the transaction via the shared meter.
+            Err(_) => Value::Bool(false),
+        }
+    }
+}
+
+// Helper: for `addr.method(args)`, the callee expression is
+// Member(addr_expr, method); return the address sub-expression.
+fn callee_base_address(callee: &Expr) -> Result<&Expr, VmError> {
+    match callee {
+        Expr::Member(base, _) => Ok(base),
+        other => Err(VmError::Revert(format!("interp: bad call base {other:?}"))),
+    }
+}
+
+fn decode_return(ret: &[u8]) -> Value {
+    if ret.len() == 32 {
+        Value::Uint(U256::from_be_slice(ret).expect("32 bytes"))
+    } else {
+        Value::Bool(true)
+    }
+}

@@ -1,0 +1,315 @@
+//! Tokenizer for the Solidity subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Decimal or hex number literal (kept as source text).
+    Number(String),
+    /// String literal (contents without quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `=>` (mapping arrow)
+    FatArrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::PlusAssign => write!(f, "+="),
+            Token::MinusAssign => write!(f, "-="),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Not => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::FatArrow => write!(f, "=>"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize source text. Line (`//`) and block (`/* */`) comments and
+/// `pragma`/`import` directives are skipped.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Directives consume the rest of the statement.
+                if word == "pragma" || word == "import" {
+                    while i < bytes.len() && bytes[i] != b';' {
+                        i += 1;
+                    }
+                    i += 1; // the semicolon
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Hex literal.
+                if c == '0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Number(src[start..i].to_string()));
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(src[content_start..i].to_string()));
+                i += 1;
+            }
+            '(' => push1(&mut tokens, Token::LParen, &mut i),
+            ')' => push1(&mut tokens, Token::RParen, &mut i),
+            '{' => push1(&mut tokens, Token::LBrace, &mut i),
+            '}' => push1(&mut tokens, Token::RBrace, &mut i),
+            '[' => push1(&mut tokens, Token::LBracket, &mut i),
+            ']' => push1(&mut tokens, Token::RBracket, &mut i),
+            ';' => push1(&mut tokens, Token::Semi, &mut i),
+            ',' => push1(&mut tokens, Token::Comma, &mut i),
+            '.' => push1(&mut tokens, Token::Dot, &mut i),
+            '+' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::PlusAssign, &mut i),
+            '-' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::MinusAssign, &mut i),
+            '=' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::Eq, &mut i),
+            '=' if bytes.get(i + 1) == Some(&b'>') => push2(&mut tokens, Token::FatArrow, &mut i),
+            '=' => push1(&mut tokens, Token::Assign, &mut i),
+            '!' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::Ne, &mut i),
+            '!' => push1(&mut tokens, Token::Not, &mut i),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::Le, &mut i),
+            '<' => push1(&mut tokens, Token::Lt, &mut i),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::Ge, &mut i),
+            '>' => push1(&mut tokens, Token::Gt, &mut i),
+            '+' => push1(&mut tokens, Token::Plus, &mut i),
+            '-' => push1(&mut tokens, Token::Minus, &mut i),
+            '*' => push1(&mut tokens, Token::Star, &mut i),
+            '/' => push1(&mut tokens, Token::Slash, &mut i),
+            '%' => push1(&mut tokens, Token::Percent, &mut i),
+            '&' if bytes.get(i + 1) == Some(&b'&') => push2(&mut tokens, Token::AndAnd, &mut i),
+            '|' if bytes.get(i + 1) == Some(&b'|') => push2(&mut tokens, Token::OrOr, &mut i),
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, token: Token, i: &mut usize) {
+    tokens.push(token);
+    *i += 1;
+}
+
+fn push2(tokens: &mut Vec<Token>, token: Token, i: &mut usize) {
+    tokens.push(token);
+    *i += 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let tokens = tokenize("contract A { uint x = 42; }").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("contract".into()),
+                Token::Ident("A".into()),
+                Token::LBrace,
+                Token::Ident("uint".into()),
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Number("42".into()),
+                Token::Semi,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let src = "pragma solidity ^0.4.24;\nimport \"./B.sol\";\n// line\n/* block */ contract A {}";
+        let tokens = tokenize(src).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("contract".into()),
+                Token::Ident("A".into()),
+                Token::LBrace,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        let tokens = tokenize("a += 1; b == c; d => e; f != g; h <= i;").unwrap();
+        assert!(tokens.contains(&Token::PlusAssign));
+        assert!(tokens.contains(&Token::Eq));
+        assert!(tokens.contains(&Token::FatArrow));
+        assert!(tokens.contains(&Token::Ne));
+        assert!(tokens.contains(&Token::Le));
+    }
+
+    #[test]
+    fn hex_and_string_literals() {
+        let tokens = tokenize("x = 0xdeadBEEF; s = \"hello\";").unwrap();
+        assert!(tokens.contains(&Token::Number("0xdeadBEEF".into())));
+        assert!(tokens.contains(&Token::Str("hello".into())));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("abc $ def").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,634 @@
+//! Recursive-descent parser for the Solidity subset.
+
+use std::fmt;
+
+use crate::ast::{
+    ContractDef, Expr, Function, Param, SourceUnit, StateVar, Stmt, TypeName, Visibility,
+};
+use crate::lexer::{tokenize, LexError, Token};
+
+/// Parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token index of the failure.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            at: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parse source text into a [`SourceUnit`].
+pub fn parse(src: &str) -> Result<SourceUnit, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.source_unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == expected => Ok(()),
+            Some(t) => Err(ParseError {
+                at: self.pos - 1,
+                message: format!("expected {expected}, found {t}"),
+            }),
+            None => Err(ParseError {
+                at: self.pos,
+                message: format!("expected {expected}, found end of input"),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(ref s)) if s == kw => Ok(()),
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("expected keyword {kw}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn take_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- grammar ----
+
+    fn source_unit(&mut self) -> Result<SourceUnit, ParseError> {
+        let mut contracts = Vec::new();
+        while self.peek().is_some() {
+            self.expect_keyword("contract")?;
+            contracts.push(self.contract()?);
+        }
+        Ok(SourceUnit { contracts })
+    }
+
+    fn contract(&mut self) -> Result<ContractDef, ParseError> {
+        let name = self.take_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut state_vars = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(word)) if word == "function" => {
+                    self.pos += 1;
+                    functions.push(self.function()?);
+                }
+                Some(_) => state_vars.push(self.state_var()?),
+                None => return self.err("unterminated contract body"),
+            }
+        }
+        Ok(ContractDef {
+            name,
+            state_vars,
+            functions,
+        })
+    }
+
+    fn state_var(&mut self) -> Result<StateVar, ParseError> {
+        let ty = self.type_name()?;
+        let name = self.take_ident()?;
+        let value = if matches!(self.peek(), Some(Token::Assign)) {
+            self.pos += 1;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Semi)?;
+        Ok(StateVar { ty, name, value })
+    }
+
+    fn type_name(&mut self) -> Result<TypeName, ParseError> {
+        if self.eat_keyword("mapping") {
+            self.expect(&Token::LParen)?;
+            let key = self.type_name()?;
+            self.expect(&Token::FatArrow)?;
+            let value = self.type_name()?;
+            self.expect(&Token::RParen)?;
+            return Ok(TypeName::Mapping(Box::new(key), Box::new(value)));
+        }
+        let name = self.take_ident()?;
+        Ok(TypeName::Elementary(name))
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        // Anonymous fallback: `function() …`.
+        let (name, is_fallback) = if matches!(self.peek(), Some(Token::LParen)) {
+            (String::new(), true)
+        } else {
+            (self.take_ident()?, false)
+        };
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        while !matches!(self.peek(), Some(Token::RParen)) {
+            let ty = self.type_name()?;
+            let pname = self.take_ident()?;
+            params.push(Param { ty, name: pname });
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            }
+        }
+        self.expect(&Token::RParen)?;
+
+        let mut visibility = Visibility::Public; // Solidity v0.4 default
+        let mut payable = false;
+        let mut returns = None;
+        loop {
+            if self.eat_keyword("external") {
+                visibility = Visibility::External;
+            } else if self.eat_keyword("public") {
+                visibility = Visibility::Public;
+            } else if self.eat_keyword("internal") {
+                visibility = Visibility::Internal;
+            } else if self.eat_keyword("private") {
+                visibility = Visibility::Private;
+            } else if self.eat_keyword("payable") {
+                payable = true;
+            } else if self.eat_keyword("view") || self.eat_keyword("pure") || self.eat_keyword("constant") {
+                // Mutability markers are accepted and dropped (the subset
+                // does not track them).
+            } else if self.eat_keyword("returns") {
+                self.expect(&Token::LParen)?;
+                returns = Some(self.type_name()?);
+                // Optional return-variable name.
+                if matches!(self.peek(), Some(Token::Ident(_)))
+                    && matches!(self.peek2(), Some(Token::RParen))
+                {
+                    self.pos += 1;
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                break;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            visibility,
+            payable,
+            returns,
+            body,
+            is_fallback,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(Token::RBrace)) {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.statement()?);
+        }
+        self.pos += 1; // consume RBrace
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_keyword("if") {
+            self.expect(&Token::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Token::RParen)?;
+            let then_branch = self.block()?;
+            let else_branch = if self.eat_keyword("else") {
+                Some(self.block()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.eat_keyword("while") {
+            self.expect(&Token::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Token::RParen)?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_keyword("return") {
+            if matches!(self.peek(), Some(Token::Semi)) {
+                self.pos += 1;
+                return Ok(Stmt::Return(None));
+            }
+            let value = self.expr()?;
+            self.expect(&Token::Semi)?;
+            return Ok(Stmt::Return(Some(value)));
+        }
+        if self.eat_keyword("throw") {
+            self.expect(&Token::Semi)?;
+            return Ok(Stmt::Throw);
+        }
+        // Local declaration: starts with a type keyword followed by an
+        // identifier then `=` or `;`. The subset recognizes the elementary
+        // type names plus `mapping`.
+        if self.looks_like_declaration() {
+            let ty = self.type_name()?;
+            let name = self.take_ident()?;
+            let value = if matches!(self.peek(), Some(Token::Assign)) {
+                self.pos += 1;
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&Token::Semi)?;
+            return Ok(Stmt::VarDecl { ty, name, value });
+        }
+        // Assignment or expression statement.
+        let target = self.expr()?;
+        let stmt = match self.peek() {
+            Some(Token::Assign) => {
+                self.pos += 1;
+                let value = self.expr()?;
+                Stmt::Assign {
+                    target,
+                    op: "=",
+                    value,
+                }
+            }
+            Some(Token::PlusAssign) => {
+                self.pos += 1;
+                let value = self.expr()?;
+                Stmt::Assign {
+                    target,
+                    op: "+=",
+                    value,
+                }
+            }
+            Some(Token::MinusAssign) => {
+                self.pos += 1;
+                let value = self.expr()?;
+                Stmt::Assign {
+                    target,
+                    op: "-=",
+                    value,
+                }
+            }
+            _ => Stmt::Expr(target),
+        };
+        self.expect(&Token::Semi)?;
+        Ok(stmt)
+    }
+
+    fn looks_like_declaration(&self) -> bool {
+        const TYPE_WORDS: &[&str] = &[
+            "uint", "uint8", "uint16", "uint32", "uint64", "uint128", "uint256", "int", "bool",
+            "address", "bytes", "bytes4", "bytes32", "string", "mapping",
+        ];
+        match (self.peek(), self.peek2()) {
+            (Some(Token::Ident(a)), Some(Token::Ident(_))) => TYPE_WORDS.contains(&a.as_str()),
+            (Some(Token::Ident(a)), Some(Token::LParen)) => a == "mapping",
+            _ => false,
+        }
+    }
+
+    // Expression precedence climbing:
+    // or → and → equality → comparison → additive → multiplicative → unary
+    // → postfix (call/index/member) → primary.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Some(Token::OrOr)) {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Expr::Binary("||", Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.equality_expr()?;
+        while matches!(self.peek(), Some(Token::AndAnd)) {
+            self.pos += 1;
+            let right = self.equality_expr()?;
+            left = Expr::Binary("&&", Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.comparison_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => "==",
+                Some(Token::Ne) => "!=",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.comparison_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn comparison_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => "<",
+                Some(Token::Le) => "<=",
+                Some(Token::Gt) => ">",
+                Some(Token::Ge) => ">=",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.additive_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => "+",
+                Some(Token::Minus) => "-",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => "*",
+                Some(Token::Slash) => "/",
+                Some(Token::Percent) => "%",
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.pos += 1;
+                Ok(Expr::Unary("!", Box::new(self.unary_expr()?)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary("-", Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    let member = self.take_ident()?;
+                    expr = Expr::Member(Box::new(expr), member);
+                }
+                Some(Token::LBracket) => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    expr = Expr::Index(Box::new(expr), Box::new(index));
+                }
+                Some(Token::LParen) => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    while !matches!(self.peek(), Some(Token::RParen)) {
+                        args.push(self.expr()?);
+                        if matches!(self.peek(), Some(Token::Comma)) {
+                            self.pos += 1;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    expr = Expr::Call(Box::new(expr), args);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s == "true" => Ok(Expr::Bool(true)),
+            Some(Token::Ident(s)) if s == "false" => Ok(Expr::Bool(false)),
+            Some(Token::Ident(s)) => Ok(Expr::Ident(s)),
+            Some(Token::Number(s)) => Ok(Expr::Number(s)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseError {
+                at: self.pos.saturating_sub(1),
+                message: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_contract() {
+        let unit = parse("contract A { uint x; function f() public { x = 1; } }").unwrap();
+        assert_eq!(unit.contracts.len(), 1);
+        let c = &unit.contracts[0];
+        assert_eq!(c.name, "A");
+        assert_eq!(c.state_vars.len(), 1);
+        assert_eq!(c.functions.len(), 1);
+        assert_eq!(c.functions[0].visibility, Visibility::Public);
+    }
+
+    #[test]
+    fn parses_the_paper_bank() {
+        // Fig. 7, modulo the subset's brace style for if-statements.
+        let src = r#"
+            contract Bank {
+                mapping(address=>uint) balance;
+                function addBalance() public payable {
+                    balance[msg.sender] += msg.value;
+                }
+                function withdraw() public {
+                    uint amount = balance[msg.sender];
+                    if (msg.sender.call.value(amount)() == false) { throw; }
+                    balance[msg.sender] = 0;
+                }
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let bank = unit.contract("Bank").unwrap();
+        assert_eq!(bank.functions.len(), 2);
+        let withdraw = bank.function("withdraw").unwrap();
+        assert_eq!(withdraw.body.len(), 3);
+        assert!(matches!(withdraw.body[1], Stmt::If { .. }));
+        // msg.sender.call.value(amount)() is a call of a call.
+        let Stmt::VarDecl { value: Some(v), .. } = &withdraw.body[0] else {
+            panic!("expected declaration with initializer");
+        };
+        assert!(matches!(v, Expr::Index(_, _)));
+    }
+
+    #[test]
+    fn parses_fallback_and_constructor() {
+        let src = r#"
+            contract Attacker {
+                bool isAttack;
+                address bank;
+                function Attacker(address _bank, bool _isAttack) public {
+                    bank = _bank;
+                    isAttack = _isAttack;
+                }
+                function() payable {
+                    if (isAttack == true) {
+                        isAttack = false;
+                    }
+                }
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let attacker = unit.contract("Attacker").unwrap();
+        assert_eq!(attacker.functions.len(), 2);
+        assert!(!attacker.functions[0].is_fallback);
+        assert!(attacker.functions[1].is_fallback);
+        assert!(attacker.functions[1].payable);
+    }
+
+    #[test]
+    fn visibility_and_modifiers() {
+        let src = r#"
+            contract V {
+                function a() external { }
+                function b() public payable { }
+                function c() internal { }
+                function d() private returns (uint) { return 1; }
+                function e() public view returns (uint x) { return 2; }
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let c = unit.contract("V").unwrap();
+        assert_eq!(c.function("a").unwrap().visibility, Visibility::External);
+        assert!(c.function("b").unwrap().payable);
+        assert_eq!(c.function("c").unwrap().visibility, Visibility::Internal);
+        assert_eq!(c.function("d").unwrap().visibility, Visibility::Private);
+        assert!(c.function("d").unwrap().returns.is_some());
+        assert!(c.function("e").unwrap().returns.is_some());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let unit = parse("contract P { function f() public { uint x = 1 + 2 * 3; } }").unwrap();
+        let f = unit.contracts[0].function("f").unwrap();
+        let Stmt::VarDecl { value: Some(expr), .. } = &f.body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3), not (1 + 2) * 3.
+        let Expr::Binary("+", left, right) = expr else {
+            panic!("expected +, got {expr:?}")
+        };
+        assert!(matches!(**left, Expr::Number(_)));
+        assert!(matches!(**right, Expr::Binary("*", _, _)));
+    }
+
+    #[test]
+    fn while_and_logic() {
+        let src = "contract W { function f() public { while (a < 10 && !done) { a += 1; } } }";
+        let unit = parse(src).unwrap();
+        let f = unit.contracts[0].function("f").unwrap();
+        assert!(matches!(&f.body[0], Stmt::While { cond: Expr::Binary("&&", _, _), .. }));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("contract {").is_err());
+        assert!(parse("contract A { function f() public { x = ; } }").is_err());
+        assert!(parse("notacontract A {}").is_err());
+        assert!(parse("contract A { uint x }").is_err()); // missing semicolon
+    }
+}

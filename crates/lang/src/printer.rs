@@ -1,0 +1,203 @@
+//! Source renderer: AST → Solidity-subset text.
+//!
+//! `parse(print_source(unit))` reproduces `unit` exactly (property-tested
+//! in the crate's transform tests), which is what makes the Fig. 4
+//! transformation a source-to-source tool.
+
+use crate::ast::{ContractDef, Expr, Function, SourceUnit, StateVar, Stmt};
+
+/// Render a full source unit.
+pub fn print_source(unit: &SourceUnit) -> String {
+    let mut out = String::new();
+    for (i, contract) in unit.contracts.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_contract(contract, &mut out);
+    }
+    out
+}
+
+fn print_contract(contract: &ContractDef, out: &mut String) {
+    out.push_str(&format!("contract {} {{\n", contract.name));
+    for var in &contract.state_vars {
+        print_state_var(var, out);
+    }
+    if !contract.state_vars.is_empty() && !contract.functions.is_empty() {
+        out.push('\n');
+    }
+    for (i, function) in contract.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(function, out);
+    }
+    out.push_str("}\n");
+}
+
+fn print_state_var(var: &StateVar, out: &mut String) {
+    out.push_str(&format!("    {} {}", var.ty, var.name));
+    if let Some(value) = &var.value {
+        out.push_str(&format!(" = {}", print_expr(value)));
+    }
+    out.push_str(";\n");
+}
+
+fn print_function(function: &Function, out: &mut String) {
+    let params: Vec<String> = function
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.ty, p.name))
+        .collect();
+    let name = if function.is_fallback {
+        String::new()
+    } else {
+        format!(" {}", function.name)
+    };
+    out.push_str(&format!("    function{}({})", name, params.join(", ")));
+    if !function.is_fallback {
+        out.push_str(&format!(" {}", function.visibility.keyword()));
+    }
+    if function.payable {
+        out.push_str(" payable");
+    }
+    if let Some(ret) = &function.returns {
+        out.push_str(&format!(" returns ({ret})"));
+    }
+    out.push_str(" {\n");
+    for stmt in &function.body {
+        print_stmt(stmt, 2, out);
+    }
+    out.push_str("    }\n");
+}
+
+fn indent(level: usize) -> String {
+    "    ".repeat(level)
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    let pad = indent(level);
+    match stmt {
+        Stmt::VarDecl { ty, name, value } => {
+            out.push_str(&format!("{pad}{ty} {name}"));
+            if let Some(v) = value {
+                out.push_str(&format!(" = {}", print_expr(v)));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, op, value } => {
+            out.push_str(&format!(
+                "{pad}{} {op} {};\n",
+                print_expr(target),
+                print_expr(value)
+            ));
+        }
+        Stmt::Expr(expr) => {
+            out.push_str(&format!("{pad}{};\n", print_expr(expr)));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str(&format!("{pad}if ({}) {{\n", print_expr(cond)));
+            for s in then_branch {
+                print_stmt(s, level + 1, out);
+            }
+            out.push_str(&format!("{pad}}}"));
+            if let Some(else_branch) = else_branch {
+                out.push_str(" else {\n");
+                for s in else_branch {
+                    print_stmt(s, level + 1, out);
+                }
+                out.push_str(&format!("{pad}}}"));
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            out.push_str(&format!("{pad}while ({}) {{\n", print_expr(cond)));
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Stmt::Return(None) => out.push_str(&format!("{pad}return;\n")),
+        Stmt::Return(Some(expr)) => {
+            out.push_str(&format!("{pad}return {};\n", print_expr(expr)))
+        }
+        Stmt::Throw => out.push_str(&format!("{pad}throw;\n")),
+    }
+}
+
+/// Render one expression.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Ident(name) => name.clone(),
+        Expr::Number(text) => text.clone(),
+        Expr::Str(text) => format!("\"{text}\""),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Member(base, member) => format!("{}.{member}", print_expr(base)),
+        Expr::Index(base, index) => format!("{}[{}]", print_expr(base), print_expr(index)),
+        Expr::Call(callee, args) => {
+            let rendered: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({})", print_expr(callee), rendered.join(", "))
+        }
+        Expr::Unary(op, inner) => format!("{op}{}", wrap_if_binary(inner)),
+        Expr::Binary(op, left, right) => format!(
+            "{} {op} {}",
+            wrap_if_binary(left),
+            wrap_if_binary(right)
+        ),
+    }
+}
+
+fn wrap_if_binary(expr: &Expr) -> String {
+    match expr {
+        Expr::Binary(..) => format!("({})", print_expr(expr)),
+        _ => print_expr(expr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_bank() {
+        let src = r#"
+            contract Bank {
+                mapping(address=>uint) balance;
+                function addBalance() public payable {
+                    balance[msg.sender] += msg.value;
+                }
+                function withdraw() public {
+                    uint amount = balance[msg.sender];
+                    if (msg.sender.call.value(amount)() == false) { throw; }
+                    balance[msg.sender] = 0;
+                }
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let printed = print_source(&unit);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed, unit, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn binary_nesting_parenthesized() {
+        // (1 + 2) * 3 must not print as 1 + 2 * 3.
+        let unit = parse("contract P { function f() public { uint x = (1 + 2) * 3; } }").unwrap();
+        let printed = print_source(&unit);
+        assert!(printed.contains("(1 + 2) * 3"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), unit);
+    }
+
+    #[test]
+    fn fallback_prints_anonymously() {
+        let unit = parse("contract F { function() payable { } }").unwrap();
+        let printed = print_source(&unit);
+        assert!(printed.contains("function() payable"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), unit);
+    }
+}

@@ -1,0 +1,118 @@
+//! A thin owned byte-buffer newtype with hex-oriented formatting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Deref;
+
+/// Owned byte buffer used for calldata, return data, and token wire images.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bytes(pub Vec<u8>);
+
+impl Bytes {
+    /// The empty buffer.
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consume into the inner vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Render as a lowercase `0x…` hex string.
+    pub fn to_hex(&self) -> String {
+        format!("0x{}", hex::encode(&self.0))
+    }
+
+    /// Parse from a hex string with optional `0x` prefix.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        hex::decode(s).ok().map(Bytes)
+    }
+
+    /// Count of zero / non-zero bytes — the split the Ethereum calldata gas
+    /// rule charges differently (4 gas per zero byte, 68 per non-zero).
+    pub fn zero_nonzero_counts(&self) -> (usize, usize) {
+        let zeros = self.0.iter().filter(|&&b| b == 0).count();
+        (zeros, self.0.len() - zeros)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let b = Bytes(vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(b.to_hex(), "0xdeadbeef");
+        assert_eq!(Bytes::from_hex("0xdeadbeef"), Some(b));
+        assert_eq!(Bytes::from_hex("nothex"), None);
+    }
+
+    #[test]
+    fn zero_nonzero_split() {
+        let b = Bytes(vec![0, 1, 0, 2, 3]);
+        assert_eq!(b.zero_nonzero_counts(), (2, 3));
+        assert_eq!(Bytes::new().zero_nonzero_counts(), (0, 0));
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let b = Bytes(vec![1, 2, 3]);
+        assert_eq!(&b[1..], &[2, 3]);
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! Recursive Length Prefix (RLP) encoding and decoding.
+//!
+//! RLP is the serialization Ethereum uses for transactions; the chain
+//! simulator hashes RLP-encoded transactions to form transaction ids, exactly
+//! as the paper's prototype environment (geth) does.
+
+use crate::{Address, Bytes, U256};
+
+/// An RLP item: either a byte string or a list of items.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// A byte string.
+    Bytes(Vec<u8>),
+    /// A list of nested items.
+    List(Vec<Item>),
+}
+
+/// Errors from [`decode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended before the announced length.
+    UnexpectedEof,
+    /// A length prefix used a non-minimal encoding.
+    NonCanonical,
+    /// Extra bytes remained after the top-level item.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "rlp: unexpected end of input"),
+            DecodeError::NonCanonical => write!(f, "rlp: non-canonical length encoding"),
+            DecodeError::TrailingBytes => write!(f, "rlp: trailing bytes after item"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode an item to its RLP byte representation.
+pub fn encode(item: &Item) -> Vec<u8> {
+    match item {
+        Item::Bytes(bytes) => encode_bytes(bytes),
+        Item::List(items) => {
+            let payload: Vec<u8> = items.iter().flat_map(|i| encode(i)).collect();
+            let mut out = length_prefix(payload.len(), 0xc0);
+            out.extend_from_slice(&payload);
+            out
+        }
+    }
+}
+
+fn encode_bytes(bytes: &[u8]) -> Vec<u8> {
+    if bytes.len() == 1 && bytes[0] < 0x80 {
+        return vec![bytes[0]];
+    }
+    let mut out = length_prefix(bytes.len(), 0x80);
+    out.extend_from_slice(bytes);
+    out
+}
+
+fn length_prefix(len: usize, offset: u8) -> Vec<u8> {
+    if len <= 55 {
+        vec![offset + len as u8]
+    } else {
+        let len_bytes: Vec<u8> = len
+            .to_be_bytes()
+            .into_iter()
+            .skip_while(|&b| b == 0)
+            .collect();
+        let mut out = vec![offset + 55 + len_bytes.len() as u8];
+        out.extend_from_slice(&len_bytes);
+        out
+    }
+}
+
+/// Decode a single top-level RLP item, rejecting trailing garbage.
+pub fn decode(input: &[u8]) -> Result<Item, DecodeError> {
+    let (item, rest) = decode_partial(input)?;
+    if !rest.is_empty() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(item)
+}
+
+fn decode_partial(input: &[u8]) -> Result<(Item, &[u8]), DecodeError> {
+    let &first = input.first().ok_or(DecodeError::UnexpectedEof)?;
+    match first {
+        0x00..=0x7f => Ok((Item::Bytes(vec![first]), &input[1..])),
+        0x80..=0xb7 => {
+            let len = (first - 0x80) as usize;
+            let payload = input.get(1..1 + len).ok_or(DecodeError::UnexpectedEof)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(DecodeError::NonCanonical);
+            }
+            Ok((Item::Bytes(payload.to_vec()), &input[1 + len..]))
+        }
+        0xb8..=0xbf => {
+            let len_len = (first - 0xb7) as usize;
+            let (len, rest) = read_length(&input[1..], len_len)?;
+            let payload = rest.get(..len).ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::Bytes(payload.to_vec()), &rest[len..]))
+        }
+        0xc0..=0xf7 => {
+            let len = (first - 0xc0) as usize;
+            let payload = input.get(1..1 + len).ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::List(decode_list(payload)?), &input[1 + len..]))
+        }
+        0xf8..=0xff => {
+            let len_len = (first - 0xf7) as usize;
+            let (len, rest) = read_length(&input[1..], len_len)?;
+            let payload = rest.get(..len).ok_or(DecodeError::UnexpectedEof)?;
+            Ok((Item::List(decode_list(payload)?), &rest[len..]))
+        }
+    }
+}
+
+fn read_length(input: &[u8], len_len: usize) -> Result<(usize, &[u8]), DecodeError> {
+    let len_bytes = input.get(..len_len).ok_or(DecodeError::UnexpectedEof)?;
+    if len_bytes.first() == Some(&0) {
+        return Err(DecodeError::NonCanonical);
+    }
+    let mut len = 0usize;
+    for &b in len_bytes {
+        len = len.checked_mul(256).ok_or(DecodeError::NonCanonical)? + b as usize;
+    }
+    if len <= 55 {
+        return Err(DecodeError::NonCanonical);
+    }
+    Ok((len, &input[len_len..]))
+}
+
+fn decode_list(mut payload: &[u8]) -> Result<Vec<Item>, DecodeError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, rest) = decode_partial(payload)?;
+        items.push(item);
+        payload = rest;
+    }
+    Ok(items)
+}
+
+/// Convenience conversions for composing [`Item`] lists.
+pub trait ToRlp {
+    /// Convert to an RLP item.
+    fn to_rlp(&self) -> Item;
+}
+
+impl ToRlp for U256 {
+    fn to_rlp(&self) -> Item {
+        Item::Bytes(self.to_be_bytes_trimmed())
+    }
+}
+
+impl ToRlp for u64 {
+    fn to_rlp(&self) -> Item {
+        U256::from_u64(*self).to_rlp()
+    }
+}
+
+impl ToRlp for u128 {
+    fn to_rlp(&self) -> Item {
+        U256::from_u128(*self).to_rlp()
+    }
+}
+
+impl ToRlp for Address {
+    fn to_rlp(&self) -> Item {
+        Item::Bytes(self.0.to_vec())
+    }
+}
+
+impl ToRlp for Bytes {
+    fn to_rlp(&self) -> Item {
+        Item::Bytes(self.0.clone())
+    }
+}
+
+impl ToRlp for &[u8] {
+    fn to_rlp(&self) -> Item {
+        Item::Bytes(self.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Canonical vectors from the Ethereum wiki.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(&Item::Bytes(b"dog".to_vec())), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(
+            encode(&Item::List(vec![
+                Item::Bytes(b"cat".to_vec()),
+                Item::Bytes(b"dog".to_vec())
+            ])),
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+        assert_eq!(encode(&Item::Bytes(vec![])), vec![0x80]);
+        assert_eq!(encode(&Item::Bytes(vec![0x00])), vec![0x00]);
+        assert_eq!(encode(&Item::Bytes(vec![0x0f])), vec![0x0f]);
+        assert_eq!(encode(&Item::Bytes(vec![0x04, 0x00])), vec![0x82, 0x04, 0x00]);
+        assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
+    }
+
+    #[test]
+    fn long_string() {
+        let s = vec![b'a'; 56];
+        let enc = encode(&Item::Bytes(s.clone()));
+        assert_eq!(enc[0], 0xb8);
+        assert_eq!(enc[1], 56);
+        assert_eq!(&enc[2..], &s[..]);
+        assert_eq!(decode(&enc).unwrap(), Item::Bytes(s));
+    }
+
+    #[test]
+    fn nested_lists() {
+        // [ [], [[]], [ [], [[]] ] ] — the canonical "set theoretic" vector.
+        let item = Item::List(vec![
+            Item::List(vec![]),
+            Item::List(vec![Item::List(vec![])]),
+            Item::List(vec![
+                Item::List(vec![]),
+                Item::List(vec![Item::List(vec![])]),
+            ]),
+        ]);
+        let enc = encode(&item);
+        assert_eq!(enc, vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]);
+        assert_eq!(decode(&enc).unwrap(), item);
+    }
+
+    #[test]
+    fn rejects_noncanonical() {
+        // 0x81 0x05 is a non-canonical encoding of the single byte 0x05.
+        assert_eq!(decode(&[0x81, 0x05]), Err(DecodeError::NonCanonical));
+        // Long-form length for a short payload.
+        assert_eq!(decode(&[0xb8, 0x01, 0xff]), Err(DecodeError::NonCanonical));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing() {
+        assert_eq!(decode(&[0x83, b'd', b'o']), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode(&[0x80, 0x00]), Err(DecodeError::TrailingBytes));
+        assert_eq!(decode(&[]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn u256_trimming() {
+        assert_eq!(encode(&U256::ZERO.to_rlp()), vec![0x80]);
+        assert_eq!(encode(&U256::from_u64(15).to_rlp()), vec![0x0f]);
+        assert_eq!(encode(&U256::from_u64(1024).to_rlp()), vec![0x82, 0x04, 0x00]);
+    }
+
+    fn arb_item() -> impl Strategy<Value = Item> {
+        let leaf = prop::collection::vec(any::<u8>(), 0..64).prop_map(Item::Bytes);
+        leaf.prop_recursive(3, 32, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Item::List)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(item in arb_item()) {
+            let enc = encode(&item);
+            prop_assert_eq!(decode(&enc).unwrap(), item);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&data);
+        }
+    }
+}

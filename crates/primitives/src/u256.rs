@@ -1,0 +1,698 @@
+//! A 256-bit unsigned integer, the native word size of the EVM.
+//!
+//! Implemented as four little-endian `u64` limbs. The arithmetic surface is
+//! deliberately the subset the simulator needs (checked/wrapping add, sub,
+//! mul, div/rem, bit ops, shifts, byte conversion) rather than a full bignum
+//! library.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
+
+/// 256-bit unsigned integer (little-endian `u64` limbs).
+///
+/// ```
+/// use smacs_primitives::U256;
+///
+/// let a = U256::from_u64(1) << 128;
+/// let b = a.wrapping_mul(U256::from_u64(3));
+/// assert_eq!(b >> 128, U256::from_u64(3));
+/// assert_eq!(U256::MAX.wrapping_add(U256::ONE), U256::ZERO); // EVM wrap
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Construct from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Construct from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Lossy conversion to `u64` (low limb).
+    pub const fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Lossy conversion to `u128` (low two limbs).
+    pub const fn low_u128(&self) -> u128 {
+        self.0[0] as u128 | ((self.0[1] as u128) << 64)
+    }
+
+    /// Convert to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Convert to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.low_u128())
+        } else {
+            None
+        }
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        let (v, overflow) = self.overflowing_add(rhs);
+        if overflow {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Overflowing addition.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (a, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (b, c2) = a.overflowing_add(carry as u64);
+            out[i] = b;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping addition (mod 2^256), matching EVM `ADD`.
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        let (v, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Overflowing subtraction.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (a, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (b, b2) = a.overflowing_sub(borrow as u64);
+            out[i] = b;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping subtraction (mod 2^256), matching EVM `SUB`.
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        let (v, overflow) = self.overflowing_mul(rhs);
+        if overflow {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Overflowing multiplication (schoolbook on 64-bit limbs).
+    pub fn overflowing_mul(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = out[i + j] as u128
+                    + (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        let overflow = out[4..].iter().any(|&w| w != 0);
+        (U256([out[0], out[1], out[2], out[3]]), overflow)
+    }
+
+    /// Wrapping multiplication (mod 2^256), matching EVM `MUL`.
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        self.overflowing_mul(rhs).0
+    }
+
+    /// Division; `None` when `rhs` is zero (EVM `DIV` returns 0 instead —
+    /// callers that need EVM semantics use [`U256::div_evm`]).
+    pub fn checked_div(self, rhs: U256) -> Option<U256> {
+        if rhs.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(rhs).0)
+        }
+    }
+
+    /// Remainder; `None` when `rhs` is zero.
+    pub fn checked_rem(self, rhs: U256) -> Option<U256> {
+        if rhs.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(rhs).1)
+        }
+    }
+
+    /// EVM `DIV`: division with `x / 0 == 0`.
+    pub fn div_evm(self, rhs: U256) -> U256 {
+        self.checked_div(rhs).unwrap_or(U256::ZERO)
+    }
+
+    /// EVM `MOD`: remainder with `x % 0 == 0`.
+    pub fn rem_evm(self, rhs: U256) -> U256 {
+        self.checked_rem(rhs).unwrap_or(U256::ZERO)
+    }
+
+    /// Long division returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(self, rhs: U256) -> (U256, U256) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        if let (Some(a), Some(b)) = (self.to_u128(), rhs.to_u128()) {
+            return (U256::from_u128(a / b), U256::from_u128(a % b));
+        }
+        // Bitwise long division: adequate for the simulator's needs.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let bits = self.bits();
+        for i in (0..bits).rev() {
+            remainder = remainder << 1;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= rhs {
+                remainder = remainder.wrapping_sub(rhs);
+                quotient = quotient | (U256::ONE << i);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Value of bit `i` (zero-indexed from the least significant bit).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Big-endian 32-byte representation (EVM word layout).
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse from big-endian 32-byte representation.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[(3 - i) * 8..(4 - i) * 8]);
+            limbs[i] = u64::from_be_bytes(word);
+        }
+        U256(limbs)
+    }
+
+    /// Parse from a big-endian slice of at most 32 bytes (shorter slices are
+    /// left-padded with zeros, as EVM calldata words are).
+    pub fn from_be_slice(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() > 32 {
+            return None;
+        }
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        Some(Self::from_be_bytes(buf))
+    }
+
+    /// Minimal big-endian representation with no leading zero bytes
+    /// (the empty slice for zero) — the form RLP requires.
+    pub fn to_be_bytes_trimmed(&self) -> Vec<u8> {
+        let full = self.to_be_bytes();
+        let first = full.iter().position(|&b| b != 0).unwrap_or(32);
+        full[first..].to_vec()
+    }
+
+    /// Parse a decimal string.
+    pub fn from_dec_str(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut acc = U256::ZERO;
+        let ten = U256::from_u64(10);
+        for c in s.chars() {
+            let d = c.to_digit(10)?;
+            acc = acc.checked_mul(ten)?.checked_add(U256::from_u64(d as u64))?;
+        }
+        Some(acc)
+    }
+
+    /// Parse a hex string with optional `0x` prefix.
+    pub fn from_hex_str(s: &str) -> Option<Self> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let padded = format!("{:0>64}", s);
+        let bytes = hex::decode(padded).ok()?;
+        let mut buf = [0u8; 32];
+        buf.copy_from_slice(&bytes);
+        Some(Self::from_be_bytes(buf))
+    }
+
+    /// Render as a decimal string.
+    pub fn to_dec_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = *self;
+        let ten = U256::from_u64(10);
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(ten);
+            digits.push(char::from(b'0' + r.low_u64() as u8));
+            cur = q;
+        }
+        digits.iter().rev().collect()
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from_u64(v as u64)
+    }
+}
+
+impl From<usize> for U256 {
+    fn from(v: usize) -> Self {
+        U256::from_u128(v as u128)
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    /// Panics on overflow in debug terms: use `wrapping_add` for EVM
+    /// semantics. Here we follow standard Rust integer conventions.
+    fn add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).expect("U256 addition overflow")
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).expect("U256 subtraction underflow")
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: U256) -> U256 {
+        self.checked_mul(rhs).expect("U256 multiplication overflow")
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.checked_div(rhs).expect("U256 division by zero")
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.checked_rem(rhs).expect("U256 remainder by zero")
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            if i >= limb_shift {
+                out[i] = self.0[i - limb_shift] << bit_shift;
+                if bit_shift > 0 && i > limb_shift {
+                    out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if i + limb_shift < 4 {
+                out[i] = self.0[i + limb_shift] >> bit_shift;
+                if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                    out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        U256(out)
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256({})", self.to_dec_string())
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec_string())
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let trimmed = self.to_be_bytes_trimmed();
+        if trimmed.is_empty() {
+            return f.write_str("0");
+        }
+        let s = hex::encode(trimmed);
+        f.write_str(s.trim_start_matches('0'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = U256::from_u64(100);
+        let b = U256::from_u64(42);
+        assert_eq!(a + b, U256::from_u64(142));
+        assert_eq!(a - b, U256::from_u64(58));
+        assert_eq!(a * b, U256::from_u64(4200));
+        assert_eq!(a / b, U256::from_u64(2));
+        assert_eq!(a % b, U256::from_u64(16));
+    }
+
+    #[test]
+    fn overflow_detection() {
+        assert_eq!(U256::MAX.checked_add(U256::ONE), None);
+        assert_eq!(U256::ZERO.checked_sub(U256::ONE), None);
+        assert_eq!(U256::MAX.checked_mul(U256::from_u64(2)), None);
+        assert_eq!(U256::MAX.wrapping_add(U256::ONE), U256::ZERO);
+        assert_eq!(U256::ZERO.wrapping_sub(U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn evm_division_semantics() {
+        assert_eq!(U256::from_u64(10).div_evm(U256::ZERO), U256::ZERO);
+        assert_eq!(U256::from_u64(10).rem_evm(U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn cross_limb_carry() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        assert_eq!(a.wrapping_add(U256::ONE), U256([0, 1, 0, 0]));
+        let b = U256([0, 1, 0, 0]);
+        assert_eq!(b.wrapping_sub(U256::ONE), U256([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn multiplication_crosses_limbs() {
+        let a = U256::from_u128(u128::MAX);
+        let (sq, overflow) = a.overflowing_mul(a);
+        assert!(!overflow);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let expected = U256::MAX
+            .wrapping_sub(U256::ONE << 129)
+            .wrapping_add(U256::from_u64(2));
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(U256::ONE << 0, U256::ONE);
+        assert_eq!(U256::ONE << 64, U256([0, 1, 0, 0]));
+        assert_eq!(U256::ONE << 255 >> 255, U256::ONE);
+        assert_eq!(U256::ONE << 256, U256::ZERO);
+        assert_eq!((U256::ONE << 70) >> 6, U256::ONE << 64);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        let one = U256::ONE.to_be_bytes();
+        assert_eq!(one[31], 1);
+        assert!(one[..31].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn trimmed_bytes() {
+        assert!(U256::ZERO.to_be_bytes_trimmed().is_empty());
+        assert_eq!(U256::from_u64(0x1234).to_be_bytes_trimmed(), vec![0x12, 0x34]);
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in ["0", "1", "42", "18446744073709551616", "115792089237316195423570985008687907853269984665640564039457584007913129639935"] {
+            let v = U256::from_dec_str(s).unwrap();
+            assert_eq!(v.to_dec_string(), s);
+        }
+        assert_eq!(U256::from_dec_str(""), None);
+        assert_eq!(U256::from_dec_str("12a"), None);
+        // One above MAX overflows.
+        assert_eq!(
+            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            None
+        );
+    }
+
+    #[test]
+    fn hex_parse() {
+        assert_eq!(U256::from_hex_str("0x10"), Some(U256::from_u64(16)));
+        assert_eq!(U256::from_hex_str("ff"), Some(U256::from_u64(255)));
+        assert_eq!(U256::from_hex_str(""), None);
+        assert_eq!(U256::from_hex_str("0x"), None);
+    }
+
+    #[test]
+    fn ordering() {
+        let small = U256::from_u64(5);
+        let big = U256([0, 0, 0, 1]);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(small.cmp(&small), Ordering::Equal);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!((U256::ONE << 200).bits(), 201);
+        assert!((U256::ONE << 200).bit(200));
+        assert!(!(U256::ONE << 200).bit(199));
+        assert!(!U256::MAX.bit(256));
+    }
+
+    #[test]
+    fn from_be_slice_pads_left() {
+        assert_eq!(U256::from_be_slice(&[1, 0]), Some(U256::from_u64(256)));
+        assert_eq!(U256::from_be_slice(&[]), Some(U256::ZERO));
+        assert_eq!(U256::from_be_slice(&[0u8; 33]), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = U256([7, 8, 9, 10]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: U256 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    fn arb_u256() -> impl Strategy<Value = U256> {
+        prop::array::uniform4(any::<u64>()).prop_map(U256)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_round_trip(a in arb_u256(), b in arb_u256()) {
+            let sum = a.wrapping_add(b);
+            prop_assert_eq!(sum.wrapping_sub(b), a);
+        }
+
+        #[test]
+        fn prop_add_commutative(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let product = U256::from_u64(a).wrapping_mul(U256::from_u64(b));
+            prop_assert_eq!(product, U256::from_u128(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(b);
+            prop_assert!(r < b);
+            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(a in arb_u256()) {
+            prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+        }
+
+        #[test]
+        fn prop_dec_round_trip(a in arb_u256()) {
+            prop_assert_eq!(U256::from_dec_str(&a.to_dec_string()), Some(a));
+        }
+
+        #[test]
+        fn prop_shift_inverse(a in arb_u256(), s in 0u32..256) {
+            // Shifting left then right recovers the low bits that survived.
+            let masked = if s == 0 { a } else { (a << s) >> s };
+            let kept = if s == 0 { a } else { a & (U256::MAX >> s) };
+            prop_assert_eq!(masked, kept);
+        }
+
+        #[test]
+        fn prop_trimmed_round_trip(a in arb_u256()) {
+            let trimmed = a.to_be_bytes_trimmed();
+            prop_assert_eq!(U256::from_be_slice(&trimmed), Some(a));
+        }
+    }
+}

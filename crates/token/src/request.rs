@@ -1,0 +1,430 @@
+//! Token requests: what a client submits to the Token Service.
+//!
+//! Fig. 2 gives the wire layout and Tab. I the per-type field matrix:
+//!
+//! | type     | cAddr | sAddr | methodId | argName/argValue |
+//! |----------|-------|-------|----------|------------------|
+//! | Super    |  ✓    |  ✓    |          |                  |
+//! | Method   |  ✓    |  ✓    |  ✓       |                  |
+//! | Argument |  ✓    |  ✓    |  ✓       |  ✓ (repeated)    |
+//!
+//! `methodId` is carried as the canonical Solidity signature string (e.g.
+//! `"withdraw(uint256)"`); the 4-byte selector is derived from it. Requests
+//! also serialize to JSON for the TS's web front end.
+
+use serde::{Deserialize, Serialize};
+use smacs_chain::abi::{selector, Selector};
+use smacs_primitives::Address;
+use std::fmt;
+
+use crate::types::TokenType;
+
+/// A named argument binding in an argument-token request.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ArgBinding {
+    /// Argument name (`argName`).
+    pub name: String,
+    /// Argument value, rendered canonically (`argValue`).
+    pub value: String,
+}
+
+/// A client's token request (Fig. 2).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TokenRequest {
+    /// Requested token type.
+    pub ttype: TokenType,
+    /// Target contract address (`cAddr`).
+    pub contract: Address,
+    /// Requesting client address (`sAddr`).
+    pub sender: Address,
+    /// Canonical method signature (`methodId`); required for method and
+    /// argument tokens.
+    pub method: Option<String>,
+    /// Argument bindings; meaningful for argument tokens only.
+    pub args: Vec<ArgBinding>,
+    /// The exact payload calldata (selector + ABI-encoded arguments) the
+    /// client will send; required for argument tokens so the TS can bind
+    /// the signature to `msg.data` (and feed runtime-verification tools).
+    #[serde(default)]
+    pub calldata: Option<Vec<u8>>,
+    /// Whether the client asks for the one-time property.
+    #[serde(default)]
+    pub one_time: bool,
+}
+
+/// Request validation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RequestError {
+    /// Method/argument request without a `methodId`.
+    MissingMethod,
+    /// Argument request without calldata to bind.
+    MissingCalldata,
+    /// Super/method request carrying argument bindings.
+    UnexpectedArgs,
+    /// Wire image truncated or malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::MissingMethod => write!(f, "request requires a methodId"),
+            RequestError::MissingCalldata => {
+                write!(f, "argument request requires bound calldata")
+            }
+            RequestError::UnexpectedArgs => {
+                write!(f, "argument bindings only valid for argument tokens")
+            }
+            RequestError::Malformed(what) => write!(f, "malformed request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl TokenRequest {
+    /// A well-formed super-token request.
+    pub fn super_token(contract: Address, sender: Address) -> Self {
+        TokenRequest {
+            ttype: TokenType::Super,
+            contract,
+            sender,
+            method: None,
+            args: Vec::new(),
+            calldata: None,
+            one_time: false,
+        }
+    }
+
+    /// A well-formed method-token request.
+    pub fn method_token(contract: Address, sender: Address, method: impl Into<String>) -> Self {
+        TokenRequest {
+            ttype: TokenType::Method,
+            contract,
+            sender,
+            method: Some(method.into()),
+            args: Vec::new(),
+            calldata: None,
+            one_time: false,
+        }
+    }
+
+    /// A well-formed argument-token request binding `calldata`.
+    pub fn argument_token(
+        contract: Address,
+        sender: Address,
+        method: impl Into<String>,
+        args: Vec<ArgBinding>,
+        calldata: Vec<u8>,
+    ) -> Self {
+        TokenRequest {
+            ttype: TokenType::Argument,
+            contract,
+            sender,
+            method: Some(method.into()),
+            args,
+            calldata: Some(calldata),
+            one_time: false,
+        }
+    }
+
+    /// Request the one-time property.
+    pub fn one_time(mut self) -> Self {
+        self.one_time = true;
+        self
+    }
+
+    /// Validate the Tab. I field matrix.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        match self.ttype {
+            TokenType::Super => {
+                if !self.args.is_empty() {
+                    return Err(RequestError::UnexpectedArgs);
+                }
+            }
+            TokenType::Method => {
+                if self.method.is_none() {
+                    return Err(RequestError::MissingMethod);
+                }
+                if !self.args.is_empty() {
+                    return Err(RequestError::UnexpectedArgs);
+                }
+            }
+            TokenType::Argument => {
+                if self.method.is_none() {
+                    return Err(RequestError::MissingMethod);
+                }
+                if self.calldata.is_none() {
+                    return Err(RequestError::MissingCalldata);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The 4-byte selector derived from `methodId`, if present.
+    pub fn selector(&self) -> Option<Selector> {
+        self.method.as_deref().map(selector)
+    }
+
+    /// Serialize to the Fig. 2 wire layout: fixed header (`type ‖ cAddr ‖
+    /// sAddr`) followed by length-prefixed strings (`methodId`, then
+    /// alternating `argName`/`argValue`), followed by optional calldata.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.ttype.code());
+        out.extend_from_slice(self.contract.as_bytes());
+        out.extend_from_slice(self.sender.as_bytes());
+        out.push(self.one_time as u8);
+        write_string(&mut out, self.method.as_deref().unwrap_or(""));
+        out.extend_from_slice(&(self.args.len() as u16).to_be_bytes());
+        for arg in &self.args {
+            write_string(&mut out, &arg.name);
+            write_string(&mut out, &arg.value);
+        }
+        match &self.calldata {
+            Some(data) => {
+                out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+                out.extend_from_slice(data);
+            }
+            None => out.extend_from_slice(&u32::MAX.to_be_bytes()),
+        }
+        out
+    }
+
+    /// Parse the Fig. 2 wire layout.
+    pub fn from_wire(bytes: &[u8]) -> Result<TokenRequest, RequestError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let ttype = TokenType::from_code(cursor.take_u8()?)
+            .ok_or(RequestError::Malformed("unknown type code"))?;
+        let contract = Address::from_slice(cursor.take(20)?)
+            .ok_or(RequestError::Malformed("bad contract address"))?;
+        let sender = Address::from_slice(cursor.take(20)?)
+            .ok_or(RequestError::Malformed("bad sender address"))?;
+        let one_time = cursor.take_u8()? == 1;
+        let method = {
+            let s = cursor.take_string()?;
+            if s.is_empty() {
+                None
+            } else {
+                Some(s)
+            }
+        };
+        let arg_count = cursor.take_u16()?;
+        let mut args = Vec::with_capacity(arg_count as usize);
+        for _ in 0..arg_count {
+            let name = cursor.take_string()?;
+            let value = cursor.take_string()?;
+            args.push(ArgBinding { name, value });
+        }
+        let calldata_len = cursor.take_u32()?;
+        let calldata = if calldata_len == u32::MAX {
+            None
+        } else {
+            Some(cursor.take(calldata_len as usize)?.to_vec())
+        };
+        if cursor.pos != bytes.len() {
+            return Err(RequestError::Malformed("trailing bytes"));
+        }
+        Ok(TokenRequest {
+            ttype,
+            contract,
+            sender,
+            method,
+            args,
+            calldata,
+            one_time,
+        })
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RequestError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(RequestError::Malformed("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(RequestError::Malformed("truncated"));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, RequestError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u16(&mut self) -> Result<u16, RequestError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, RequestError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn take_string(&mut self) -> Result<String, RequestError> {
+        let len = self.take_u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| RequestError::Malformed("bad utf8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn contract() -> Address {
+        Address::from_low_u64(0xC0)
+    }
+
+    fn sender() -> Address {
+        Address::from_low_u64(0x5E)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(TokenRequest::super_token(contract(), sender()).validate().is_ok());
+        assert!(TokenRequest::method_token(contract(), sender(), "f()")
+            .validate()
+            .is_ok());
+        assert!(TokenRequest::argument_token(
+            contract(),
+            sender(),
+            "f(uint256)",
+            vec![ArgBinding {
+                name: "x".into(),
+                value: "1".into()
+            }],
+            vec![0xde, 0xad],
+        )
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn tab1_field_matrix_enforced() {
+        // Super with args: rejected.
+        let mut req = TokenRequest::super_token(contract(), sender());
+        req.args.push(ArgBinding {
+            name: "x".into(),
+            value: "1".into(),
+        });
+        assert_eq!(req.validate(), Err(RequestError::UnexpectedArgs));
+
+        // Method without methodId: rejected.
+        let mut req = TokenRequest::method_token(contract(), sender(), "f()");
+        req.method = None;
+        assert_eq!(req.validate(), Err(RequestError::MissingMethod));
+
+        // Argument without calldata: rejected.
+        let mut req = TokenRequest::argument_token(contract(), sender(), "f()", vec![], vec![1]);
+        req.calldata = None;
+        assert_eq!(req.validate(), Err(RequestError::MissingCalldata));
+    }
+
+    #[test]
+    fn selector_derivation() {
+        let req = TokenRequest::method_token(contract(), sender(), "transfer(address,uint256)");
+        assert_eq!(req.selector().unwrap().to_hex(), "0xa9059cbb");
+        assert_eq!(TokenRequest::super_token(contract(), sender()).selector(), None);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let reqs = vec![
+            TokenRequest::super_token(contract(), sender()),
+            TokenRequest::method_token(contract(), sender(), "f(uint256)").one_time(),
+            TokenRequest::argument_token(
+                contract(),
+                sender(),
+                "g(address,uint256)",
+                vec![
+                    ArgBinding {
+                        name: "to".into(),
+                        value: "0x1234".into(),
+                    },
+                    ArgBinding {
+                        name: "amount".into(),
+                        value: "100".into(),
+                    },
+                ],
+                vec![1, 2, 3],
+            ),
+        ];
+        for req in reqs {
+            let wire = req.to_wire();
+            assert_eq!(TokenRequest::from_wire(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(TokenRequest::from_wire(&[]).is_err());
+        assert!(TokenRequest::from_wire(&[9]).is_err());
+        let mut wire = TokenRequest::super_token(contract(), sender()).to_wire();
+        wire.push(0); // trailing byte
+        assert!(matches!(
+            TokenRequest::from_wire(&wire),
+            Err(RequestError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let req = TokenRequest::argument_token(
+            contract(),
+            sender(),
+            "f(uint256)",
+            vec![ArgBinding {
+                name: "x".into(),
+                value: "7".into(),
+            }],
+            vec![0xab],
+        );
+        let json = serde_json::to_string(&req).unwrap();
+        let back: TokenRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_round_trip(
+            type_idx in 0usize..3,
+            one_time in any::<bool>(),
+            method in "[a-z]{1,12}\\(\\)",
+            args in prop::collection::vec(("[a-z]{1,8}", "[a-z0-9]{0,16}"), 0..4),
+            calldata in prop::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let ttype = TokenType::ALL[type_idx];
+            let req = TokenRequest {
+                ttype,
+                contract: contract(),
+                sender: sender(),
+                method: Some(method),
+                args: args.into_iter().map(|(name, value)| ArgBinding { name, value }).collect(),
+                calldata: Some(calldata),
+                one_time,
+            };
+            let wire = req.to_wire();
+            prop_assert_eq!(TokenRequest::from_wire(&wire).unwrap(), req);
+        }
+
+        #[test]
+        fn prop_from_wire_never_panics(data in prop::collection::vec(any::<u8>(), 0..128)) {
+            let _ = TokenRequest::from_wire(&data);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Service discovery (§VII-B b): clients "have to learn an URL address of
+//! the service. We propose to implement this discovery process by adding
+//! the service address as a smart contract instance metadata (similarly as
+//! contract's name or the compiler version it was created with)."
+//!
+//! The simulator models contract metadata as an off-chain directory keyed
+//! by contract address — the moral equivalent of the metadata JSON Solidity
+//! toolchains publish per deployment.
+
+use serde::{Deserialize, Serialize};
+use smacs_primitives::Address;
+use std::collections::BTreeMap;
+
+/// Per-contract deployment metadata.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContractMetadata {
+    /// Human-readable contract name.
+    pub name: String,
+    /// Compiler/toolchain version string.
+    pub compiler: String,
+    /// URL of the Token Service protecting this contract, if any.
+    pub token_service_url: Option<String>,
+}
+
+/// The metadata directory.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceDirectory {
+    // Keyed by the contract's canonical hex address (JSON-friendly).
+    entries: BTreeMap<String, ContractMetadata>,
+}
+
+impl ServiceDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish metadata for a deployed contract.
+    pub fn publish(&mut self, contract: Address, metadata: ContractMetadata) {
+        self.entries.insert(contract.to_hex(), metadata);
+    }
+
+    /// Full metadata lookup.
+    pub fn metadata(&self, contract: Address) -> Option<&ContractMetadata> {
+        self.entries.get(&contract.to_hex())
+    }
+
+    /// The discovery operation a wallet performs: contract address → TS
+    /// URL.
+    pub fn ts_url(&self, contract: Address) -> Option<&str> {
+        self.entries
+            .get(&contract.to_hex())?
+            .token_service_url
+            .as_deref()
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_discover() {
+        let mut dir = ServiceDirectory::new();
+        let contract = Address::from_low_u64(7);
+        dir.publish(
+            contract,
+            ContractMetadata {
+                name: "Vault".into(),
+                compiler: "smacs-chain 0.1".into(),
+                token_service_url: Some("http://127.0.0.1:4545".into()),
+            },
+        );
+        assert_eq!(dir.ts_url(contract), Some("http://127.0.0.1:4545"));
+        assert_eq!(dir.ts_url(Address::from_low_u64(8)), None);
+        assert_eq!(dir.metadata(contract).unwrap().name, "Vault");
+    }
+
+    #[test]
+    fn unprotected_contract_has_no_ts() {
+        let mut dir = ServiceDirectory::new();
+        let contract = Address::from_low_u64(7);
+        dir.publish(
+            contract,
+            ContractMetadata {
+                name: "Legacy".into(),
+                compiler: "solc 0.4.24".into(),
+                token_service_url: None,
+            },
+        );
+        assert_eq!(dir.ts_url(contract), None);
+    }
+
+    #[test]
+    fn directory_serializes() {
+        let mut dir = ServiceDirectory::new();
+        dir.publish(
+            Address::from_low_u64(1),
+            ContractMetadata {
+                name: "A".into(),
+                compiler: "x".into(),
+                token_service_url: Some("http://ts".into()),
+            },
+        );
+        let json = serde_json::to_string(&dir).unwrap();
+        let back: ServiceDirectory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dir);
+    }
+}

@@ -1,0 +1,256 @@
+//! The JSON front-end protocol: what flows over the TS's web interface.
+//!
+//! Owners and clients "interact with the TS through an HTTPS-enabled web
+//! interface" (§IV). The protocol has two operations:
+//!
+//! - `POST /token` — a client submits a [`smacs_token::TokenRequest`]; the
+//!   TS answers with a hex-encoded 86-byte token or a structured rejection;
+//! - `POST /rules` — the owner replaces the rule book (authenticated by an
+//!   owner bearer secret in this prototype; production would use TLS client
+//!   auth).
+
+use serde::{Deserialize, Serialize};
+use smacs_token::{Token, TokenRequest};
+
+use crate::rules::RuleBook;
+use crate::service::TokenService;
+
+/// A front-end request envelope.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum FrontRequest {
+    /// Client: request a token.
+    IssueToken {
+        /// The token request body.
+        request: TokenRequest,
+    },
+    /// Owner: replace the rule book.
+    SetRules {
+        /// Owner authentication secret.
+        owner_secret: String,
+        /// The new rules.
+        rules: RuleBook,
+    },
+    /// Anyone: service liveness probe.
+    Ping,
+}
+
+/// A front-end response envelope.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum FrontResponse {
+    /// Token granted: the hex-encoded 86-byte wire image.
+    Token {
+        /// Hex of [`Token::to_bytes`].
+        token_hex: String,
+    },
+    /// Request denied. The reason is deliberately coarse: rules stay
+    /// private to the TS (§VII-A d).
+    Denied {
+        /// Human-readable rejection summary.
+        reason: String,
+    },
+    /// Rules updated.
+    RulesUpdated,
+    /// Pong.
+    Pong,
+    /// Malformed request or bad owner secret.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// The front end: a service plus its owner secret.
+pub struct FrontEnd {
+    service: TokenService,
+    owner_secret: String,
+    /// TS-local clock (seconds); tests and experiments advance it manually.
+    now: std::sync::atomic::AtomicU64,
+}
+
+impl FrontEnd {
+    /// Wrap a service.
+    pub fn new(service: TokenService, owner_secret: impl Into<String>, now: u64) -> Self {
+        FrontEnd {
+            service,
+            owner_secret: owner_secret.into(),
+            now: std::sync::atomic::AtomicU64::new(now),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &TokenService {
+        &self.service
+    }
+
+    /// Advance the TS-local clock.
+    pub fn advance_time(&self, secs: u64) {
+        self.now.fetch_add(secs, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Handle a structured request.
+    pub fn handle(&self, request: FrontRequest) -> FrontResponse {
+        match request {
+            FrontRequest::IssueToken { request } => {
+                let now = self.now.load(std::sync::atomic::Ordering::SeqCst);
+                match self.service.issue(&request, now) {
+                    Ok(token) => FrontResponse::Token {
+                        token_hex: hex_encode(&token),
+                    },
+                    Err(e) => FrontResponse::Denied {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+            FrontRequest::SetRules {
+                owner_secret,
+                rules,
+            } => {
+                if owner_secret != self.owner_secret {
+                    return FrontResponse::Error {
+                        message: "bad owner secret".into(),
+                    };
+                }
+                self.service.set_rules(rules);
+                FrontResponse::RulesUpdated
+            }
+            FrontRequest::Ping => FrontResponse::Pong,
+        }
+    }
+
+    /// Handle a raw JSON request line (the wire form of [`FrontEnd::handle`]).
+    pub fn handle_json(&self, body: &str) -> String {
+        let response = match serde_json::from_str::<FrontRequest>(body) {
+            Ok(req) => self.handle(req),
+            Err(e) => FrontResponse::Error {
+                message: format!("bad request: {e}"),
+            },
+        };
+        serde_json::to_string(&response).expect("responses always serialize")
+    }
+}
+
+fn hex_encode(token: &Token) -> String {
+    let bytes = token.to_bytes();
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decode a hex token string returned by the front end.
+pub fn decode_token_hex(s: &str) -> Option<Token> {
+    if s.len() != Token::SIZE * 2 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(Token::SIZE);
+    for i in (0..s.len()).step_by(2) {
+        bytes.push(u8::from_str_radix(&s[i..i + 2], 16).ok()?);
+    }
+    Token::from_bytes(&bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::TokenServiceConfig;
+    use smacs_crypto::Keypair;
+    use smacs_primitives::Address;
+    use smacs_token::TokenType;
+
+    fn front() -> FrontEnd {
+        let service = TokenService::new(
+            Keypair::from_seed(1),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        );
+        FrontEnd::new(service, "hunter2", 1_000)
+    }
+
+    fn request() -> TokenRequest {
+        TokenRequest::super_token(Address::from_low_u64(1), Address::from_low_u64(2))
+    }
+
+    #[test]
+    fn issue_round_trip_through_json() {
+        let front = front();
+        let body = serde_json::to_string(&FrontRequest::IssueToken { request: request() }).unwrap();
+        let response: FrontResponse = serde_json::from_str(&front.handle_json(&body)).unwrap();
+        let FrontResponse::Token { token_hex } = response else {
+            panic!("expected token, got {response:?}");
+        };
+        let token = decode_token_hex(&token_hex).unwrap();
+        assert_eq!(token.ttype, TokenType::Super);
+        assert_eq!(token.expire, 1_000 + 3_600);
+    }
+
+    #[test]
+    fn denial_reports_reason_but_not_rules() {
+        let front = front();
+        front.service().set_rules(RuleBook::deny_all());
+        let response = front.handle(FrontRequest::IssueToken { request: request() });
+        let FrontResponse::Denied { reason } = response else {
+            panic!("expected denial");
+        };
+        // The denial must not leak list contents.
+        assert!(!reason.contains("0x"), "leaked rule detail: {reason}");
+    }
+
+    #[test]
+    fn owner_secret_gates_rule_updates() {
+        let front = front();
+        let bad = front.handle(FrontRequest::SetRules {
+            owner_secret: "wrong".into(),
+            rules: RuleBook::deny_all(),
+        });
+        assert!(matches!(bad, FrontResponse::Error { .. }));
+        // Service still permissive.
+        assert!(matches!(
+            front.handle(FrontRequest::IssueToken { request: request() }),
+            FrontResponse::Token { .. }
+        ));
+
+        let good = front.handle(FrontRequest::SetRules {
+            owner_secret: "hunter2".into(),
+            rules: RuleBook::deny_all(),
+        });
+        assert_eq!(good, FrontResponse::RulesUpdated);
+        assert!(matches!(
+            front.handle(FrontRequest::IssueToken { request: request() }),
+            FrontResponse::Denied { .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let front = front();
+        let response: FrontResponse =
+            serde_json::from_str(&front.handle_json("{not json")).unwrap();
+        assert!(matches!(response, FrontResponse::Error { .. }));
+    }
+
+    #[test]
+    fn ping_pong() {
+        assert_eq!(front().handle(FrontRequest::Ping), FrontResponse::Pong);
+    }
+
+    #[test]
+    fn clock_advances_expiry() {
+        let front = front();
+        front.advance_time(100);
+        let FrontResponse::Token { token_hex } =
+            front.handle(FrontRequest::IssueToken { request: request() })
+        else {
+            panic!()
+        };
+        assert_eq!(decode_token_hex(&token_hex).unwrap().expire, 1_100 + 3_600);
+    }
+
+    #[test]
+    fn token_hex_rejects_garbage() {
+        assert!(decode_token_hex("zz").is_none());
+        assert!(decode_token_hex(&"00".repeat(Token::SIZE)).is_none()); // bad type byte
+    }
+}

@@ -1,0 +1,230 @@
+//! A minimal threaded HTTP/1.1 server exposing the [`crate::front`]
+//! protocol over TCP — the prototype's stand-in for the paper's
+//! "HTTPS-enabled web interface".
+//!
+//! One `POST /` request per connection, JSON body in, JSON body out. Built
+//! on `std::net` only; adequate for loopback benchmarking and integration
+//! tests, not hardened for the open internet (the paper's prototype ran
+//! Node.js on localhost, same scope).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::front::FrontEnd;
+
+/// A running HTTP front-end server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Start serving `front` on an OS-assigned loopback port.
+    pub fn start(front: Arc<FrontEnd>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = shutdown.clone();
+        listener.set_nonblocking(true)?;
+        let handle = std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let front = front.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &front);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:port`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service URL for [`crate::discovery`] metadata.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, front: &FrontEnd) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    // Request line.
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let _path = parts.next().unwrap_or("/");
+
+    // Headers → content length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(value) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .map(str::to_string)
+        {
+            content_length = value.parse().unwrap_or(0);
+        }
+    }
+
+    if method != "POST" {
+        return write_response(&mut stream, 405, r#"{"status":"error","message":"POST only"}"#);
+    }
+    let mut body = vec![0u8; content_length.min(1 << 20)];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body);
+    let response = front.handle_json(&body);
+    write_response(&mut stream, 200, &response)
+}
+
+fn write_response(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
+    let reason = if code == 200 { "OK" } else { "Method Not Allowed" };
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// A tiny blocking client for the server above — used by tests, benches,
+/// and example binaries.
+pub fn post_json(addr: SocketAddr, body: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "POST / HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let body_start = response
+        .find("\r\n\r\n")
+        .map(|i| i + 4)
+        .unwrap_or(response.len());
+    Ok(response[body_start..].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::{decode_token_hex, FrontRequest, FrontResponse};
+    use crate::rules::RuleBook;
+    use crate::service::{TokenService, TokenServiceConfig};
+    use smacs_crypto::Keypair;
+    use smacs_primitives::Address;
+    use smacs_token::TokenRequest;
+
+    fn running_server() -> HttpServer {
+        let service = TokenService::new(
+            Keypair::from_seed(1),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        );
+        HttpServer::start(Arc::new(FrontEnd::new(service, "secret", 0))).unwrap()
+    }
+
+    #[test]
+    fn token_issuance_over_http() {
+        let server = running_server();
+        let request = FrontRequest::IssueToken {
+            request: TokenRequest::super_token(
+                Address::from_low_u64(1),
+                Address::from_low_u64(2),
+            ),
+        };
+        let body = serde_json::to_string(&request).unwrap();
+        let response = post_json(server.addr(), &body).unwrap();
+        let parsed: FrontResponse = serde_json::from_str(&response).unwrap();
+        let FrontResponse::Token { token_hex } = parsed else {
+            panic!("expected token, got {parsed:?}");
+        };
+        assert!(decode_token_hex(&token_hex).is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = running_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let request = FrontRequest::IssueToken {
+                        request: TokenRequest::super_token(
+                            Address::from_low_u64(1),
+                            Address::from_low_u64(100 + i),
+                        ),
+                    };
+                    let body = serde_json::to_string(&request).unwrap();
+                    let response = post_json(addr, &body).unwrap();
+                    matches!(
+                        serde_json::from_str::<FrontResponse>(&response).unwrap(),
+                        FrontResponse::Token { .. }
+                    )
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.join().unwrap());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_post_is_rejected() {
+        let server = running_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,40 @@
+//! # smacs-ts — the off-chain Token Service
+//!
+//! The TS (§III-A, §IV) is "responsible for verifying requests from clients
+//! and issuing access control tokens accordingly". It consists of the three
+//! modules Fig. 1 draws:
+//!
+//! - the **front end** ([`front`] for the JSON protocol, [`http`] for the
+//!   threaded TCP/HTTP server) through which owners and clients interact;
+//! - the **access granting** module ([`service`]) that checks rule
+//!   compliance ([`rules`] — Fig. 6's white/blacklists, dynamically
+//!   updatable by the owner without touching the deployed contract) and
+//!   signs tokens;
+//! - the **validation** module ([`validation`]) hosting pluggable
+//!   runtime-verification tools (Hydra uniformity and the ECF checker live
+//!   in the `smacs-verifiers` crate and plug in through the
+//!   [`validation::ValidationTool`] trait, running against a forked local
+//!   testnet as §V describes).
+//!
+//! For availability (§VII-B), one-time indexes can come from a
+//! [`replica::CounterCluster`] — a majority-quorum replicated counter —
+//! instead of the single-node atomic counter. [`discovery`] implements the
+//! §VII-B service-discovery metadata (contract address → TS URL), and
+//! [`store`] persists rules and the signing key to disk (the prototype's
+//! node-localStorage analog).
+
+pub mod discovery;
+pub mod front;
+pub mod http;
+pub mod replica;
+pub mod rules;
+pub mod store;
+pub mod service;
+pub mod validation;
+
+pub use discovery::ServiceDirectory;
+pub use replica::CounterCluster;
+pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
+pub use store::RuleStore;
+pub use service::{IssueError, TokenService, TokenServiceConfig};
+pub use validation::{NullTool, ValidationTool};

@@ -1,0 +1,210 @@
+//! A replicated counter for one-time token indexes (§VII-B availability).
+//!
+//! "If a TS service is offering one-time tokens, then its replicas have to
+//! coordinate on the current counter value. That can be efficiently
+//! realized via a replicated counter primitive usually implemented upon a
+//! standard consensus algorithm." This module implements that primitive as
+//! a majority-quorum state machine: a proposal (the next counter value) is
+//! replicated to all live nodes and commits iff a majority of the *full*
+//! membership acknowledges. Losing quorum makes the counter unavailable
+//! (fail-closed — the TS then refuses one-time issuance rather than risk
+//! duplicate indexes).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One replica of the counter.
+struct Node {
+    /// Highest committed counter value this node has applied.
+    committed: AtomicU64,
+    /// Liveness flag (false = crashed / partitioned away).
+    alive: AtomicBool,
+}
+
+/// A majority-quorum replicated counter.
+#[derive(Clone)]
+pub struct CounterCluster {
+    nodes: Arc<Vec<Node>>,
+    /// Serializes proposals, playing the leader's log-ordering role.
+    proposal_lock: Arc<Mutex<()>>,
+}
+
+impl CounterCluster {
+    /// A cluster of `n` replicas, counter starting at 0.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        let nodes = (0..n)
+            .map(|_| Node {
+                committed: AtomicU64::new(0),
+                alive: AtomicBool::new(true),
+            })
+            .collect();
+        CounterCluster {
+            nodes: Arc::new(nodes),
+            proposal_lock: Arc::new(Mutex::new(())),
+        }
+    }
+
+    /// Cluster size.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the cluster has no nodes (never: `new` requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Majority threshold over the full membership.
+    pub fn quorum(&self) -> usize {
+        self.nodes.len() / 2 + 1
+    }
+
+    /// Whether a majority of nodes is live.
+    pub fn has_quorum(&self) -> bool {
+        self.live_count() >= self.quorum()
+    }
+
+    /// Crash node `id` (for failure-injection tests).
+    pub fn kill(&self, id: usize) {
+        self.nodes[id].alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Recover node `id`: it rejoins and catches up to the highest
+    /// committed value among live nodes.
+    pub fn recover(&self, id: usize) {
+        let _guard = self.proposal_lock.lock();
+        let max_committed = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive.load(Ordering::SeqCst))
+            .map(|n| n.committed.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0);
+        self.nodes[id].committed.store(max_committed, Ordering::SeqCst);
+        self.nodes[id].alive.store(true, Ordering::SeqCst);
+    }
+
+    /// Atomically allocate the next index. Returns `None` when quorum is
+    /// lost — the caller must refuse issuance.
+    pub fn next_index(&self) -> Option<u64> {
+        let _guard = self.proposal_lock.lock();
+        // Leader = lowest-id live node; it proposes its committed value.
+        let leader = self
+            .nodes
+            .iter()
+            .find(|n| n.alive.load(Ordering::SeqCst))?;
+        let value = leader.committed.load(Ordering::SeqCst);
+        // Replicate: every live node acks and pre-applies value + 1.
+        let mut acks = 0;
+        for node in self.nodes.iter() {
+            if node.alive.load(Ordering::SeqCst) {
+                acks += 1;
+            }
+        }
+        if acks < self.quorum() {
+            return None;
+        }
+        for node in self.nodes.iter() {
+            if node.alive.load(Ordering::SeqCst) {
+                node.committed.store(value + 1, Ordering::SeqCst);
+            }
+        }
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn sequential_allocation() {
+        let cluster = CounterCluster::new(3);
+        let values: Vec<u64> = (0..10).filter_map(|_| cluster.next_index()).collect();
+        assert_eq!(values, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_allocation_is_duplicate_free() {
+        let cluster = CounterCluster::new(5);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = cluster.clone();
+            handles.push(thread::spawn(move || {
+                (0..100).filter_map(|_| c.next_index()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for handle in handles {
+            for v in handle.join().unwrap() {
+                assert!(seen.insert(v), "duplicate index {v}");
+            }
+        }
+        assert_eq!(seen.len(), 800);
+    }
+
+    #[test]
+    fn survives_minority_failure() {
+        let cluster = CounterCluster::new(5);
+        assert_eq!(cluster.next_index(), Some(0));
+        cluster.kill(0); // leader dies
+        cluster.kill(1);
+        assert!(cluster.has_quorum());
+        // New leader continues without reusing indexes.
+        assert_eq!(cluster.next_index(), Some(1));
+        assert_eq!(cluster.next_index(), Some(2));
+    }
+
+    #[test]
+    fn majority_failure_fails_closed() {
+        let cluster = CounterCluster::new(3);
+        assert_eq!(cluster.next_index(), Some(0));
+        cluster.kill(0);
+        cluster.kill(1);
+        assert!(!cluster.has_quorum());
+        assert_eq!(cluster.next_index(), None);
+    }
+
+    #[test]
+    fn recovered_node_catches_up() {
+        let cluster = CounterCluster::new(3);
+        cluster.kill(2);
+        for _ in 0..5 {
+            cluster.next_index().unwrap();
+        }
+        cluster.recover(2);
+        // Kill the nodes that saw all the traffic; the recovered node must
+        // carry the state forward without reissuing.
+        cluster.kill(0);
+        assert_eq!(cluster.next_index(), Some(5));
+    }
+
+    #[test]
+    fn quorum_math() {
+        assert_eq!(CounterCluster::new(1).quorum(), 1);
+        assert_eq!(CounterCluster::new(3).quorum(), 2);
+        assert_eq!(CounterCluster::new(4).quorum(), 3);
+        assert_eq!(CounterCluster::new(5).quorum(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        CounterCluster::new(0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Access Control Rules: the Fig. 6 white/blacklist structure.
+//!
+//! ```json
+//! {
+//!   "sender":   { "whitelist": ["0x366c…", "0xd488…"] },
+//!   "method":   { "methodA": { "blacklist": ["0xBa7F…"] } },
+//!   "argument": { "argA":    { "whitelist": ["0x3540…"] } }
+//! }
+//! ```
+//!
+//! Rules are organized per token type ("for every token type, there is a
+//! set of rules associated with it", §IV-E): each type carries its own
+//! sender policy, per-method sender policies, and per-argument value
+//! policies, so "an address whitelisted for super tokens can be blacklisted
+//! for argument tokens". All lists are dynamically updatable by the owner
+//! — no contract change required.
+
+use serde::{Deserialize, Serialize};
+use smacs_primitives::Address;
+use smacs_token::{TokenRequest, TokenType};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A whitelist or blacklist over string-rendered subjects (addresses are
+/// stored in their canonical `0x…` form; argument values verbatim, so
+/// "it is possible to blacklist dangerous argument values", §IV-E).
+///
+/// ```
+/// use smacs_ts::ListPolicy;
+///
+/// let mut employees = ListPolicy::deny_all(); // empty whitelist
+/// employees.insert("0xaa..01");
+/// assert!(employees.permits("0xaa..01"));
+/// assert!(!employees.permits("0xbb..02"));
+/// employees.remove("0xaa..01"); // dynamic update, no gas, no contract change
+/// assert!(!employees.permits("0xaa..01"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ListPolicy {
+    /// Only listed subjects pass.
+    Whitelist(BTreeSet<String>),
+    /// Listed subjects are rejected; everyone else passes.
+    Blacklist(BTreeSet<String>),
+}
+
+impl ListPolicy {
+    /// Empty whitelist (denies everything).
+    pub fn deny_all() -> Self {
+        ListPolicy::Whitelist(BTreeSet::new())
+    }
+
+    /// Empty blacklist (allows everything).
+    pub fn allow_all() -> Self {
+        ListPolicy::Blacklist(BTreeSet::new())
+    }
+
+    /// Whether `subject` passes this policy.
+    pub fn permits(&self, subject: &str) -> bool {
+        match self {
+            ListPolicy::Whitelist(set) => set.contains(subject),
+            ListPolicy::Blacklist(set) => !set.contains(subject),
+        }
+    }
+
+    /// Add a subject to the list (meaning depends on the polarity).
+    pub fn insert(&mut self, subject: impl Into<String>) {
+        match self {
+            ListPolicy::Whitelist(set) | ListPolicy::Blacklist(set) => {
+                set.insert(subject.into());
+            }
+        }
+    }
+
+    /// Remove a subject from the list.
+    pub fn remove(&mut self, subject: &str) -> bool {
+        match self {
+            ListPolicy::Whitelist(set) | ListPolicy::Blacklist(set) => set.remove(subject),
+        }
+    }
+
+    /// Number of listed subjects.
+    pub fn len(&self) -> usize {
+        match self {
+            ListPolicy::Whitelist(set) | ListPolicy::Blacklist(set) => set.len(),
+        }
+    }
+
+    /// True iff no subjects are listed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Why a request violated the rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleViolation {
+    /// The sender failed the type-level sender policy.
+    SenderRejected(Address),
+    /// The sender failed the per-method policy.
+    MethodRejected {
+        /// The method whose policy rejected the sender.
+        method: String,
+        /// The rejected sender.
+        sender: Address,
+    },
+    /// An argument value failed its per-argument policy.
+    ArgumentRejected {
+        /// The argument name.
+        name: String,
+        /// The rejected value.
+        value: String,
+    },
+    /// The request's type has no rules configured at all (deny by
+    /// default: an unconfigured TS issues nothing).
+    TypeNotConfigured(TokenType),
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleViolation::SenderRejected(addr) => write!(f, "sender {addr} rejected"),
+            RuleViolation::MethodRejected { method, sender } => {
+                write!(f, "sender {sender} rejected for method {method}")
+            }
+            RuleViolation::ArgumentRejected { name, value } => {
+                write!(f, "argument {name}={value} rejected")
+            }
+            RuleViolation::TypeNotConfigured(ttype) => {
+                write!(f, "no rules configured for {ttype} tokens")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleViolation {}
+
+/// The Fig. 6 rule structure for one token type.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeRules {
+    /// Sender policy (who may obtain tokens of this type).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sender: Option<ListPolicy>,
+    /// Per-method sender policies, keyed by canonical method signature.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub method: BTreeMap<String, ListPolicy>,
+    /// Per-argument value policies, keyed by argument name.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub argument: BTreeMap<String, ListPolicy>,
+}
+
+impl TypeRules {
+    /// Rules that admit every request of the type.
+    pub fn permissive() -> Self {
+        TypeRules {
+            sender: Some(ListPolicy::allow_all()),
+            method: BTreeMap::new(),
+            argument: BTreeMap::new(),
+        }
+    }
+
+    fn check(&self, req: &TokenRequest) -> Result<(), RuleViolation> {
+        let sender_hex = req.sender.to_hex();
+        if let Some(policy) = &self.sender {
+            if !policy.permits(&sender_hex) {
+                return Err(RuleViolation::SenderRejected(req.sender));
+            }
+        }
+        if let Some(method) = &req.method {
+            if let Some(policy) = self.method.get(method) {
+                if !policy.permits(&sender_hex) {
+                    return Err(RuleViolation::MethodRejected {
+                        method: method.clone(),
+                        sender: req.sender,
+                    });
+                }
+            }
+        }
+        for arg in &req.args {
+            if let Some(policy) = self.argument.get(&arg.name) {
+                if !policy.permits(&arg.value) {
+                    return Err(RuleViolation::ArgumentRejected {
+                        name: arg.name.clone(),
+                        value: arg.value.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The complete, per-type rule book a TS enforces.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleBook {
+    /// Rules for each token type. Absent type ⇒ requests of that type are
+    /// denied ([`RuleViolation::TypeNotConfigured`]).
+    #[serde(default)]
+    pub types: BTreeMap<TokenType, TypeRules>,
+}
+
+impl RuleBook {
+    /// Empty book: denies everything.
+    pub fn deny_all() -> Self {
+        RuleBook::default()
+    }
+
+    /// Book admitting every well-formed request of every type — the
+    /// baseline for throughput benchmarks.
+    pub fn permissive() -> Self {
+        let mut types = BTreeMap::new();
+        for ttype in TokenType::ALL {
+            types.insert(ttype, TypeRules::permissive());
+        }
+        RuleBook { types }
+    }
+
+    /// Access the rules for one type, creating them if absent.
+    pub fn rules_mut(&mut self, ttype: TokenType) -> &mut TypeRules {
+        self.types.entry(ttype).or_default()
+    }
+
+    /// Check a request against the rules of its type.
+    pub fn check(&self, req: &TokenRequest) -> Result<(), RuleViolation> {
+        let rules = self
+            .types
+            .get(&req.ttype)
+            .ok_or(RuleViolation::TypeNotConfigured(req.ttype))?;
+        rules.check(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_token::request::ArgBinding;
+
+    fn addr(n: u64) -> Address {
+        Address::from_low_u64(n)
+    }
+
+    fn whitelist(addrs: &[Address]) -> ListPolicy {
+        ListPolicy::Whitelist(addrs.iter().map(|a| a.to_hex()).collect())
+    }
+
+    fn blacklist(addrs: &[Address]) -> ListPolicy {
+        ListPolicy::Blacklist(addrs.iter().map(|a| a.to_hex()).collect())
+    }
+
+    #[test]
+    fn policy_semantics() {
+        let wl = whitelist(&[addr(1)]);
+        assert!(wl.permits(&addr(1).to_hex()));
+        assert!(!wl.permits(&addr(2).to_hex()));
+        let bl = blacklist(&[addr(1)]);
+        assert!(!bl.permits(&addr(1).to_hex()));
+        assert!(bl.permits(&addr(2).to_hex()));
+        assert!(!ListPolicy::deny_all().permits("x"));
+        assert!(ListPolicy::allow_all().permits("x"));
+    }
+
+    #[test]
+    fn policy_updates() {
+        let mut wl = ListPolicy::deny_all();
+        wl.insert(addr(5).to_hex());
+        assert!(wl.permits(&addr(5).to_hex()));
+        assert!(wl.remove(&addr(5).to_hex()));
+        assert!(!wl.permits(&addr(5).to_hex()));
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn deny_all_book_rejects_everything() {
+        let book = RuleBook::deny_all();
+        let req = TokenRequest::super_token(addr(9), addr(1));
+        assert_eq!(
+            book.check(&req),
+            Err(RuleViolation::TypeNotConfigured(TokenType::Super))
+        );
+    }
+
+    #[test]
+    fn example1_whitelist_of_employees() {
+        // Paper Example 1: methods callable only by a dynamic set of
+        // addresses.
+        let mut book = RuleBook::deny_all();
+        book.rules_mut(TokenType::Super).sender = Some(whitelist(&[addr(1), addr(2)]));
+        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_ok());
+        assert_eq!(
+            book.check(&TokenRequest::super_token(addr(9), addr(3))),
+            Err(RuleViolation::SenderRejected(addr(3)))
+        );
+        // Dynamic update: hire employee 3, fire employee 1.
+        let senders = book.rules_mut(TokenType::Super).sender.as_mut().unwrap();
+        senders.insert(addr(3).to_hex());
+        senders.remove(&addr(1).to_hex());
+        assert!(book.check(&TokenRequest::super_token(addr(9), addr(3))).is_ok());
+        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_err());
+    }
+
+    #[test]
+    fn example2_blacklist() {
+        // Paper Example 2: block a predefined set of addresses.
+        let mut book = RuleBook::deny_all();
+        book.rules_mut(TokenType::Super).sender = Some(blacklist(&[addr(13)]));
+        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_ok());
+        assert!(book.check(&TokenRequest::super_token(addr(9), addr(13))).is_err());
+    }
+
+    #[test]
+    fn example3_per_method_and_per_argument() {
+        // Paper Example 3: only authorized parties may call a specific
+        // method, optionally with specific arguments.
+        let mut book = RuleBook::permissive();
+        book.rules_mut(TokenType::Method)
+            .method
+            .insert("moveMoney(address)".into(), whitelist(&[addr(1)]));
+        book.rules_mut(TokenType::Argument)
+            .argument
+            .insert(
+                "recipient".into(),
+                ListPolicy::Blacklist(std::iter::once("0xEVIL".to_string()).collect()),
+            );
+
+        let ok = TokenRequest::method_token(addr(9), addr(1), "moveMoney(address)");
+        assert!(book.check(&ok).is_ok());
+        let bad_sender = TokenRequest::method_token(addr(9), addr(2), "moveMoney(address)");
+        assert!(matches!(
+            book.check(&bad_sender),
+            Err(RuleViolation::MethodRejected { .. })
+        ));
+
+        let bad_arg = TokenRequest::argument_token(
+            addr(9),
+            addr(1),
+            "moveMoney(address)",
+            vec![ArgBinding {
+                name: "recipient".into(),
+                value: "0xEVIL".into(),
+            }],
+            vec![1, 2, 3],
+        );
+        assert!(matches!(
+            book.check(&bad_arg),
+            Err(RuleViolation::ArgumentRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn per_type_independence() {
+        // An address whitelisted for super tokens can be blacklisted for
+        // argument tokens (§IV-E).
+        let mut book = RuleBook::deny_all();
+        book.rules_mut(TokenType::Super).sender = Some(whitelist(&[addr(1)]));
+        book.rules_mut(TokenType::Argument).sender = Some(blacklist(&[addr(1)]));
+        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_ok());
+        let arg_req = TokenRequest::argument_token(addr(9), addr(1), "f()", vec![], vec![]);
+        assert!(matches!(
+            book.check(&arg_req),
+            Err(RuleViolation::SenderRejected(_))
+        ));
+    }
+
+    #[test]
+    fn fig6_json_shape_round_trips() {
+        let mut book = RuleBook::deny_all();
+        book.rules_mut(TokenType::Super).sender = Some(whitelist(&[addr(0x366c), addr(0xd488)]));
+        book.rules_mut(TokenType::Method)
+            .method
+            .insert("methodA()".into(), blacklist(&[addr(0xBa7F)]));
+        book.rules_mut(TokenType::Argument)
+            .argument
+            .insert("argA".into(), whitelist(&[addr(0x3540)]));
+        let json = serde_json::to_string_pretty(&book).unwrap();
+        assert!(json.contains("whitelist"));
+        assert!(json.contains("blacklist"));
+        let back: RuleBook = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, book);
+    }
+}

@@ -1,0 +1,372 @@
+//! The access-granting module: request checking and token issuance.
+//!
+//! §IV-B(a): "To apply for a token, a client sends a token request
+//! specifying the intended type together with a compatible reqPayload …
+//! When receiving the token request, the TS parses and checks it against
+//! the rules. Once verified, a token is issued according to the request"
+//! — by signing `type ‖ expire ‖ index ‖ reqPayload` with `sk_TS`.
+
+use parking_lot::RwLock;
+use smacs_chain::Chain;
+use smacs_crypto::Keypair;
+use smacs_primitives::Address;
+use smacs_token::{
+    signing_digest, PayloadContext, Token, TokenRequest, TokenType, NO_INDEX,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::replica::CounterCluster;
+use crate::rules::{RuleBook, RuleViolation};
+use crate::validation::ValidationTool;
+
+/// Why issuance failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IssueError {
+    /// The request itself was malformed (Tab. I field matrix).
+    InvalidRequest(String),
+    /// An ACR rejected the request.
+    RuleViolation(RuleViolation),
+    /// A validation tool vetoed the request.
+    ToolRejected {
+        /// The vetoing tool.
+        tool: &'static str,
+        /// Its reason.
+        reason: String,
+    },
+    /// The replicated counter lost quorum (§VII-B availability).
+    CounterUnavailable,
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+            IssueError::RuleViolation(v) => write!(f, "rule violation: {v}"),
+            IssueError::ToolRejected { tool, reason } => {
+                write!(f, "validation tool {tool} rejected: {reason}")
+            }
+            IssueError::CounterUnavailable => write!(f, "one-time counter unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// Where one-time indexes come from.
+enum IndexSource {
+    /// Single-node atomic counter.
+    Local(AtomicU64),
+    /// Majority-quorum replicated counter (§VII-B).
+    Replicated(CounterCluster),
+}
+
+/// TS configuration.
+#[derive(Clone, Debug)]
+pub struct TokenServiceConfig {
+    /// Lifetime granted to issued tokens, in seconds.
+    pub token_lifetime_secs: u64,
+}
+
+impl Default for TokenServiceConfig {
+    fn default() -> Self {
+        // The paper's Table IV analysis assumes 1-hour one-time tokens.
+        TokenServiceConfig {
+            token_lifetime_secs: 3_600,
+        }
+    }
+}
+
+/// A Token Service instance for one (or more) SMACS-enabled contracts.
+pub struct TokenService {
+    sk_ts: Keypair,
+    rules: RwLock<RuleBook>,
+    tools: Vec<Arc<dyn ValidationTool>>,
+    testnet: Option<RwLock<Chain>>,
+    index_source: IndexSource,
+    config: TokenServiceConfig,
+}
+
+impl TokenService {
+    /// A TS with the given signing key and initial rules; no validation
+    /// tools, local counter.
+    pub fn new(sk_ts: Keypair, rules: RuleBook, config: TokenServiceConfig) -> Self {
+        TokenService {
+            sk_ts,
+            rules: RwLock::new(rules),
+            tools: Vec::new(),
+            testnet: None,
+            index_source: IndexSource::Local(AtomicU64::new(0)),
+            config,
+        }
+    }
+
+    /// Attach a local testnet fork for validation tools to simulate on
+    /// ("TSes … simulate the runtime behavior of the smart contract in an
+    /// isolated off-chain environment", §IV-E).
+    pub fn with_testnet(mut self, fork: Chain) -> Self {
+        self.testnet = Some(RwLock::new(fork));
+        self
+    }
+
+    /// Plug in a validation tool (§V).
+    pub fn with_tool(mut self, tool: Arc<dyn ValidationTool>) -> Self {
+        self.tools.push(tool);
+        self
+    }
+
+    /// Use a replicated counter for one-time indexes (§VII-B).
+    pub fn with_replicated_counter(mut self, cluster: CounterCluster) -> Self {
+        self.index_source = IndexSource::Replicated(cluster);
+        self
+    }
+
+    /// The address form of `pk_TS` — what shielded contracts store.
+    pub fn ts_address(&self) -> Address {
+        self.sk_ts.address()
+    }
+
+    /// Owner-side dynamic rule update ("these rules can be updated
+    /// dynamically by the owner", §III-C). Replaces the whole book.
+    pub fn set_rules(&self, rules: RuleBook) {
+        *self.rules.write() = rules;
+    }
+
+    /// Owner-side targeted rule edit.
+    pub fn update_rules<F: FnOnce(&mut RuleBook)>(&self, edit: F) {
+        edit(&mut self.rules.write());
+    }
+
+    /// Snapshot of the current rules (owner diagnostics; rules stay
+    /// private to the TS — clients never see them).
+    pub fn rules_snapshot(&self) -> RuleBook {
+        self.rules.read().clone()
+    }
+
+    /// Handle one token request at TS-local time `now`.
+    pub fn issue(&self, req: &TokenRequest, now: u64) -> Result<Token, IssueError> {
+        // 1. Well-formedness (Tab. I).
+        req.validate()
+            .map_err(|e| IssueError::InvalidRequest(e.to_string()))?;
+
+        // 2. ACR compliance.
+        self.rules
+            .read()
+            .check(req)
+            .map_err(IssueError::RuleViolation)?;
+
+        // 3. Validation tools on the local testnet.
+        for tool in &self.tools {
+            if !tool.applies_to(req.ttype) {
+                continue;
+            }
+            let Some(testnet) = &self.testnet else {
+                return Err(IssueError::ToolRejected {
+                    tool: tool.name(),
+                    reason: "no testnet attached".into(),
+                });
+            };
+            let mut fork = testnet.read().fork();
+            tool.validate(req, &mut fork)
+                .map_err(|reason| IssueError::ToolRejected {
+                    tool: tool.name(),
+                    reason,
+                })?;
+        }
+
+        // 4. Mint: expiry from lifetime, index from the counter when the
+        //    one-time property is requested.
+        let expire = (now + self.config.token_lifetime_secs) as u32;
+        let index = if req.one_time {
+            self.next_index()? as i128
+        } else {
+            NO_INDEX
+        };
+        let ctx = PayloadContext {
+            sender: req.sender,
+            contract: req.contract,
+            selector: req.selector(),
+            calldata: if req.ttype == TokenType::Argument {
+                req.calldata.clone()
+            } else {
+                None
+            },
+        };
+        let digest = signing_digest(req.ttype, expire, index, &ctx);
+        Ok(Token {
+            ttype: req.ttype,
+            expire,
+            index,
+            signature: self.sk_ts.sign_digest(&digest),
+        })
+    }
+
+    fn next_index(&self) -> Result<u64, IssueError> {
+        match &self.index_source {
+            IndexSource::Local(counter) => Ok(counter.fetch_add(1, Ordering::SeqCst)),
+            IndexSource::Replicated(cluster) => {
+                cluster.next_index().ok_or(IssueError::CounterUnavailable)
+            }
+        }
+    }
+
+    /// Refresh the attached testnet to a newer fork of the live chain (the
+    /// owner periodically re-syncs the simulation environment).
+    pub fn sync_testnet(&self, fork: Chain) {
+        if let Some(testnet) = &self.testnet {
+            *testnet.write() = fork;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ListPolicy;
+    use smacs_token::request::ArgBinding;
+
+    fn service() -> TokenService {
+        TokenService::new(
+            Keypair::from_seed(1000),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        )
+    }
+
+    fn contract() -> Address {
+        Address::from_low_u64(0xC0)
+    }
+
+    fn sender() -> Address {
+        Address::from_low_u64(0x5E)
+    }
+
+    #[test]
+    fn issues_tokens_with_lifetime_expiry() {
+        let ts = service();
+        let req = TokenRequest::super_token(contract(), sender());
+        let tk = ts.issue(&req, 1_000_000).unwrap();
+        assert_eq!(tk.ttype, TokenType::Super);
+        assert_eq!(tk.expire, 1_003_600);
+        assert_eq!(tk.index, NO_INDEX);
+    }
+
+    #[test]
+    fn one_time_indexes_are_consecutive() {
+        // "counter is initialized to 0, whenever a new one-time token is
+        // being issued, it is incremented by 1" (§IV-C).
+        let ts = service();
+        let req = TokenRequest::super_token(contract(), sender()).one_time();
+        let indexes: Vec<i128> = (0..5).map(|_| ts.issue(&req, 0).unwrap().index).collect();
+        assert_eq!(indexes, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn signature_verifies_against_ts_address() {
+        let ts = service();
+        let req = TokenRequest::method_token(contract(), sender(), "f(uint256)");
+        let tk = ts.issue(&req, 500).unwrap();
+        let ctx = PayloadContext {
+            sender: sender(),
+            contract: contract(),
+            selector: req.selector(),
+            calldata: None,
+        };
+        let digest = signing_digest(tk.ttype, tk.expire, tk.index, &ctx);
+        assert_eq!(
+            smacs_crypto::recover_address(&digest, &tk.signature),
+            Some(ts.ts_address())
+        );
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let ts = service();
+        let mut req = TokenRequest::method_token(contract(), sender(), "f()");
+        req.method = None;
+        assert!(matches!(
+            ts.issue(&req, 0),
+            Err(IssueError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rules_are_enforced_and_dynamically_updatable() {
+        let ts = service();
+        // Lock supers down to a whitelist excluding our sender.
+        ts.update_rules(|book| {
+            book.rules_mut(TokenType::Super).sender = Some(ListPolicy::deny_all());
+        });
+        let req = TokenRequest::super_token(contract(), sender());
+        assert!(matches!(
+            ts.issue(&req, 0),
+            Err(IssueError::RuleViolation(RuleViolation::SenderRejected(_)))
+        ));
+        // Owner whitelists the sender at runtime — no contract change.
+        ts.update_rules(|book| {
+            if let Some(policy) = &mut book.rules_mut(TokenType::Super).sender {
+                policy.insert(sender().to_hex());
+            }
+        });
+        assert!(ts.issue(&req, 0).is_ok());
+    }
+
+    #[test]
+    fn tools_veto_argument_tokens() {
+        struct VetoTool;
+        impl ValidationTool for VetoTool {
+            fn name(&self) -> &'static str {
+                "veto"
+            }
+            fn validate(&self, _req: &TokenRequest, _testnet: &mut Chain) -> Result<(), String> {
+                Err("simulated attack detected".into())
+            }
+        }
+        let ts = service()
+            .with_testnet(Chain::default_chain().fork())
+            .with_tool(Arc::new(VetoTool));
+        // Super tokens unaffected (tool applies to argument tokens only).
+        assert!(ts.issue(&TokenRequest::super_token(contract(), sender()), 0).is_ok());
+        // Argument tokens vetoed.
+        let req = TokenRequest::argument_token(
+            contract(),
+            sender(),
+            "f(uint256)",
+            vec![ArgBinding {
+                name: "x".into(),
+                value: "1".into(),
+            }],
+            vec![1, 2, 3, 4],
+        );
+        assert!(matches!(
+            ts.issue(&req, 0),
+            Err(IssueError::ToolRejected { tool: "veto", .. })
+        ));
+    }
+
+    #[test]
+    fn tool_without_testnet_fails_closed() {
+        struct NeedsNet;
+        impl ValidationTool for NeedsNet {
+            fn name(&self) -> &'static str {
+                "needs-net"
+            }
+            fn validate(&self, _req: &TokenRequest, _testnet: &mut Chain) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let ts = service().with_tool(Arc::new(NeedsNet));
+        let req = TokenRequest::argument_token(contract(), sender(), "f()", vec![], vec![1]);
+        assert!(matches!(ts.issue(&req, 0), Err(IssueError::ToolRejected { .. })));
+    }
+
+    #[test]
+    fn rules_snapshot_is_a_copy() {
+        let ts = service();
+        let snap = ts.rules_snapshot();
+        ts.set_rules(RuleBook::deny_all());
+        // The earlier snapshot is unaffected.
+        assert_ne!(snap, ts.rules_snapshot());
+    }
+}

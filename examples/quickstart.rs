@@ -1,0 +1,82 @@
+//! Quickstart: the complete SMACS loop in one file.
+//!
+//! 1. The owner generates the TS keypair and deploys a SMACS-enabled
+//!    contract with `pk_TS` preloaded.
+//! 2. The Token Service starts with a sender whitelist.
+//! 3. A whitelisted client requests a token and calls the contract.
+//! 4. A non-whitelisted client is denied at the TS, and a stolen token is
+//!    rejected on-chain.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use smacs::chain::Chain;
+use smacs::contracts::BenchTarget;
+use smacs::core::client::ClientWallet;
+use smacs::core::owner::{OwnerToolkit, ShieldParams};
+use smacs::token::{TokenRequest, TokenType};
+use smacs::ts::{ListPolicy, RuleBook, TokenService, TokenServiceConfig};
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. Chain, owner, and deployment -------------------------------
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let alice = ClientWallet::new(chain.funded_keypair(2, 10u128.pow(24)));
+    let mallory = ClientWallet::new(chain.funded_keypair(3, 10u128.pow(24)));
+
+    let toolkit = OwnerToolkit::new(owner, smacs::crypto::Keypair::from_seed(1_000));
+    let (target, receipt) = toolkit
+        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &ShieldParams {
+            token_lifetime_secs: 3_600,
+            max_tx_per_second: 0.35,
+            disable_one_time: false,
+        })
+        .expect("deployment");
+    println!("deployed SMACS-enabled BenchTarget at {}", target.address);
+    println!("  deployment gas: {}", receipt.gas_used);
+
+    // --- 2. Token Service with a whitelist -----------------------------
+    let mut rules = RuleBook::deny_all();
+    let mut whitelist = ListPolicy::deny_all();
+    whitelist.insert(alice.address().to_hex());
+    rules.rules_mut(TokenType::Method).sender = Some(whitelist);
+    let ts = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        rules,
+        TokenServiceConfig::default(),
+    );
+    println!("TS online; pk_TS = {}", ts.ts_address());
+
+    // --- 3. Alice: request a method token, call the contract -----------
+    let now = chain.pending_env().timestamp;
+    let request = TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG);
+    let token = ts.issue(&request, now).expect("alice is whitelisted");
+    println!("alice got a {} token (expires {})", token.ttype, token.expire);
+
+    let payload = BenchTarget::ping_payload(20, 22);
+    let receipt = alice
+        .call_with_token(&mut chain, target.address, 0, &payload, token)
+        .expect("submit");
+    println!(
+        "alice's call: {:?}, gas {}, verify share {}",
+        receipt.status,
+        receipt.gas_used,
+        receipt.breakdown.section("verify")
+    );
+    assert!(receipt.status.is_success());
+
+    // --- 4. Mallory: denied off-chain, and on-chain --------------------
+    let request = TokenRequest::method_token(target.address, mallory.address(), BenchTarget::PING_SIG);
+    let denied = ts.issue(&request, now);
+    println!("mallory's token request: {:?}", denied.err().map(|e| e.to_string()));
+
+    // Mallory intercepts alice's token and tries to use it herself: the
+    // signature binds tx.origin, so the contract rejects it.
+    let receipt = mallory
+        .call_with_token(&mut chain, target.address, 0, &payload, token)
+        .expect("submit");
+    println!("mallory with a stolen token: {:?}", receipt.status);
+    assert_eq!(receipt.revert_reason(), Some("SMACS: invalid token signature"));
+
+    println!("quickstart complete ✔");
+}

@@ -1,0 +1,36 @@
+//! # SMACS — Smart Contract Access Control Service
+//!
+//! A full Rust reproduction of *SMACS: Smart Contract Access Control Service*
+//! (Liu, Sun, Szalachowski — DSN 2020). SMACS moves expensive, updatable
+//! Access Control Rules (ACRs) off-chain into a Token Service (TS) that issues
+//! signed tokens; on-chain contracts perform only a lightweight, cheap token
+//! verification that cryptographically binds each token to the transaction
+//! context in which it may be used.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! - [`primitives`] — `U256`, `H256`, `Address`, RLP.
+//! - [`crypto`] — keccak256, secp256k1 ECDSA with recovery (Ethereum style).
+//! - [`chain`] — an Ethereum-like chain simulator with gas metering, message
+//!   calls, and context objects (`tx.origin`, `msg.sender`, `msg.sig`,
+//!   `msg.data`).
+//! - [`token`] — SMACS token and token-request wire formats.
+//! - [`core`] — the paper's contribution: contract-side verification (Alg. 1)
+//!   and the cyclic one-time bitmap (Alg. 2), plus owner/client SDKs.
+//! - [`ts`] — the Token Service with its ACR engine and front ends.
+//! - [`verifiers`] — Hydra uniformity and ECF (re-entrancy) runtime tools.
+//! - [`lang`] — Solidity-lite front-end and the Fig. 4 adoption transformer.
+//! - [`contracts`] — the paper's example contracts (Bank/Attacker, token
+//!   sale, call chains, baselines).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use smacs_chain as chain;
+pub use smacs_contracts as contracts;
+pub use smacs_core as core;
+pub use smacs_crypto as crypto;
+pub use smacs_lang as lang;
+pub use smacs_primitives as primitives;
+pub use smacs_token as token;
+pub use smacs_ts as ts;
+pub use smacs_verifiers as verifiers;

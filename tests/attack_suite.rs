@@ -1,0 +1,237 @@
+//! Adversarial integration tests: every §VII-A attack class, including
+//! randomized token-mutation attacks driven by proptest.
+
+use proptest::prelude::*;
+use smacs::chain::abi;
+use smacs::chain::Chain;
+use smacs::contracts::{Bank, BenchTarget, SmacsAwareAttacker};
+use smacs::core::client::ClientWallet;
+use smacs::core::owner::{OwnerToolkit, ShieldParams};
+use smacs::crypto::Keypair;
+use smacs::token::{Token, TokenRequest, TokenType};
+use smacs::ts::{RuleBook, TokenService, TokenServiceConfig};
+use std::sync::Arc;
+
+fn small_shield() -> ShieldParams {
+    ShieldParams {
+        token_lifetime_secs: 3_600,
+        max_tx_per_second: 0.35,
+        disable_one_time: false,
+    }
+}
+
+struct World {
+    chain: Chain,
+    ts: TokenService,
+    client: ClientWallet,
+    target: smacs::primitives::Address,
+}
+
+fn world(seed: u64) -> World {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(seed, 10u128.pow(24));
+    let client = ClientWallet::new(chain.funded_keypair(seed + 1, 10u128.pow(24)));
+    let toolkit = OwnerToolkit::new(owner, Keypair::from_seed(seed + 1_000));
+    let (target, _) = toolkit
+        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &small_shield())
+        .unwrap();
+    let ts = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    World {
+        chain,
+        ts,
+        client,
+        target: target.address,
+    }
+}
+
+/// The adaptive (SMACS-aware) attacker of the re-entrancy case study is
+/// stopped by one-time tokens even though it forwards and replays the
+/// token correctly.
+#[test]
+fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let victim = ClientWallet::new(chain.funded_keypair(2, 10u128.pow(24)));
+    let attacker_eoa = chain.funded_keypair(3, 10u128.pow(24));
+    let toolkit = OwnerToolkit::new(owner, Keypair::from_seed(2_000));
+    let (bank, _) = toolkit
+        .deploy_shielded(&mut chain, Arc::new(Bank), &small_shield())
+        .unwrap();
+    let ts = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    let now = chain.pending_env().timestamp;
+
+    // Victim deposits.
+    let deposit_payload = abi::encode_call("addBalance()", &[]);
+    let req = TokenRequest::method_token(bank.address, victim.address(), "addBalance()");
+    let token = ts.issue(&req, now).unwrap();
+    victim
+        .call_with_token(&mut chain, bank.address, 1_000, &deposit_payload, token)
+        .unwrap();
+
+    // Attacker contract deposits 2 wei through a forwarded token.
+    let (attacker, _) = chain
+        .deploy(&attacker_eoa, Arc::new(SmacsAwareAttacker::new(bank.address)))
+        .unwrap();
+    chain.fund_account(attacker.address, 10);
+    let req = TokenRequest::argument_token(
+        bank.address,
+        attacker_eoa.address(),
+        "addBalance()",
+        vec![],
+        deposit_payload.clone(),
+    );
+    let token = ts.issue(&req, now).unwrap();
+    let deposit_data = smacs::core::client::build_call_data(
+        &abi::encode_call("deposit()", &[]),
+        bank.address,
+        token,
+    );
+    let nonce = chain.state().nonce(attacker_eoa.address());
+    let tx = smacs::chain::Transaction::call(nonce, attacker.address, 2, deposit_data);
+    assert!(chain.submit(tx.sign(&attacker_eoa)).unwrap().status.is_success());
+
+    // The strike with a one-time withdraw token: the replayed inner frame
+    // finds its index spent → full revert, bank untouched.
+    let withdraw_payload = abi::encode_call("withdraw()", &[]);
+    let req = TokenRequest::argument_token(
+        bank.address,
+        attacker_eoa.address(),
+        "withdraw()",
+        vec![],
+        withdraw_payload.clone(),
+    )
+    .one_time();
+    let token = ts.issue(&req, now).unwrap();
+    let strike_data = smacs::core::client::build_call_data(
+        &withdraw_payload,
+        bank.address,
+        token,
+    );
+    // Route through the attacker contract (its withdraw() forwards).
+    let strike_data = {
+        let (_, tokens) = smacs::token::split_tokens(&strike_data).unwrap();
+        smacs::token::append_tokens(&abi::encode_call("withdraw()", &[]), &tokens)
+    };
+    let bank_before = chain.state().balance(bank.address);
+    let nonce = chain.state().nonce(attacker_eoa.address());
+    let tx = smacs::chain::Transaction::call(nonce, attacker.address, 0, strike_data);
+    let receipt = chain.submit(tx.sign(&attacker_eoa)).unwrap();
+    assert!(!receipt.status.is_success());
+    assert_eq!(chain.state().balance(bank.address), bank_before);
+}
+
+/// §VII-A(b): resubmitting the exact same signed transaction is stopped by
+/// the chain's nonce check; a *new* transaction reusing a non-one-time
+/// token from the same origin is allowed (that is the documented semantics
+/// — tokens authorize contexts, transactions handle replay).
+#[test]
+fn chain_level_replay_protection() {
+    let mut w = world(10);
+    let now = w.chain.pending_env().timestamp;
+    let payload = BenchTarget::ping_payload(5, 5);
+    let req = TokenRequest::super_token(w.target, w.client.address());
+    let token = w.ts.issue(&req, now).unwrap();
+    let data = smacs::core::client::build_call_data(&payload, w.target, token);
+    let nonce = w.chain.state().nonce(w.client.address());
+    let tx = smacs::chain::Transaction::call(nonce, w.target, 0, data);
+    let signed = tx.sign(w.client.keypair());
+    assert!(w.chain.submit(signed.clone()).unwrap().status.is_success());
+    // Byte-identical replay: rejected before execution.
+    assert!(w.chain.submit(signed).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Substitution attacks, randomized: flip any byte of the token wire
+    /// image and the call must fail (either at decode or at signature
+    /// verification) — "any tiny change of the context … will be caught".
+    #[test]
+    fn prop_mutated_tokens_always_rejected(byte_idx in 0usize..Token::SIZE, bit in 0u8..8) {
+        let mut w = world(20);
+        let now = w.chain.pending_env().timestamp;
+        let payload = BenchTarget::ping_payload(2, 2);
+        let req = TokenRequest::argument_token(
+            w.target,
+            w.client.address(),
+            BenchTarget::PING_SIG,
+            vec![],
+            payload.clone(),
+        );
+        let token = w.ts.issue(&req, now).unwrap();
+
+        let mut wire = token.to_bytes();
+        wire[byte_idx] ^= 1 << bit;
+
+        // Rebuild calldata with the mutated token bytes spliced in.
+        let tokens = smacs::token::TokenArray::new();
+        let mut data = smacs::token::append_tokens(&payload, &tokens);
+        // payload ‖ (empty array) ‖ count — now hand-craft a 1-entry array.
+        data.truncate(payload.len());
+        data.extend_from_slice(w.target.as_bytes());
+        data.extend_from_slice(&wire);
+        data.extend_from_slice(&1u32.to_be_bytes());
+
+        let receipt = w.client.send(&mut w.chain, w.target, 0, data).unwrap();
+        prop_assert!(
+            !receipt.status.is_success(),
+            "mutated byte {byte_idx} bit {bit} was accepted"
+        );
+        // The inner method must never have run.
+        prop_assert_eq!(
+            w.chain.state().storage_get_u256(w.target, smacs::primitives::H256::ZERO),
+            smacs::primitives::U256::ZERO
+        );
+    }
+
+    /// Context-substitution, randomized: a token issued for one context
+    /// never authorizes a different sender, contract, method, or payload.
+    #[test]
+    fn prop_context_swaps_rejected(which in 0usize..4) {
+        let mut w = world(30);
+        let now = w.chain.pending_env().timestamp;
+        let payload = BenchTarget::ping_payload(7, 8);
+        let req = TokenRequest::argument_token(
+            w.target,
+            w.client.address(),
+            BenchTarget::PING_SIG,
+            vec![],
+            payload.clone(),
+        );
+        let token = w.ts.issue(&req, now).unwrap();
+
+        let receipt = match which {
+            0 => {
+                // Different sender.
+                let mallory = ClientWallet::new(w.chain.funded_keypair(777, 10u128.pow(24)));
+                mallory.call_with_token(&mut w.chain, w.target, 0, &payload, token).unwrap()
+            }
+            1 => {
+                // Different payload (arguments swapped).
+                let other = BenchTarget::ping_payload(8, 7);
+                w.client.call_with_token(&mut w.chain, w.target, 0, &other, token).unwrap()
+            }
+            2 => {
+                // Different method.
+                let other = abi::encode_call("total()", &[]);
+                w.client.call_with_token(&mut w.chain, w.target, 0, &other, token).unwrap()
+            }
+            _ => {
+                // Downgrade the declared type byte to Super (mutation of
+                // `ttype` while keeping the signature).
+                let mut forged = token;
+                forged.ttype = TokenType::Super;
+                w.client.call_with_token(&mut w.chain, w.target, 0, &payload, forged).unwrap()
+            }
+        };
+        prop_assert!(!receipt.status.is_success(), "swap {which} accepted");
+    }
+}

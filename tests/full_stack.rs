@@ -1,0 +1,208 @@
+//! Full-stack integration: the complete SMACS deployment story across all
+//! crates — HTTP front end, service discovery, shielded contracts, token
+//! issuance, on-chain verification, and the replicated counter.
+
+use smacs::chain::Chain;
+use smacs::contracts::BenchTarget;
+use smacs::core::client::ClientWallet;
+use smacs::core::owner::{OwnerToolkit, ShieldParams};
+use smacs::crypto::Keypair;
+use smacs::token::{TokenRequest, TokenType};
+use smacs::ts::discovery::ContractMetadata;
+use smacs::ts::front::{decode_token_hex, FrontEnd, FrontRequest, FrontResponse};
+use smacs::ts::http::{post_json, HttpServer};
+use smacs::ts::{
+    CounterCluster, ListPolicy, RuleBook, ServiceDirectory, TokenService, TokenServiceConfig,
+};
+use std::sync::Arc;
+
+fn small_shield() -> ShieldParams {
+    ShieldParams {
+        token_lifetime_secs: 3_600,
+        max_tx_per_second: 0.35,
+        disable_one_time: false,
+    }
+}
+
+/// The whole §III-C lifecycle over the real wire protocol: discover the TS
+/// through contract metadata, fetch a token over HTTP, spend it on-chain.
+#[test]
+fn discovery_http_issuance_and_onchain_spend() {
+    // Owner side.
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let alice = ClientWallet::new(chain.funded_keypair(2, 10u128.pow(24)));
+    let toolkit = OwnerToolkit::new(owner, Keypair::from_seed(5_000));
+    let (target, _) = toolkit
+        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &small_shield())
+        .unwrap();
+
+    let mut rules = RuleBook::deny_all();
+    let mut senders = ListPolicy::deny_all();
+    senders.insert(alice.address().to_hex());
+    rules.rules_mut(TokenType::Method).sender = Some(senders);
+    let service = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        rules,
+        TokenServiceConfig::default(),
+    );
+    let now = chain.pending_env().timestamp;
+    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "owner-secret", now))).unwrap();
+
+    // Service discovery: the contract metadata names the TS URL (§VII-B).
+    let mut directory = ServiceDirectory::new();
+    directory.publish(
+        target.address,
+        ContractMetadata {
+            name: "BenchTarget".into(),
+            compiler: "smacs-chain 0.1".into(),
+            token_service_url: Some(server.url()),
+        },
+    );
+    let url = directory.ts_url(target.address).expect("TS discoverable");
+    assert_eq!(url, server.url());
+
+    // Client side: fetch a token over HTTP.
+    let request = FrontRequest::IssueToken {
+        request: TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG),
+    };
+    let body = serde_json::to_string(&request).unwrap();
+    let response = post_json(server.addr(), &body).unwrap();
+    let parsed: FrontResponse = serde_json::from_str(&response).unwrap();
+    let FrontResponse::Token { token_hex } = parsed else {
+        panic!("expected a token, got {parsed:?}");
+    };
+    let token = decode_token_hex(&token_hex).expect("valid wire token");
+
+    // Spend it on-chain.
+    let payload = BenchTarget::ping_payload(19, 23);
+    let receipt = alice
+        .call_with_token(&mut chain, target.address, 0, &payload, token)
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.status);
+
+    // Owner rotates the rules over HTTP: alice is revoked.
+    let update = FrontRequest::SetRules {
+        owner_secret: "owner-secret".into(),
+        rules: RuleBook::deny_all(),
+    };
+    let response = post_json(server.addr(), &serde_json::to_string(&update).unwrap()).unwrap();
+    assert!(matches!(
+        serde_json::from_str::<FrontResponse>(&response).unwrap(),
+        FrontResponse::RulesUpdated
+    ));
+    let response = post_json(server.addr(), &body).unwrap();
+    assert!(matches!(
+        serde_json::from_str::<FrontResponse>(&response).unwrap(),
+        FrontResponse::Denied { .. }
+    ));
+
+    server.shutdown();
+}
+
+/// One-time issuance through a replicated counter cluster keeps indexes
+/// unique across leader failure, and the tokens spend correctly on-chain.
+#[test]
+fn replicated_counter_backed_one_time_tokens() {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let alice = ClientWallet::new(chain.funded_keypair(2, 10u128.pow(24)));
+    let toolkit = OwnerToolkit::new(owner, Keypair::from_seed(5_001));
+    let (target, _) = toolkit
+        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &small_shield())
+        .unwrap();
+
+    let cluster = CounterCluster::new(3);
+    let service = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    )
+    .with_replicated_counter(cluster.clone());
+
+    let payload = BenchTarget::ping_payload(1, 1);
+    let now = chain.pending_env().timestamp;
+    let request = TokenRequest::argument_token(
+        target.address,
+        alice.address(),
+        BenchTarget::PING_SIG,
+        vec![],
+        payload.clone(),
+    )
+    .one_time();
+
+    // Two tokens before the leader dies, two after: indexes stay unique,
+    // all four spend exactly once.
+    let mut tokens = Vec::new();
+    tokens.push(service.issue(&request, now).unwrap());
+    tokens.push(service.issue(&request, now).unwrap());
+    cluster.kill(0);
+    tokens.push(service.issue(&request, now).unwrap());
+    tokens.push(service.issue(&request, now).unwrap());
+
+    let mut seen = std::collections::HashSet::new();
+    for token in &tokens {
+        assert!(seen.insert(token.index), "index {} duplicated", token.index);
+    }
+    for token in tokens {
+        let receipt = alice
+            .call_with_token(&mut chain, target.address, 0, &payload, token)
+            .unwrap();
+        assert!(receipt.status.is_success(), "{:?}", receipt.status);
+        // And never twice.
+        let receipt = alice
+            .call_with_token(&mut chain, target.address, 0, &payload, token)
+            .unwrap();
+        assert!(!receipt.status.is_success());
+    }
+
+    // Quorum loss fails closed.
+    cluster.kill(1);
+    assert!(service.issue(&request, now).is_err());
+}
+
+/// The Fig. 4 pipeline: a legacy Solidity source transforms into a
+/// SMACS-enabled source whose semantics match the runtime shield's.
+#[test]
+fn adoption_tool_and_shield_agree_on_what_is_guarded() {
+    let legacy = r#"
+        contract Wallet {
+            mapping(address=>uint) balance;
+            function deposit() public payable {
+                balance[msg.sender] += msg.value;
+            }
+            function sweep() external {
+                drain();
+            }
+            function drain() public {
+                balance[msg.sender] = 0;
+            }
+            function audit() internal {
+                drain();
+            }
+        }
+    "#;
+    let unit = smacs::lang::parse(legacy).unwrap();
+    let enabled = smacs::lang::smacs_enable(&unit);
+    let contract = enabled.contract("Wallet").unwrap();
+
+    // Every externally callable method is guarded…
+    for name in ["deposit", "sweep", "drain"] {
+        let f = contract.function(name).unwrap();
+        assert_eq!(
+            f.params.last().map(|p| p.name.as_str()),
+            Some("token"),
+            "{name} must take a token"
+        );
+    }
+    // …and exactly the internally-called public method was split.
+    assert!(contract.function("_drain").is_some());
+    assert!(contract.function("_deposit").is_none());
+    assert!(contract.function("_sweep").is_none());
+    // The internal auditor calls the private half (no re-verification),
+    // mirroring how the runtime shield only guards the message-call
+    // boundary.
+    let printed = smacs::lang::print_source(&enabled);
+    let audit_src = &printed[printed.find("function audit").unwrap()..];
+    assert!(audit_src.contains("_drain()"));
+}
