@@ -3,7 +3,6 @@
 //! the full on-chain verification path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use smacs_bench::setup::World;
 use smacs_contracts::BenchTarget;
 use smacs_core::bitmap::BitmapState;
@@ -12,6 +11,7 @@ use smacs_crypto::{keccak256, recover_address, Keypair};
 use smacs_primitives::Address;
 use smacs_token::{TokenRequest, TokenType};
 use smacs_ts::{RuleBook, TokenService, TokenServiceConfig};
+use std::time::Duration;
 
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");
@@ -122,6 +122,75 @@ fn bench_verify_path(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_state(c: &mut Criterion) {
+    use smacs_bench::perf::{populated_world, CloneBaselineState};
+    use smacs_primitives::{H256, U256};
+
+    const SLOTS: u64 = 100_000;
+    let mut group = c.benchmark_group("state");
+    group.sample_size(20);
+
+    // Checkpoint + 1-slot write + revert on a 100k-slot world. The
+    // journaled implementation is O(entries written); the clone baseline
+    // (the seed's behaviour) pays O(world) per snapshot.
+    group.bench_function("state_snapshot_large_world", |b| {
+        let mut world = populated_world(SLOTS);
+        let a = Address::from_low_u64(4);
+        let k = H256::from_u256(U256::from_u64(1));
+        b.iter(|| {
+            let snap = world.snapshot();
+            world.storage_set(a, k, H256::from_u256(U256::from_u64(99)));
+            world.revert_to(snap);
+        })
+    });
+    group.bench_function("state_snapshot_large_world_clone_baseline", |b| {
+        let mut world = CloneBaselineState::populated(SLOTS);
+        let a = Address::from_low_u64(4);
+        let k = H256::from_u256(U256::from_u64(1));
+        b.iter(|| {
+            world.snapshot();
+            world.storage_set(a, k, H256::from_u256(U256::from_u64(99)));
+            world.revert();
+        })
+    });
+
+    // Fork + simulate + discard: the Token Service's per-request pattern.
+    group.bench_function("fork_simulate", |b| {
+        let world = populated_world(SLOTS);
+        let a = Address::from_low_u64(5);
+        let k = H256::from_u256(U256::from_u64(2));
+        b.iter(|| {
+            let mut fork = world.fork();
+            let snap = fork.snapshot();
+            fork.storage_set(a, k, H256::from_u256(U256::from_u64(7)));
+            fork.credit(Address::from_low_u64(6), 1);
+            fork.revert_to(snap);
+            fork
+        })
+    });
+    group.bench_function("fork_clone_baseline", |b| {
+        let world = CloneBaselineState::populated(SLOTS);
+        b.iter(|| world.fork())
+    });
+    group.finish();
+}
+
+fn bench_call_chain(c: &mut Criterion) {
+    use smacs_bench::perf::ChainScenario;
+
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(10);
+    // Deep token call chain: every hop re-parses the shared calldata and
+    // forwards the token array, exercising the zero-copy Bytes path.
+    for depth in [4usize, 16] {
+        let mut scenario = ChainScenario::new(depth);
+        group.bench_function(format!("call_chain_depth_{depth}"), |b| {
+            b.iter(|| scenario.run_once())
+        });
+    }
+    group.finish();
+}
+
 fn quick() -> Criterion {
     // Keep the full `cargo bench` sweep under a couple of minutes; the
     // measured operations are microseconds-scale, so short windows are
@@ -135,6 +204,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_crypto, bench_bitmap, bench_rules, bench_issuance, bench_verify_path
+    targets = bench_crypto, bench_bitmap, bench_rules, bench_issuance, bench_verify_path,
+        bench_state, bench_call_chain
 }
 criterion_main!(benches);

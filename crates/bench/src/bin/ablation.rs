@@ -1,9 +1,15 @@
 //! Run the design-choice ablations (bitmap vs naive one-time tracking,
 //! shield overhead, per-call vs per-update access-control cost).
 fn main() {
-    let uses = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let uses = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let one_time = smacs_bench::ablation::measure_one_time(uses);
     let shield = smacs_bench::ablation::measure_shield_overhead();
     let trade = smacs_bench::ablation::measure_access_control_trade();
-    print!("{}", smacs_bench::ablation::report(&one_time, &shield, &trade));
+    print!(
+        "{}",
+        smacs_bench::ablation::report(&one_time, &shield, &trade)
+    );
 }

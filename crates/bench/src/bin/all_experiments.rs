@@ -1,19 +1,53 @@
-//! Run every experiment in sequence — the one-shot EXPERIMENTS.md feed.
+//! Run every experiment in sequence — the one-shot EXPERIMENTS.md feed —
+//! then emit a machine-readable perf summary to `BENCH_results.json`.
 fn main() {
     println!("== Table II ==");
-    print!("{}", smacs_bench::table2::report(&smacs_bench::table2::measure()));
+    print!(
+        "{}",
+        smacs_bench::table2::report(&smacs_bench::table2::measure())
+    );
     println!("\n== Table III ==");
-    print!("{}", smacs_bench::table3::report(&smacs_bench::table3::measure()));
+    print!(
+        "{}",
+        smacs_bench::table3::report(&smacs_bench::table3::measure())
+    );
     println!("\n== Table IV ==");
-    print!("{}", smacs_bench::table4::report(&smacs_bench::table4::measure()));
+    print!(
+        "{}",
+        smacs_bench::table4::report(&smacs_bench::table4::measure())
+    );
     println!("\n== Fig. 8 ==");
-    print!("{}", smacs_bench::fig8::report(&smacs_bench::fig8::measure()));
+    print!(
+        "{}",
+        smacs_bench::fig8::report(&smacs_bench::fig8::measure())
+    );
     println!("\n== Fig. 9 ==");
-    let exp = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
-    print!("{}", smacs_bench::fig9::report(&smacs_bench::fig9::measure(exp)));
+    let exp = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    print!(
+        "{}",
+        smacs_bench::fig9::report(&smacs_bench::fig9::measure(exp))
+    );
     println!("\n== Runtime tools (§VI-B b) ==");
-    print!("{}", smacs_bench::runtime_tools::report(&smacs_bench::runtime_tools::measure()));
+    print!(
+        "{}",
+        smacs_bench::runtime_tools::report(&smacs_bench::runtime_tools::measure())
+    );
     println!("\n== Motivation (§II-B / §II-D) ==");
     let (ten_k, bluzelle) = smacs_bench::motivation::measure();
     print!("{}", smacs_bench::motivation::report(&ten_k, &bluzelle));
+
+    println!("\n== Perf (journaled state / zero-copy call path) ==");
+    const SLOTS: u64 = 100_000;
+    let rows = smacs_bench::perf::standard_sweep(SLOTS);
+    for row in &rows {
+        println!("{:<48} {:>14.0} ns/op", row.name, row.ns);
+    }
+    let json = smacs_bench::perf::sweep_to_json(SLOTS, &rows).render_pretty();
+    match std::fs::write("BENCH_results.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_results.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_results.json: {e}"),
+    }
 }

@@ -18,7 +18,7 @@ use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Chain, Contract, VmError};
 use smacs_contracts::{BenchTarget, OnChainWhitelistSale};
 use smacs_core::storage_bitmap::StorageBitmap;
-use smacs_primitives::U256;
+use smacs_primitives::{Bytes, U256};
 use smacs_token::TokenType;
 use std::sync::Arc;
 
@@ -34,7 +34,7 @@ impl Contract for NaiveTracker {
     fn name(&self) -> &'static str {
         "NaiveTracker"
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().unwrap();
         if sel == abi::selector("use(uint256)") {
             let args = ctx.decode_args(&[AbiType::Uint])?;
@@ -43,7 +43,7 @@ impl Contract for NaiveTracker {
             let used = ctx.sload_u256(slot)?;
             ctx.require(used.is_zero(), "naive: index used")?;
             ctx.sstore_u256(slot, U256::ONE)?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("unknown")
         }
@@ -62,14 +62,14 @@ impl Contract for BitmapTracker {
     fn constructor(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
         StorageBitmap::init(ctx, self.n_bits)
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().unwrap();
         if sel == abi::selector("use(uint256)") {
             let args = ctx.decode_args(&[AbiType::Uint])?;
             let index = args[0].as_uint().unwrap().low_u128();
             let verdict = StorageBitmap::try_use(ctx, index)?;
             ctx.require(verdict.is_accepted(), "bitmap: rejected")?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("unknown")
         }
@@ -97,7 +97,12 @@ pub fn measure_one_time(uses: usize) -> OneTimeAblation {
     let owner = chain.funded_keypair(1, 10u128.pow(26));
     let (naive, _) = chain.deploy(&owner, Arc::new(NaiveTracker)).unwrap();
     let (bitmap, _) = chain
-        .deploy_with_limit(&owner, Arc::new(BitmapTracker { n_bits: 4_096 }), 0, 20_000_000)
+        .deploy_with_limit(
+            &owner,
+            Arc::new(BitmapTracker { n_bits: 4_096 }),
+            0,
+            20_000_000,
+        )
         .unwrap();
 
     let mut naive_gas = 0u64;
@@ -107,10 +112,14 @@ pub fn measure_one_time(uses: usize) -> OneTimeAblation {
             "use(uint256)",
             &[smacs_chain::AbiValue::Uint(U256::from(i))],
         );
-        let r = chain.call_contract(&owner, naive.address, 0, call.clone()).unwrap();
+        let r = chain
+            .call_contract(&owner, naive.address, 0, call.clone())
+            .unwrap();
         assert!(r.status.is_success());
         naive_gas += r.gas_used;
-        let r = chain.call_contract(&owner, bitmap.address, 0, call).unwrap();
+        let r = chain
+            .call_contract(&owner, bitmap.address, 0, call)
+            .unwrap();
         assert!(r.status.is_success(), "{:?}", r.status);
         bitmap_gas += r.gas_used;
     }
@@ -154,7 +163,13 @@ pub fn measure_shield_overhead() -> ShieldAblation {
     // Shielded with a super token.
     let mut world = World::new();
     let payload = BenchTarget::ping_payload(3, 4);
-    let token = world.issue(TokenType::Super, world.target, BenchTarget::PING_SIG, &payload, false);
+    let token = world.issue(
+        TokenType::Super,
+        world.target,
+        BenchTarget::PING_SIG,
+        &payload,
+        false,
+    );
     let r = world
         .client
         .call_with_token(&mut world.chain, world.target, 0, &payload, token)
@@ -203,7 +218,12 @@ pub fn measure_access_control_trade() -> AccessControlTrade {
         .deploy(&owner, Arc::new(OnChainWhitelistSale::new(owner.address())))
         .unwrap();
     let add = chain
-        .call_contract(&owner, sale.address, 0, OnChainWhitelistSale::add_payload(buyer.address()))
+        .call_contract(
+            &owner,
+            sale.address,
+            0,
+            OnChainWhitelistSale::add_payload(buyer.address()),
+        )
         .unwrap();
     let onchain_update_gas = add.gas_used;
     let schedule = chain.schedule().clone();
@@ -219,7 +239,11 @@ pub fn measure_access_control_trade() -> AccessControlTrade {
 }
 
 /// Render all three ablations.
-pub fn report(one_time: &OneTimeAblation, shield: &ShieldAblation, trade: &AccessControlTrade) -> String {
+pub fn report(
+    one_time: &OneTimeAblation,
+    shield: &ShieldAblation,
+    trade: &AccessControlTrade,
+) -> String {
     let mut out = String::new();
     out.push_str("Ablation A: one-time tracking — Alg. 2 bitmap vs naive per-index slots\n");
     out.push_str(&format!(

@@ -68,7 +68,12 @@ pub fn fig6_rules(client: Address, list_size: usize) -> RuleBook {
     book
 }
 
-fn request_for(ttype: TokenType, one_time: bool, client: Address, contract: Address) -> TokenRequest {
+fn request_for(
+    ttype: TokenType,
+    one_time: bool,
+    client: Address,
+    contract: Address,
+) -> TokenRequest {
     let mut req = match ttype {
         TokenType::Super => TokenRequest::super_token(contract, client),
         TokenType::Method => TokenRequest::method_token(contract, client, "ping(uint256,uint256)"),

@@ -55,7 +55,12 @@ pub fn measure_entries(entries: usize) -> Run {
     for i in 0..entries {
         let addr = Address::from_low_u64(0x5_0000 + i as u64);
         let receipt = chain
-            .call_contract(&owner, sale.address, 0, OnChainWhitelistSale::add_payload(addr))
+            .call_contract(
+                &owner,
+                sale.address,
+                0,
+                OnChainWhitelistSale::add_payload(addr),
+            )
             .expect("whitelist tx");
         assert!(receipt.status.is_success());
         total_gas += receipt.gas_used;
@@ -96,7 +101,9 @@ pub fn report(ten_k: &Run, bluzelle: &Run) -> String {
             run.usd_at_2018_prices(),
         ));
     }
-    out.push_str("paper anchors: 10k addresses ≈ $300; Bluzelle: 7473 users = 9.345 ETH ($11,949)\n");
+    out.push_str(
+        "paper anchors: 10k addresses ≈ $300; Bluzelle: 7473 users = 9.345 ETH ($11,949)\n",
+    );
     out.push_str("SMACS equivalent: a TS rule update — 0 gas, $0, no transaction at all\n");
     out
 }

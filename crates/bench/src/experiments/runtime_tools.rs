@@ -37,7 +37,11 @@ pub fn measure_hydra(n: usize) -> ToolResult {
     let mut chain = Chain::default_chain();
     let owner = chain.funded_keypair(1, 10u128.pow(24));
     let mut heads = Vec::new();
-    for style in [HydraStyle::Direct, HydraStyle::ShiftAdd, HydraStyle::TwosComplement] {
+    for style in [
+        HydraStyle::Direct,
+        HydraStyle::ShiftAdd,
+        HydraStyle::TwosComplement,
+    ] {
         let (d, _) = chain
             .deploy(&owner, Arc::new(AdderHead::new(style)))
             .expect("deploy head");
@@ -82,7 +86,12 @@ pub fn measure_ecf(n: usize) -> ToolResult {
     let user = chain.funded_keypair(2, 10u128.pow(24));
     let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).expect("deploy bank");
     chain
-        .call_contract(&user, bank.address, 1_000, abi::encode_call("addBalance()", &[]))
+        .call_contract(
+            &user,
+            bank.address,
+            1_000,
+            abi::encode_call("addBalance()", &[]),
+        )
         .expect("fund balance");
     let ts = TokenService::new(
         Keypair::from_seed(9_000),

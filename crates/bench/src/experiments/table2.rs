@@ -52,7 +52,13 @@ pub fn measure() -> Vec<Row> {
         for ttype in TokenType::ALL {
             let mut world = World::new();
             let payload = BenchTarget::ping_payload(3, 4);
-            let token = world.issue(ttype, world.target, BenchTarget::PING_SIG, &payload, one_time);
+            let token = world.issue(
+                ttype,
+                world.target,
+                BenchTarget::PING_SIG,
+                &payload,
+                one_time,
+            );
             let receipt = world
                 .client
                 .call_with_token(&mut world.chain, world.target, 0, &payload, token)

@@ -6,10 +6,10 @@
 //! [`smacs_core::storage_bitmap::StorageBitmap::init`]).
 
 use smacs_chain::gas::gas_to_usd;
+use smacs_chain::Chain;
 use smacs_contracts::BenchTarget;
 use smacs_core::bitmap::bitmap_bits_for;
 use smacs_core::owner::{OwnerToolkit, ShieldParams};
-use smacs_chain::Chain;
 
 /// One measured frequency.
 #[derive(Clone, Debug)]

@@ -8,12 +8,17 @@
 //! crossovers) hold.
 
 pub mod experiments;
+pub mod perf;
 pub mod setup;
 
 pub use experiments::{ablation, fig8, fig9, motivation, runtime_tools, table2, table3, table4};
 
 /// Render a line of a two-way comparison: measured vs paper.
 pub fn compare_line(label: &str, measured: f64, paper: f64, unit: &str) -> String {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{label:<34} measured {measured:>14.3} {unit:<6} paper {paper:>14.3} {unit:<6} ratio {ratio:>6.2}")
 }

@@ -1,0 +1,281 @@
+//! Perf probes for the journaled-state / zero-copy work: snapshot+revert
+//! against a large world, O(1) forking, and deep token call chains.
+//!
+//! Each probe is a plain function returning nanoseconds per operation so it
+//! can back three consumers: the criterion micro-benchmarks
+//! (`benches/micro.rs`), the machine-readable `BENCH_results.json` summary
+//! emitted by `all_experiments`, and the asymptotic regression test in
+//! `tests/shapes.rs`.
+
+use crate::setup::World;
+use smacs_chain::state::WorldState;
+use smacs_contracts::ChainLink;
+use smacs_core::client::build_chain_call_data;
+use smacs_primitives::json::Json;
+use smacs_primitives::{Address, H256, U256};
+use smacs_token::{Token, TokenType};
+use std::collections::HashMap;
+use std::time::Instant;
+
+type AccountMap = HashMap<Address, u128>;
+type StorageMap = HashMap<(Address, H256), H256>;
+
+fn addr(n: u64) -> Address {
+    Address::from_low_u64(n + 1)
+}
+
+fn key(n: u64) -> H256 {
+    H256::from_u256(U256::from_u64(n))
+}
+
+/// Build a journaled world holding `slots` committed storage slots.
+pub fn populated_world(slots: u64) -> WorldState {
+    let mut world = WorldState::new();
+    for i in 0..slots {
+        world.storage_set(addr(i % 64), key(i), key(i + 1));
+    }
+    world.commit();
+    world
+}
+
+/// The pre-journal baseline: snapshot/fork by deep-cloning the full maps —
+/// cost grows with world size, which is exactly what the journal removes.
+pub struct CloneBaselineState {
+    accounts: AccountMap,
+    storage: StorageMap,
+    snapshots: Vec<(AccountMap, StorageMap)>,
+}
+
+impl CloneBaselineState {
+    /// A baseline world holding `slots` storage slots.
+    pub fn populated(slots: u64) -> Self {
+        let mut storage = HashMap::new();
+        for i in 0..slots {
+            storage.insert((addr(i % 64), key(i)), key(i + 1));
+        }
+        CloneBaselineState {
+            accounts: HashMap::new(),
+            storage,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Deep-clone snapshot (O(world)).
+    pub fn snapshot(&mut self) {
+        self.snapshots
+            .push((self.accounts.clone(), self.storage.clone()));
+    }
+
+    /// Write one slot.
+    pub fn storage_set(&mut self, a: Address, k: H256, v: H256) {
+        self.storage.insert((a, k), v);
+    }
+
+    /// Restore the latest snapshot (O(world)).
+    pub fn revert(&mut self) {
+        let (accounts, storage) = self.snapshots.pop().expect("snapshot taken");
+        self.accounts = accounts;
+        self.storage = storage;
+    }
+
+    /// Deep-copy fork (O(world)).
+    pub fn fork(&self) -> (AccountMap, StorageMap) {
+        (self.accounts.clone(), self.storage.clone())
+    }
+}
+
+fn time_per_iter(iters: u32, mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// ns for snapshot → 1-slot write → revert on a journaled world of `slots`.
+pub fn journaled_snapshot_revert_ns(slots: u64, iters: u32) -> f64 {
+    let mut world = populated_world(slots);
+    time_per_iter(iters, || {
+        let snap = world.snapshot();
+        world.storage_set(addr(3), key(1), key(99));
+        world.revert_to(snap);
+    })
+}
+
+/// ns for the same snapshot → write → revert on the clone-based baseline.
+pub fn clone_snapshot_revert_ns(slots: u64, iters: u32) -> f64 {
+    let mut world = CloneBaselineState::populated(slots);
+    time_per_iter(iters, || {
+        world.snapshot();
+        world.storage_set(addr(3), key(1), key(99));
+        world.revert();
+    })
+}
+
+/// ns to fork a committed journaled world of `slots` slots.
+pub fn journaled_fork_ns(slots: u64, iters: u32) -> f64 {
+    let world = populated_world(slots);
+    time_per_iter(iters, || {
+        std::hint::black_box(world.fork());
+    })
+}
+
+/// ns to fork the clone-based baseline of the same size.
+pub fn clone_fork_ns(slots: u64, iters: u32) -> f64 {
+    let world = CloneBaselineState::populated(slots);
+    time_per_iter(iters, || {
+        std::hint::black_box(world.fork());
+    })
+}
+
+/// ns to fork a committed world and simulate a small transaction on the
+/// fork — the Token Service's per-request validation pattern (§V).
+pub fn fork_simulate_ns(slots: u64, iters: u32) -> f64 {
+    let world = populated_world(slots);
+    time_per_iter(iters, || {
+        let mut fork = world.fork();
+        let snap = fork.snapshot();
+        fork.storage_set(addr(5), key(2), key(77));
+        fork.credit(addr(6), 1);
+        fork.revert_to(snap);
+        std::hint::black_box(&fork);
+    })
+}
+
+/// A ready deep-call-chain scenario: world, entry link, and token-bearing
+/// calldata for a `depth`-hop shielded chain.
+pub struct ChainScenario {
+    /// The prepared world.
+    pub world: World,
+    /// Entry link address.
+    pub entry: Address,
+    /// Calldata with the token array attached.
+    pub calldata: Vec<u8>,
+}
+
+impl ChainScenario {
+    /// Build a `depth`-hop shielded chain with per-link super tokens.
+    pub fn new(depth: usize) -> ChainScenario {
+        let (world, links) = World::with_chain_depth(depth);
+        let payload = ChainLink::poke_payload();
+        let tokens: Vec<(Address, Token)> = links
+            .iter()
+            .map(|&link| {
+                (
+                    link,
+                    world.issue(TokenType::Super, link, ChainLink::POKE_SIG, &payload, false),
+                )
+            })
+            .collect();
+        let calldata = build_chain_call_data(&payload, &tokens);
+        ChainScenario {
+            world,
+            entry: links[0],
+            calldata,
+        }
+    }
+
+    /// One dry-run traversal of the whole chain; panics if any hop fails.
+    pub fn run_once(&mut self) {
+        let from = self.world.client.address();
+        let (result, _gas, _trace, _) =
+            self.world
+                .chain
+                .dry_run(from, self.entry, 0, self.calldata.clone());
+        result.expect("chain traversal");
+    }
+}
+
+/// ns per full traversal of a `depth`-hop token call chain (dry run).
+pub fn call_chain_ns(depth: usize, iters: u32) -> f64 {
+    let mut scenario = ChainScenario::new(depth);
+    time_per_iter(iters, || scenario.run_once())
+}
+
+/// One labeled measurement in the machine-readable summary.
+pub struct PerfRow {
+    /// Metric name.
+    pub name: &'static str,
+    /// Nanoseconds per operation.
+    pub ns: f64,
+}
+
+/// The standard perf sweep behind `BENCH_results.json`. `slots` sizes the
+/// large world (the acceptance sweep uses 100_000).
+pub fn standard_sweep(slots: u64) -> Vec<PerfRow> {
+    let iters = 200;
+    vec![
+        PerfRow {
+            name: "state_snapshot_large_world_journaled_ns",
+            ns: journaled_snapshot_revert_ns(slots, iters),
+        },
+        PerfRow {
+            name: "state_snapshot_large_world_clone_baseline_ns",
+            ns: clone_snapshot_revert_ns(slots, 20),
+        },
+        PerfRow {
+            name: "fork_large_world_journaled_ns",
+            ns: journaled_fork_ns(slots, iters),
+        },
+        PerfRow {
+            name: "fork_large_world_clone_baseline_ns",
+            ns: clone_fork_ns(slots, 20),
+        },
+        PerfRow {
+            name: "fork_simulate_ns",
+            ns: fork_simulate_ns(slots, iters),
+        },
+        PerfRow {
+            name: "call_chain_depth16_ns",
+            ns: call_chain_ns(16, 10),
+        },
+    ]
+}
+
+/// Render a perf sweep (plus derived speedups) as a JSON object.
+pub fn sweep_to_json(slots: u64, rows: &[PerfRow]) -> Json {
+    let get = |name: &str| rows.iter().find(|r| r.name == name).map(|r| r.ns);
+    let mut members: Vec<(String, Json)> = vec![("world_slots".into(), Json::Int(slots as i128))];
+    for row in rows {
+        members.push((row.name.into(), Json::Int(row.ns as i128)));
+    }
+    if let (Some(journaled), Some(clone)) = (
+        get("state_snapshot_large_world_journaled_ns"),
+        get("state_snapshot_large_world_clone_baseline_ns"),
+    ) {
+        members.push((
+            "snapshot_speedup_vs_clone".into(),
+            Json::Int((clone / journaled.max(1.0)) as i128),
+        ));
+    }
+    if let (Some(journaled), Some(clone)) = (
+        get("fork_large_world_journaled_ns"),
+        get("fork_large_world_clone_baseline_ns"),
+    ) {
+        members.push((
+            "fork_speedup_vs_clone".into(),
+            Json::Int((clone / journaled.max(1.0)) as i128),
+        ));
+    }
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_scenario_traverses_all_links() {
+        let mut scenario = ChainScenario::new(3);
+        scenario.run_once();
+    }
+
+    #[test]
+    fn sweep_emits_all_metrics() {
+        let rows = standard_sweep(500); // small world: keep the test fast
+        assert_eq!(rows.len(), 6);
+        let json = sweep_to_json(500, &rows);
+        assert!(json.get("snapshot_speedup_vs_clone").is_some());
+        assert!(json.get("call_chain_depth16_ns").is_some());
+    }
+}

@@ -202,7 +202,10 @@ fn ablation_shield_overhead_matches_table2() {
     let overhead = result.overhead();
     // The per-call surcharge is Table II's verify cost plus token calldata:
     // within the 100k–135k band.
-    assert!((100_000..135_000).contains(&overhead), "overhead {overhead}");
+    assert!(
+        (100_000..135_000).contains(&overhead),
+        "overhead {overhead}"
+    );
 }
 
 #[test]
@@ -212,4 +215,34 @@ fn ablation_access_control_trade_off_shape() {
     assert!(trade.onchain_check_gas < trade.smacs_check_gas);
     assert_eq!(trade.smacs_update_gas, 0);
     assert!(trade.onchain_update_gas > 20_000);
+}
+
+#[test]
+fn journaled_snapshot_beats_clone_baseline_by_10x() {
+    // Acceptance gate for the journaled-state work: checkpoint + 1-slot
+    // write + revert on a 100k-slot world must be at least 10x faster than
+    // the clone-the-world baseline. The real gap is orders of magnitude
+    // (O(1) journal push vs. a 100k-entry map clone), so 10x leaves a wide
+    // margin for noisy CI machines even in debug builds.
+    const SLOTS: u64 = 100_000;
+    let journaled = smacs_bench::perf::journaled_snapshot_revert_ns(SLOTS, 50);
+    let clone = smacs_bench::perf::clone_snapshot_revert_ns(SLOTS, 5);
+    let speedup = clone / journaled.max(1.0);
+    assert!(
+        speedup >= 10.0,
+        "journaled {journaled:.0} ns vs clone {clone:.0} ns: only {speedup:.1}x"
+    );
+}
+
+#[test]
+fn fork_cost_is_independent_of_world_size() {
+    // Forking a committed world must not scale with the number of slots:
+    // a 100x bigger world may not make forks more than ~10x slower (the
+    // slack absorbs allocator noise; the clone baseline scales ~100x).
+    let small = smacs_bench::perf::journaled_fork_ns(1_000, 200).max(1.0);
+    let large = smacs_bench::perf::journaled_fork_ns(100_000, 200);
+    assert!(
+        large / small < 10.0,
+        "fork scaled with world size: {small:.0} ns -> {large:.0} ns"
+    );
 }

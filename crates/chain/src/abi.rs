@@ -6,13 +6,12 @@
 //! encoding follows the Solidity ABI's head/tail scheme for the value kinds
 //! the workspace uses (uint256, address, bool, bytes, string).
 
-use serde::{Deserialize, Serialize};
 use smacs_crypto::keccak256;
 use smacs_primitives::{Address, U256};
 use std::fmt;
 
 /// A 4-byte method identifier (`msg.sig`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Selector(pub [u8; 4]);
 
 impl Selector {
@@ -53,7 +52,7 @@ pub fn selector(signature: &str) -> Selector {
 }
 
 /// A dynamically typed ABI value.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AbiValue {
     /// `uint256`.
     Uint(U256),
@@ -187,7 +186,7 @@ fn extend_dynamic(tail: &mut Vec<u8>, data: &[u8]) {
     tail.extend_from_slice(&U256::from(data.len()).to_be_bytes());
     tail.extend_from_slice(data);
     let pad = (32 - data.len() % 32) % 32;
-    tail.extend(std::iter::repeat(0u8).take(pad));
+    tail.extend(std::iter::repeat_n(0u8, pad));
 }
 
 /// A type tag for decoding.
@@ -293,7 +292,10 @@ mod tests {
     #[test]
     fn dynamic_encoding_layout() {
         // Solidity reference: encode("ab") after one static word.
-        let enc = encode(&[AbiValue::Uint(U256::from_u64(5)), AbiValue::Bytes(vec![0xaa, 0xbb])]);
+        let enc = encode(&[
+            AbiValue::Uint(U256::from_u64(5)),
+            AbiValue::Bytes(vec![0xaa, 0xbb]),
+        ]);
         // head: uint word + offset word (0x40), tail: len word + padded data
         assert_eq!(enc.len(), 32 + 32 + 32 + 32);
         assert_eq!(enc[63], 0x40);

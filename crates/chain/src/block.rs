@@ -1,6 +1,5 @@
 //! Blocks and the block-level environment contracts observe.
 
-use serde::{Deserialize, Serialize};
 use smacs_crypto::{keccak256, Keccak256};
 use smacs_primitives::H256;
 
@@ -8,7 +7,7 @@ use crate::tx::SignedTransaction;
 
 /// The block context visible to executing contracts (`block.timestamp` is
 /// the `now()` of Alg. 1's expiry check).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockEnv {
     /// Block height.
     pub number: u64,
@@ -27,7 +26,7 @@ impl BlockEnv {
 }
 
 /// A mined block: an ordered list of transactions plus chain linkage.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Block {
     /// Block height.
     pub number: u64,
@@ -91,6 +90,12 @@ mod tests {
             parent_hash: H256::ZERO,
             transactions: vec![],
         };
-        assert_eq!(block.env(), BlockEnv { number: 7, timestamp: 99 });
+        assert_eq!(
+            block.env(),
+            BlockEnv {
+                number: 7,
+                timestamp: 99
+            }
+        );
     }
 }

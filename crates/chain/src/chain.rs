@@ -11,7 +11,7 @@ use std::sync::Arc;
 use crate::block::{Block, BlockEnv};
 use crate::contract::{Contract, ContractRegistry, DeployedContract};
 use crate::exec::{Executor, MessageCall, VmError};
-use crate::gas::{GasSchedule, GasBreakdown};
+use crate::gas::{GasBreakdown, GasSchedule};
 use crate::receipt::{ExecStatus, Receipt};
 use crate::state::WorldState;
 use crate::trace::CallTrace;
@@ -31,7 +31,7 @@ pub struct ChainConfig {
 impl Default for ChainConfig {
     fn default() -> Self {
         ChainConfig {
-            block_time: 13, // Ethereum's paper-era average
+            block_time: 13,                   // Ethereum's paper-era average
             genesis_timestamp: 1_546_300_800, // 2019-01-01, the paper's data-collection era
             schedule: GasSchedule::default(),
         }
@@ -309,11 +309,18 @@ impl Chain {
             match outcome {
                 Ok(()) => {
                     self.state.set_contract(address, logic.code_len());
-                    (ExecStatus::Success, Vec::new(), logs, trace, gas_used, breakdown)
+                    (
+                        ExecStatus::Success,
+                        Bytes::new(),
+                        logs,
+                        trace,
+                        gas_used,
+                        breakdown,
+                    )
                 }
                 Err(err) => (
                     vm_error_status(&err),
-                    Vec::new(),
+                    Bytes::new(),
                     Vec::new(),
                     trace,
                     gas_used,
@@ -336,7 +343,7 @@ impl Chain {
                 Ok(ret) => (ExecStatus::Success, ret, logs, trace, gas_used, breakdown),
                 Err(err) => (
                     vm_error_status(&err),
-                    Vec::new(),
+                    Bytes::new(),
                     Vec::new(),
                     trace,
                     gas_used,
@@ -357,7 +364,7 @@ impl Chain {
             gas_used,
             breakdown,
             logs,
-            return_data: Bytes(return_data),
+            return_data,
             trace,
         };
         self.pending.push(signed.clone());
@@ -388,7 +395,7 @@ impl Chain {
         to: Address,
         value: u128,
         data: impl Into<Bytes>,
-    ) -> (Result<Vec<u8>, VmError>, u64, CallTrace, GasBreakdown) {
+    ) -> (Result<Bytes, VmError>, u64, CallTrace, GasBreakdown) {
         let snapshot = self.state.snapshot();
         let env = self.pending_env();
         let mut executor = Executor::new(

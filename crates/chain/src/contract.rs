@@ -7,7 +7,7 @@
 //! keeps snapshot/revert, dry runs, and TS-side forking correct without any
 //! per-contract cooperation.
 
-use smacs_primitives::Address;
+use smacs_primitives::{Address, Bytes};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -32,8 +32,9 @@ pub trait Contract: Send + Sync {
     }
 
     /// Handle a message with a 4-byte selector (calldata length ≥ 4).
-    /// Returns the ABI-encoded return data.
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError>;
+    /// Returns the ABI-encoded return data as shared [`Bytes`] so the
+    /// executor can hand it up the call chain without copying.
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError>;
 
     /// The fallback method: invoked for calls without a selector — notably
     /// plain value transfers. This is the hook the Fig. 7 re-entrancy
@@ -54,7 +55,12 @@ pub struct DeployedContract {
 
 impl std::fmt::Debug for DeployedContract {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DeployedContract({} @ {})", self.logic.name(), self.address)
+        write!(
+            f,
+            "DeployedContract({} @ {})",
+            self.logic.name(),
+            self.address
+        )
     }
 }
 
@@ -114,8 +120,8 @@ mod tests {
         fn name(&self) -> &'static str {
             "Nop"
         }
-        fn execute(&self, _ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
-            Ok(Vec::new())
+        fn execute(&self, _ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
+            Ok(Bytes::new())
         }
     }
 

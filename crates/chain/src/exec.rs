@@ -136,7 +136,7 @@ impl<'a> Executor<'a> {
 
     /// Execute a message call (top-level or nested). Reverts all state
     /// changes made by the call (and its children) if it fails.
-    pub fn call(&mut self, msg: MessageCall) -> Result<Vec<u8>, VmError> {
+    pub fn call(&mut self, msg: MessageCall) -> Result<Bytes, VmError> {
         if self.depth >= MAX_CALL_DEPTH {
             return Err(VmError::CallDepthExceeded);
         }
@@ -175,7 +175,7 @@ impl<'a> Executor<'a> {
         result
     }
 
-    fn call_inner(&mut self, msg: &MessageCall) -> Result<Vec<u8>, VmError> {
+    fn call_inner(&mut self, msg: &MessageCall) -> Result<Bytes, VmError> {
         // Value transfer.
         if msg.value > 0 {
             if !self.state.exists(msg.callee) {
@@ -189,9 +189,11 @@ impl<'a> Executor<'a> {
 
         let Some(logic) = self.registry.get(msg.callee) else {
             // Plain transfer to an EOA: no code to run.
-            return Ok(Vec::new());
+            return Ok(Bytes::new());
         };
 
+        // `Bytes` is ref-counted: sharing the calldata with this frame's
+        // context is a refcount bump, not a buffer copy.
         let mut ctx = CallContext {
             exec: self,
             callee: msg.callee,
@@ -202,7 +204,7 @@ impl<'a> Executor<'a> {
         if msg.data.len() >= 4 {
             logic.execute(&mut ctx)
         } else {
-            logic.fallback(&mut ctx).map(|_| Vec::new())
+            logic.fallback(&mut ctx).map(|_| Bytes::new())
         }
     }
 
@@ -308,6 +310,14 @@ impl<'e, 'a> CallContext<'e, 'a> {
     /// `msg.data` — the complete calldata.
     pub fn msg_data(&self) -> &[u8] {
         &self.data
+    }
+
+    /// `msg.data` as a shared [`Bytes`] handle — a refcount bump, not a
+    /// buffer copy. Use this when the calldata must outlive a mutable
+    /// borrow of the context (e.g. the SMACS shield re-reading it while
+    /// charging gas).
+    pub fn msg_data_bytes(&self) -> Bytes {
+        self.data.clone()
     }
 
     /// `msg.sig` — the 4-byte method identifier, if present.
@@ -429,13 +439,19 @@ impl<'e, 'a> CallContext<'e, 'a> {
 
     /// keccak256 with the `G_sha3` charge.
     pub fn keccak(&mut self, data: &[u8]) -> Result<H256, VmError> {
-        self.exec.meter.charge(self.exec.schedule.keccak_cost(data.len()))?;
+        self.exec
+            .meter
+            .charge(self.exec.schedule.keccak_cost(data.len()))?;
         Ok(keccak256(data))
     }
 
     /// The `ecrecover` precompile: 3000 gas, returns the recovered address
     /// or `None` for invalid signatures (Solidity's zero address).
-    pub fn ecrecover(&mut self, digest: H256, signature: &Signature) -> Result<Option<Address>, VmError> {
+    pub fn ecrecover(
+        &mut self,
+        digest: H256,
+        signature: &Signature,
+    ) -> Result<Option<Address>, VmError> {
         self.exec.meter.charge(self.exec.schedule.ecrecover)?;
         Ok(recover_address(&digest, signature))
     }
@@ -457,7 +473,12 @@ impl<'e, 'a> CallContext<'e, 'a> {
     /// call base cost (+ value surcharge), transfers value, and dispatches
     /// to the target contract — which may call back into this one
     /// (re-entrancy is possible by design, as in the EVM).
-    pub fn call(&mut self, callee: Address, value: u128, data: impl Into<Bytes>) -> Result<Vec<u8>, VmError> {
+    pub fn call(
+        &mut self,
+        callee: Address,
+        value: u128,
+        data: impl Into<Bytes>,
+    ) -> Result<Bytes, VmError> {
         let mut cost = self.exec.schedule.call_base;
         if value > 0 {
             cost += self.exec.schedule.call_value;
@@ -532,16 +553,16 @@ mod tests {
         fn name(&self) -> &'static str {
             "Store"
         }
-        fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+        fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
             let sel = ctx.msg_sig().unwrap();
             if sel == abi::selector("set(uint256)") {
                 let args = ctx.decode_args(&[AbiType::Uint])?;
                 let v = args[0].as_uint().unwrap();
                 ctx.sstore_u256(H256::ZERO, v)?;
-                Ok(Vec::new())
+                Ok(Bytes::new())
             } else if sel == abi::selector("get()") {
                 let v = ctx.sload_u256(H256::ZERO)?;
-                Ok(v.to_be_bytes().to_vec())
+                Ok(Bytes::from(v.to_be_bytes()))
             } else if sel == abi::selector("boom()") {
                 ctx.revert("boom")
             } else {
@@ -565,7 +586,7 @@ mod tests {
         registry: &ContractRegistry,
         schedule: &GasSchedule,
         data: Vec<u8>,
-    ) -> (Result<Vec<u8>, VmError>, CallTrace, u64) {
+    ) -> (Result<Bytes, VmError>, CallTrace, u64) {
         let origin = Address::from_low_u64(1);
         let mut executor = Executor::new(
             state,
@@ -579,7 +600,7 @@ mod tests {
             caller: origin,
             callee: Address::from_low_u64(0xC0),
             value: 0,
-            data: Bytes(data),
+            data: Bytes::from(data),
         });
         let trace = executor.take_trace();
         let used = executor.meter.used();
@@ -700,7 +721,7 @@ mod tests {
             caller: origin,
             callee: Address::from_low_u64(0xC0),
             value: 0,
-            data: Bytes(set),
+            data: Bytes::from(set),
         });
         assert!(matches!(result, Err(VmError::OutOfGas(_))));
         assert_eq!(

@@ -9,12 +9,11 @@
 //! charged while a section is open is attributed to its label, and the
 //! remainder of a transaction is reported as `misc`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Yellow-Paper-derived gas cost constants.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GasSchedule {
     /// Base cost of any transaction (`G_transaction`).
     pub tx_base: u64,
@@ -147,7 +146,7 @@ impl std::error::Error for OutOfGas {}
 /// Tables II and III of the paper report token-processing cost split into
 /// `Verify`, `Misc`, `Bitmap`, and `Parse` components; the breakdown makes
 /// those splits measurable rather than estimated.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GasBreakdown {
     /// Gas attributed to each named section.
     pub sections: BTreeMap<String, u64>,

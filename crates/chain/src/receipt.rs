@@ -1,13 +1,12 @@
 //! Transaction receipts: status, gas accounting, logs, return data, trace.
 
-use serde::{Deserialize, Serialize};
 use smacs_primitives::{Address, Bytes, H256};
 
 use crate::gas::GasBreakdown;
 use crate::trace::CallTrace;
 
 /// Outcome of a transaction execution.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExecStatus {
     /// Executed to completion; state changes committed.
     Success,
@@ -25,7 +24,7 @@ impl ExecStatus {
 }
 
 /// An emitted event log.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Log {
     /// Emitting contract.
     pub address: Address,
@@ -36,7 +35,7 @@ pub struct Log {
 }
 
 /// The receipt of an executed transaction.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Receipt {
     /// Hash of the transaction this receipt belongs to.
     pub tx_hash: H256,

@@ -1,18 +1,57 @@
-//! World state: accounts, balances, nonces, contract storage — with a
-//! write journal supporting nested snapshots and reverts.
+//! World state: accounts, balances, nonces, contract storage — journaled,
+//! with O(1) nested snapshots and copy-on-write forking.
+//!
+//! # Design: append-only journal + frozen-base overlay
 //!
 //! All persistent contract data lives here (as in the EVM's storage trie),
 //! keyed by `(contract address, 32-byte slot)`. Contracts themselves are
 //! stateless logic (see [`crate::contract`]); that separation is what makes
 //! snapshot/revert, `eth_call`-style dry runs, and TS-side testnet forking
 //! uniform and cheap.
+//!
+//! The state is layered:
+//!
+//! ```text
+//!   reads ──► overlay (mutable HashMaps) ──miss──► base (frozen Arc<StateData>)
+//!   writes ─► overlay only, with the previous *overlay* entry journaled
+//! ```
+//!
+//! - **Snapshots** are journal lengths ([`Snapshot`]); [`WorldState::revert_to`]
+//!   pops journal entries and restores the recorded overlay entries, so the
+//!   cost of a checkpoint is O(1) and the cost of a revert is O(entries
+//!   written since) — never O(world size). This is the standard design of
+//!   production EVM implementations (geth's journal, revm).
+//! - **Forks** ([`WorldState::fork`]) share the frozen base by bumping its
+//!   `Arc` refcount and copy only the overlay, so forking a freshly
+//!   committed state is O(1) regardless of how many accounts/slots exist —
+//!   the Token Service's "local testnet" (§V of the paper) no longer
+//!   duplicates the whole chain per simulation.
+//! - **Commits** ([`WorldState::commit`]) clear the journal and, when no
+//!   fork is sharing the base, flatten the overlay into it in place
+//!   (O(entries in the overlay)). While forks hold the base alive the
+//!   overlay simply keeps accumulating; correctness is unaffected.
+//!
+//! Storage semantics: a zero value in the *overlay* acts as a tombstone
+//! masking a non-zero base entry; the flattened base never stores zero
+//! slots, preserving the EVM rule that never-written and cleared slots read
+//! as zero.
+//!
+//! ## Deviations from the paper
+//!
+//! The paper runs on geth and inherits its state handling; this simulator
+//! reproduces the observable semantics (revert-on-failure, fork isolation)
+//! with the journal/overlay representation above. Unlike geth there is no
+//! trie or state root — the simulator never needs Merkle proofs — and
+//! `create_account`/`set_contract` (genesis/deployment helpers) are fully
+//! journaled here, which is slightly *stronger* than the seed's behaviour
+//! (their effects used to survive reverts).
 
-use serde::{Deserialize, Serialize};
 use smacs_primitives::{Address, H256, U256};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-account data.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccountInfo {
     /// Transaction count for EOAs / creation count for contracts. The
     /// nonce is Ethereum's replay protection (§II-C).
@@ -27,31 +66,40 @@ pub struct AccountInfo {
     pub is_contract: bool,
 }
 
+/// The frozen layer shared between a state and its forks. Never mutated
+/// while shared ([`WorldState::commit`] flattens into it only when the
+/// `Arc` is uniquely owned).
+#[derive(Clone, Debug, Default)]
+struct StateData {
+    accounts: HashMap<Address, AccountInfo>,
+    /// Non-zero slots only.
+    storage: HashMap<(Address, H256), H256>,
+}
+
+/// One undo record. Entries operate purely at the overlay level: `prev` is
+/// the previous *overlay* entry (`None` = the key was read through to the
+/// base), so reverting restores the exact overlay shape — and therefore the
+/// exact merged view — without consulting the base.
 #[derive(Clone, Debug)]
 enum JournalEntry {
+    AccountChanged {
+        addr: Address,
+        prev: Option<AccountInfo>,
+    },
     StorageChanged {
         addr: Address,
         key: H256,
         prev: Option<H256>,
-    },
-    BalanceChanged {
-        addr: Address,
-        prev: u128,
-    },
-    NonceChanged {
-        addr: Address,
-        prev: u64,
-    },
-    AccountCreated {
-        addr: Address,
     },
 }
 
 /// The replicated world state of the simulated chain.
 #[derive(Clone, Debug, Default)]
 pub struct WorldState {
-    accounts: HashMap<Address, AccountInfo>,
-    storage: HashMap<(Address, H256), H256>,
+    base: Arc<StateData>,
+    overlay_accounts: HashMap<Address, AccountInfo>,
+    /// May contain zero values: tombstones masking non-zero base entries.
+    overlay_storage: HashMap<(Address, H256), H256>,
     journal: Vec<JournalEntry>,
 }
 
@@ -67,60 +115,61 @@ impl WorldState {
 
     /// Account info, if the account exists.
     pub fn account(&self, addr: Address) -> Option<&AccountInfo> {
-        self.accounts.get(&addr)
+        self.overlay_accounts
+            .get(&addr)
+            .or_else(|| self.base.accounts.get(&addr))
     }
 
     /// True iff the account exists (has been touched with funds, a nonce,
     /// or code).
     pub fn exists(&self, addr: Address) -> bool {
-        self.accounts.contains_key(&addr)
+        self.account(addr).is_some()
     }
 
     /// Current balance in wei (0 for absent accounts).
     pub fn balance(&self, addr: Address) -> u128 {
-        self.accounts.get(&addr).map(|a| a.balance).unwrap_or(0)
+        self.account(addr).map(|a| a.balance).unwrap_or(0)
     }
 
     /// Current nonce (0 for absent accounts).
     pub fn nonce(&self, addr: Address) -> u64 {
-        self.accounts.get(&addr).map(|a| a.nonce).unwrap_or(0)
+        self.account(addr).map(|a| a.nonce).unwrap_or(0)
     }
 
     /// True iff `addr` hosts a contract.
     pub fn is_contract(&self, addr: Address) -> bool {
-        self.accounts
-            .get(&addr)
-            .map(|a| a.is_contract)
-            .unwrap_or(false)
+        self.account(addr).map(|a| a.is_contract).unwrap_or(false)
     }
 
-    fn ensure_account(&mut self, addr: Address) -> &mut AccountInfo {
-        if !self.accounts.contains_key(&addr) {
-            self.journal.push(JournalEntry::AccountCreated { addr });
-            self.accounts.insert(addr, AccountInfo::default());
-        }
-        self.accounts.get_mut(&addr).expect("just inserted")
+    /// Journal the current overlay entry for `addr` and return a mutable
+    /// overlay slot holding the account's current value (copied up from the
+    /// base, or fresh for new accounts).
+    fn account_mut(&mut self, addr: Address) -> &mut AccountInfo {
+        let prev = self.overlay_accounts.get(&addr).cloned();
+        self.journal
+            .push(JournalEntry::AccountChanged { addr, prev });
+        let base = &self.base;
+        self.overlay_accounts
+            .entry(addr)
+            .or_insert_with(|| base.accounts.get(&addr).cloned().unwrap_or_default())
     }
 
-    /// Create (or overwrite) an account outright — used for genesis alloc.
+    /// Create (or overwrite the balance of) an account — used for genesis
+    /// alloc. Journaled like every other write.
     pub fn create_account(&mut self, addr: Address, balance: u128) {
-        let account = self.ensure_account(addr);
-        account.balance = balance;
+        self.account_mut(addr).balance = balance;
     }
 
     /// Mark `addr` as a deployed contract with a given code length.
     pub fn set_contract(&mut self, addr: Address, code_len: usize) {
-        let account = self.ensure_account(addr);
+        let account = self.account_mut(addr);
         account.is_contract = true;
         account.code_len = code_len;
     }
 
     /// Set the balance (journaled).
     pub fn set_balance(&mut self, addr: Address, balance: u128) {
-        let prev = self.balance(addr);
-        self.ensure_account(addr);
-        self.journal.push(JournalEntry::BalanceChanged { addr, prev });
-        self.accounts.get_mut(&addr).expect("ensured").balance = balance;
+        self.account_mut(addr).balance = balance;
     }
 
     /// Credit wei to an account.
@@ -142,25 +191,30 @@ impl WorldState {
 
     /// Increment the nonce (journaled).
     pub fn bump_nonce(&mut self, addr: Address) {
-        let prev = self.nonce(addr);
-        self.ensure_account(addr);
-        self.journal.push(JournalEntry::NonceChanged { addr, prev });
-        self.accounts.get_mut(&addr).expect("ensured").nonce = prev + 1;
+        self.account_mut(addr).nonce += 1;
     }
 
     /// Read a storage slot (zero for never-written slots, like the EVM).
     pub fn storage_get(&self, addr: Address, key: H256) -> H256 {
-        self.storage.get(&(addr, key)).copied().unwrap_or(H256::ZERO)
+        self.overlay_storage
+            .get(&(addr, key))
+            .or_else(|| self.base.storage.get(&(addr, key)))
+            .copied()
+            .unwrap_or(H256::ZERO)
     }
 
     /// Write a storage slot (journaled). Writing zero clears the slot.
     pub fn storage_set(&mut self, addr: Address, key: H256, value: H256) {
-        let prev = self.storage.get(&(addr, key)).copied();
-        self.journal.push(JournalEntry::StorageChanged { addr, key, prev });
-        if value.is_zero() {
-            self.storage.remove(&(addr, key));
+        let slot = (addr, key);
+        let prev = self.overlay_storage.get(&slot).copied();
+        self.journal
+            .push(JournalEntry::StorageChanged { addr, key, prev });
+        if value.is_zero() && !self.base.storage.contains_key(&slot) {
+            // Nothing to mask in the base: clearing really removes.
+            self.overlay_storage.remove(&slot);
         } else {
-            self.storage.insert((addr, key), value);
+            // Non-zero write, or a zero tombstone masking a base entry.
+            self.overlay_storage.insert(slot, value);
         }
     }
 
@@ -174,60 +228,121 @@ impl WorldState {
         self.storage_set(addr, key, H256::from_u256(value));
     }
 
-    /// Number of live (non-zero) storage slots for `addr`.
+    /// Number of live (non-zero) storage slots for `addr`. O(state size) —
+    /// a diagnostics/test helper, never on the execution path.
     pub fn storage_slot_count(&self, addr: Address) -> usize {
-        self.storage.keys().filter(|(a, _)| *a == addr).count()
+        let in_overlay = self
+            .overlay_storage
+            .iter()
+            .filter(|((a, _), v)| *a == addr && !v.is_zero())
+            .count();
+        let in_base = self
+            .base
+            .storage
+            .keys()
+            .filter(|(a, k)| *a == addr && !self.overlay_storage.contains_key(&(*a, *k)))
+            .count();
+        in_overlay + in_base
     }
 
     /// Take a snapshot; a later [`WorldState::revert_to`] undoes every write
-    /// made since.
+    /// made since. O(1): the snapshot is just the journal length.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot(self.journal.len())
     }
 
-    /// Undo all writes made after `snapshot` (in reverse order).
+    /// Undo all writes made after `snapshot` (in reverse order). O(entries
+    /// written since the snapshot).
     pub fn revert_to(&mut self, snapshot: Snapshot) {
         while self.journal.len() > snapshot.0 {
             match self.journal.pop().expect("len checked") {
-                JournalEntry::StorageChanged { addr, key, prev } => match prev {
-                    Some(v) if !v.is_zero() => {
-                        self.storage.insert((addr, key), v);
+                JournalEntry::AccountChanged { addr, prev } => match prev {
+                    Some(info) => {
+                        self.overlay_accounts.insert(addr, info);
                     }
-                    _ => {
-                        self.storage.remove(&(addr, key));
+                    None => {
+                        self.overlay_accounts.remove(&addr);
                     }
                 },
-                JournalEntry::BalanceChanged { addr, prev } => {
-                    if let Some(acct) = self.accounts.get_mut(&addr) {
-                        acct.balance = prev;
+                JournalEntry::StorageChanged { addr, key, prev } => match prev {
+                    Some(value) => {
+                        self.overlay_storage.insert((addr, key), value);
                     }
-                }
-                JournalEntry::NonceChanged { addr, prev } => {
-                    if let Some(acct) = self.accounts.get_mut(&addr) {
-                        acct.nonce = prev;
+                    None => {
+                        self.overlay_storage.remove(&(addr, key));
                     }
-                }
-                JournalEntry::AccountCreated { addr } => {
-                    self.accounts.remove(&addr);
-                }
+                },
             }
         }
     }
 
-    /// Discard journal history (e.g. after a block commits). Snapshots taken
-    /// before this call must not be used afterwards.
+    /// Overlay size at which a shared base is rebuilt rather than letting
+    /// the overlay keep growing (see [`WorldState::commit`]).
+    const SHARED_BASE_REBUILD_THRESHOLD: usize = 8_192;
+
+    /// Discard journal history (e.g. after a block commits) and flatten the
+    /// overlay into the frozen base. Snapshots taken before this call must
+    /// not be used afterwards.
+    ///
+    /// When no fork shares the base the flatten is in place —
+    /// O(overlay entries). While forks hold the base alive the overlay
+    /// accumulates instead; once it crosses
+    /// [`Self::SHARED_BASE_REBUILD_THRESHOLD`] the base is rebuilt by a
+    /// one-time O(world) copy so a long-lived fork (the Token Service's
+    /// standing testnet) cannot degrade later `fork()` calls back to
+    /// O(all writes since).
     pub fn commit(&mut self) {
         self.journal.clear();
+        if self.overlay_accounts.is_empty() && self.overlay_storage.is_empty() {
+            return;
+        }
+        if Arc::get_mut(&mut self.base).is_none() {
+            // Base shared by live forks. Small overlays just keep
+            // accumulating; past the threshold, pay one O(world) copy for a
+            // private base (forks keep the old Arc untouched).
+            if self.overlay_len() < Self::SHARED_BASE_REBUILD_THRESHOLD {
+                return;
+            }
+            self.base = Arc::new((*self.base).clone());
+        }
+        let base = Arc::get_mut(&mut self.base).expect("unique by construction above");
+        // `mem::take` (not `drain`) so the overlay maps drop their bucket
+        // arrays: a retained 100k-bucket capacity would make every later
+        // clone/iteration of the "empty" overlay O(capacity) — exactly the
+        // hidden O(world) cost this design removes.
+        for (addr, info) in std::mem::take(&mut self.overlay_accounts) {
+            base.accounts.insert(addr, info);
+        }
+        for (slot, value) in std::mem::take(&mut self.overlay_storage) {
+            if value.is_zero() {
+                base.storage.remove(&slot);
+            } else {
+                base.storage.insert(slot, value);
+            }
+        }
     }
 
-    /// Deep-copy the state — the TS uses this to run candidate transactions
-    /// on an isolated off-chain fork (§V).
+    /// Fork the state for off-chain simulation (§V): the frozen base is
+    /// shared (an `Arc` refcount bump) and only the overlay is copied, so
+    /// forking a freshly committed state is O(1) in the world size. Writes
+    /// on either side are invisible to the other.
     pub fn fork(&self) -> WorldState {
         WorldState {
-            accounts: self.accounts.clone(),
-            storage: self.storage.clone(),
+            base: Arc::clone(&self.base),
+            overlay_accounts: self.overlay_accounts.clone(),
+            overlay_storage: self.overlay_storage.clone(),
             journal: Vec::new(),
         }
+    }
+
+    /// Number of uncommitted-or-unflattened overlay entries (diagnostics).
+    pub fn overlay_len(&self) -> usize {
+        self.overlay_accounts.len() + self.overlay_storage.len()
+    }
+
+    /// Number of journal entries since the last commit (diagnostics).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
     }
 }
 
@@ -316,6 +431,89 @@ mod tests {
         assert_eq!(state.balance(addr(1)), 10);
         assert_eq!(state.storage_get_u256(addr(2), key(0)), U256::ZERO);
         assert_eq!(fork.balance(addr(1)), 100);
+    }
+
+    #[test]
+    fn fork_of_committed_state_shares_base_and_copies_nothing() {
+        let mut state = WorldState::new();
+        for i in 0..100 {
+            state.storage_set_u256(addr(7), key(i), U256::from_u64(i + 1));
+        }
+        state.commit(); // flattens: overlay becomes empty
+        assert_eq!(state.overlay_len(), 0);
+
+        let fork = state.fork();
+        assert_eq!(fork.overlay_len(), 0);
+        assert_eq!(fork.storage_get_u256(addr(7), key(42)), U256::from_u64(43));
+
+        // Writes on the original while the fork is alive stay in the
+        // overlay (base is shared), and the fork never sees them.
+        state.storage_set_u256(addr(7), key(42), U256::from_u64(999));
+        state.commit();
+        assert!(state.overlay_len() > 0, "base is shared; no flatten");
+        assert_eq!(fork.storage_get_u256(addr(7), key(42)), U256::from_u64(43));
+        assert_eq!(
+            state.storage_get_u256(addr(7), key(42)),
+            U256::from_u64(999)
+        );
+
+        // Once the fork drops, the next commit flattens again.
+        drop(fork);
+        state.commit();
+        assert_eq!(state.overlay_len(), 0);
+        assert_eq!(
+            state.storage_get_u256(addr(7), key(42)),
+            U256::from_u64(999)
+        );
+    }
+
+    #[test]
+    fn shared_base_rebuilds_once_overlay_crosses_threshold() {
+        let mut state = WorldState::new();
+        state.storage_set_u256(addr(1), key(0), U256::from_u64(5));
+        state.commit();
+        let fork = state.fork(); // base now shared, blocking in-place flatten
+
+        // Push the overlay past the rebuild threshold.
+        let writes = WorldState::SHARED_BASE_REBUILD_THRESHOLD as u64 + 10;
+        for i in 0..writes {
+            state.storage_set_u256(addr(2), key(i), U256::from_u64(i + 1));
+        }
+        state.commit();
+        // The base was rebuilt: overlay flattened despite the live fork.
+        assert_eq!(state.overlay_len(), 0);
+        assert_eq!(state.storage_get_u256(addr(2), key(7)), U256::from_u64(8));
+        // The fork still reads the old base, untouched.
+        assert_eq!(fork.storage_get_u256(addr(1), key(0)), U256::from_u64(5));
+        assert_eq!(fork.storage_get_u256(addr(2), key(7)), U256::ZERO);
+    }
+
+    #[test]
+    fn zero_write_masks_base_entry() {
+        let mut state = WorldState::new();
+        state.storage_set_u256(addr(1), key(0), U256::from_u64(5));
+        state.commit(); // 5 now lives in the base
+        let snap = state.snapshot();
+        state.storage_set_u256(addr(1), key(0), U256::ZERO);
+        assert_eq!(state.storage_get_u256(addr(1), key(0)), U256::ZERO);
+        assert_eq!(state.storage_slot_count(addr(1)), 0);
+        state.revert_to(snap);
+        assert_eq!(state.storage_get_u256(addr(1), key(0)), U256::from_u64(5));
+    }
+
+    #[test]
+    fn revert_over_base_resident_account_restores_read_through() {
+        let mut state = WorldState::new();
+        state.credit(addr(1), 100);
+        state.commit(); // account now lives in the base
+        let snap = state.snapshot();
+        state.debit(addr(1), 40);
+        state.bump_nonce(addr(1));
+        state.revert_to(snap);
+        assert_eq!(state.balance(addr(1)), 100);
+        assert_eq!(state.nonce(addr(1)), 0);
+        // The copy-up was rolled back entirely: reads go to the base again.
+        assert_eq!(state.overlay_len(), 0);
     }
 
     #[test]

@@ -5,13 +5,12 @@
 //! walks the call tree looking for re-entered frames whose storage accesses
 //! interleave, and Hydra compares head outputs recorded at the root.
 
-use serde::{Deserialize, Serialize};
 use smacs_primitives::{Address, H256};
 
 use crate::abi::Selector;
 
 /// How a frame finished.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FrameStatus {
     /// Completed normally.
     Success,
@@ -22,7 +21,7 @@ pub enum FrameStatus {
 }
 
 /// A storage access performed by a frame (directly, not via children).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StorageAccess {
     /// `sload(slot)`.
     Read {
@@ -44,7 +43,7 @@ pub enum StorageAccess {
 /// with markers for nested calls. The ordering is what lets the ECF checker
 /// split a frame's accesses into before-the-callback and after-the-callback
 /// sets.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A storage access by this frame's own code.
     Access(StorageAccess),
@@ -56,7 +55,7 @@ pub enum TraceEvent {
 }
 
 /// One message-call frame.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TraceFrame {
     /// The contract (or EOA) that received the call.
     pub callee: Address,
@@ -129,7 +128,7 @@ impl TraceFrame {
 }
 
 /// The complete trace of one transaction.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CallTrace {
     /// The top-level frame (absent for plain EOA→EOA transfers).
     pub root: Option<TraceFrame>,
@@ -153,7 +152,10 @@ impl CallTrace {
 
     /// Whether contract `addr` is re-entered anywhere in the trace.
     pub fn has_reentrancy(&self, addr: Address) -> bool {
-        self.root.as_ref().map(|r| r.reenters(addr)).unwrap_or(false)
+        self.root
+            .as_ref()
+            .map(|r| r.reenters(addr))
+            .unwrap_or(false)
     }
 }
 
@@ -168,7 +170,9 @@ mod tests {
             selector: None,
             value: 0,
             depth,
-            events: (0..children.len()).map(|child| TraceEvent::Call { child }).collect(),
+            events: (0..children.len())
+                .map(|child| TraceEvent::Call { child })
+                .collect(),
             children,
             status: FrameStatus::Success,
         }
@@ -176,7 +180,11 @@ mod tests {
 
     #[test]
     fn walk_is_preorder() {
-        let trace = frame(1, 0, vec![frame(2, 1, vec![frame(3, 2, vec![])]), frame(4, 1, vec![])]);
+        let trace = frame(
+            1,
+            0,
+            vec![frame(2, 1, vec![frame(3, 2, vec![])]), frame(4, 1, vec![])],
+        );
         let order: Vec<u64> = trace
             .walk()
             .iter()

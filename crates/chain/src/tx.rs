@@ -9,14 +9,14 @@
 //! from the signature — the `tx.origin` seen by every frame of the call
 //! chain.
 
-use serde::{Deserialize, Serialize};
 use smacs_crypto::{keccak256, recover_address, Keypair, Signature};
 use smacs_primitives::rlp::{self, Item, ToRlp};
 use smacs_primitives::{Address, Bytes, H256};
 use std::fmt;
+use std::sync::Mutex;
 
 /// An unsigned transaction body.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transaction {
     /// Sender's account nonce — must equal the account's current nonce.
     pub nonce: u64,
@@ -51,7 +51,7 @@ impl Transaction {
         Item::List(vec![
             self.nonce.to_rlp(),
             self.gas_price.to_rlp(),
-            (self.gas_limit as u64).to_rlp(),
+            self.gas_limit.to_rlp(),
             match self.to {
                 Some(addr) => addr.to_rlp(),
                 None => Item::Bytes(vec![]),
@@ -66,31 +66,82 @@ impl Transaction {
         keccak256(&rlp::encode(&self.rlp_body()))
     }
 
-    /// Sign with `keypair`, producing a [`SignedTransaction`].
+    /// Sign with `keypair`, producing a [`SignedTransaction`]. The signer's
+    /// address is pre-seeded into the sender cache, so the common path
+    /// (sign locally, submit, execute) never runs `ecrecover` at all.
     pub fn sign(self, keypair: &Keypair) -> SignedTransaction {
         let signature = keypair.sign_digest(&self.signing_digest());
-        SignedTransaction {
+        let signed = SignedTransaction {
             tx: self,
             signature,
-        }
+            sender_cache: Mutex::new(None),
+        };
+        *signed.sender_cache.lock().expect("fresh lock") =
+            Some((signed.hash(), Some(keypair.address())));
+        signed
     }
 }
 
 /// A signed transaction ready for submission.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SignedTransaction {
     /// The signed body.
     pub tx: Transaction,
     /// 65-byte recoverable signature over [`Transaction::signing_digest`].
     pub signature: Signature,
+    /// Memoized recovered sender, keyed by the transaction hash so any
+    /// mutation of the body or signature invalidates it. `ecrecover` is by
+    /// far the most expensive step of transaction intake; this runs it once
+    /// per transaction instead of once per access.
+    sender_cache: Mutex<Option<(H256, Option<Address>)>>,
 }
 
+impl Clone for SignedTransaction {
+    fn clone(&self) -> Self {
+        SignedTransaction {
+            tx: self.tx.clone(),
+            signature: self.signature,
+            sender_cache: Mutex::new(*self.sender_cache.lock().expect("cache lock")),
+        }
+    }
+}
+
+impl PartialEq for SignedTransaction {
+    fn eq(&self, other: &Self) -> bool {
+        self.tx == other.tx && self.signature == other.signature
+    }
+}
+
+impl Eq for SignedTransaction {}
+
 impl SignedTransaction {
+    /// Assemble from parts (e.g. parsed off the wire) with a cold sender
+    /// cache.
+    pub fn from_parts(tx: Transaction, signature: Signature) -> Self {
+        SignedTransaction {
+            tx,
+            signature,
+            sender_cache: Mutex::new(None),
+        }
+    }
+
     /// Recover the sender address; `None` if the signature is invalid.
     /// Before processing a transaction, "their authenticity is validated by
     /// the Ethereum network" (§II-C) — the chain rejects `None`.
+    ///
+    /// Memoized: the first call runs `ecrecover` and caches the result
+    /// under the current transaction hash; later calls re-derive only the
+    /// (cheap) hash and reuse the recovery while it matches.
     pub fn sender(&self) -> Option<Address> {
-        recover_address(&self.tx.signing_digest(), &self.signature)
+        let hash = self.hash();
+        let mut cache = self.sender_cache.lock().expect("cache lock");
+        if let Some((cached_hash, cached_sender)) = *cache {
+            if cached_hash == hash {
+                return cached_sender;
+            }
+        }
+        let sender = recover_address(&self.tx.signing_digest(), &self.signature);
+        *cache = Some((hash, sender));
+        sender
     }
 
     /// The transaction hash (id): keccak over the RLP body plus signature.
@@ -135,8 +186,22 @@ mod tests {
     fn tampering_changes_recovered_sender() {
         let kp = Keypair::from_seed(101);
         let mut signed = sample_tx(0).sign(&kp);
+        // Warm the memoized sender, then tamper: the cache is keyed by the
+        // transaction hash, so the stale recovery must not be served.
+        assert_eq!(signed.sender(), Some(kp.address()));
         signed.tx.value = 43;
         assert_ne!(signed.sender(), Some(kp.address()));
+    }
+
+    #[test]
+    fn cold_cache_recovers_and_memoizes() {
+        let kp = Keypair::from_seed(104);
+        let signed = sample_tx(0).sign(&kp);
+        // Rebuild from parts to discard the pre-seeded cache.
+        let parsed = SignedTransaction::from_parts(signed.tx.clone(), signed.signature);
+        assert_eq!(parsed.sender(), Some(kp.address()));
+        assert_eq!(parsed.sender(), Some(kp.address()));
+        assert_eq!(parsed, signed);
     }
 
     #[test]
@@ -173,7 +238,7 @@ mod tests {
         assert_eq!(signed.hash(), signed.hash());
         // And sensitive to data.
         let mut other = signed.clone();
-        other.tx.data = Bytes(U256::from_u64(7).to_be_bytes().to_vec());
+        other.tx.data = Bytes::from(U256::from_u64(7).to_be_bytes());
         assert_ne!(signed.hash(), other.hash());
     }
 }

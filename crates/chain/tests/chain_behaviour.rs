@@ -3,9 +3,7 @@
 //! reorgs, and re-entrant message calls.
 
 use smacs_chain::abi::{self, AbiType, AbiValue};
-use smacs_chain::{
-    CallContext, Chain, ChainError, Contract, ExecStatus, Transaction, VmError,
-};
+use smacs_chain::{CallContext, Chain, ChainError, Contract, ExecStatus, Transaction, VmError};
 use smacs_crypto::Keypair;
 use smacs_primitives::{Address, Bytes, H256, U256};
 use std::sync::Arc;
@@ -22,19 +20,19 @@ impl Contract for Counter {
         ctx.sstore_u256(H256::ZERO, U256::ZERO)?;
         Ok(())
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("increment()") {
             let v = ctx.sload_u256(H256::ZERO)?;
             ctx.sstore_u256(H256::ZERO, v.wrapping_add(U256::ONE))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("get()") {
-            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(H256::ZERO)?.to_be_bytes()))
         } else if sel == abi::selector("ping(address)") {
             let args = ctx.decode_args(&[AbiType::Address])?;
             let target = args[0].as_address().unwrap();
             ctx.call(target, 0, abi::encode_call("increment()", &[]))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("unknown method")
         }
@@ -48,7 +46,7 @@ impl Contract for Bouncer {
     fn name(&self) -> &'static str {
         "Bouncer"
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         ctx.revert("no methods")
     }
     fn fallback(&self, ctx: &mut CallContext<'_, '_>) -> Result<(), VmError> {
@@ -69,17 +67,17 @@ impl Contract for Sender {
     fn name(&self) -> &'static str {
         "Sender"
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().unwrap();
         if sel == abi::selector("send(address)") {
             let args = ctx.decode_args(&[AbiType::Address])?;
             let target = args[0].as_address().unwrap();
             ctx.transfer(target, 5)?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("onBounce()") {
             let n = ctx.sload_u256(H256::ZERO)?;
             ctx.sstore_u256(H256::ZERO, n.wrapping_add(U256::ONE))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("unknown")
         }
@@ -101,7 +99,12 @@ fn deploy_and_call() {
     assert!(chain.state().is_contract(counter.address));
 
     let receipt = chain
-        .call_contract(&owner, counter.address, 0, abi::encode_call("increment()", &[]))
+        .call_contract(
+            &owner,
+            counter.address,
+            0,
+            abi::encode_call("increment()", &[]),
+        )
         .unwrap();
     assert!(receipt.status.is_success());
     assert_eq!(counter_value(&chain, counter.address), U256::ONE);
@@ -149,7 +152,10 @@ fn invalid_signature_is_rejected() {
     signed.tx.value = 999;
     let err = chain.submit(signed).unwrap_err();
     assert!(
-        matches!(err, ChainError::BadNonce { .. } | ChainError::InsufficientFunds),
+        matches!(
+            err,
+            ChainError::BadNonce { .. } | ChainError::InsufficientFunds
+        ),
         "got {err:?}"
     );
 }
@@ -172,7 +178,12 @@ fn gas_refund_returns_unused_gas() {
     let (counter, _) = chain.deploy(&owner, Arc::new(Counter)).unwrap();
     let before = chain.state().balance(owner.address());
     let receipt = chain
-        .call_contract(&owner, counter.address, 0, abi::encode_call("increment()", &[]))
+        .call_contract(
+            &owner,
+            counter.address,
+            0,
+            abi::encode_call("increment()", &[]),
+        )
         .unwrap();
     let after = chain.state().balance(owner.address());
     // Exactly gas_used * gas_price was spent (gas price 1 gwei).
@@ -186,7 +197,12 @@ fn blocks_seal_and_timestamps_advance() {
     let (counter, _) = chain.deploy(&owner, Arc::new(Counter)).unwrap();
     let t0 = chain.pending_env().timestamp;
     chain
-        .call_contract(&owner, counter.address, 0, abi::encode_call("increment()", &[]))
+        .call_contract(
+            &owner,
+            counter.address,
+            0,
+            abi::encode_call("increment()", &[]),
+        )
         .unwrap();
     let block = chain.seal_block();
     assert_eq!(block.number, 1);
@@ -274,8 +290,13 @@ fn fork_runs_independently() {
     let (counter, _) = chain.deploy(&owner, Arc::new(Counter)).unwrap();
 
     let mut fork = chain.fork();
-    fork.call_contract(&owner, counter.address, 0, abi::encode_call("increment()", &[]))
-        .unwrap();
+    fork.call_contract(
+        &owner,
+        counter.address,
+        0,
+        abi::encode_call("increment()", &[]),
+    )
+    .unwrap();
     assert_eq!(counter_value(&fork, counter.address), U256::ONE);
     assert_eq!(counter_value(&chain, counter.address), U256::ZERO);
 }
@@ -288,12 +309,22 @@ fn reorg_replays_kept_prefix_and_drops_suffix() {
     chain.seal_block(); // block 1: deploy
 
     chain
-        .call_contract(&owner, counter.address, 0, abi::encode_call("increment()", &[]))
+        .call_contract(
+            &owner,
+            counter.address,
+            0,
+            abi::encode_call("increment()", &[]),
+        )
         .unwrap();
     chain.seal_block(); // block 2: first increment
 
     chain
-        .call_contract(&owner, counter.address, 0, abi::encode_call("increment()", &[]))
+        .call_contract(
+            &owner,
+            counter.address,
+            0,
+            abi::encode_call("increment()", &[]),
+        )
         .unwrap();
     chain.seal_block(); // block 3: second increment
     assert_eq!(counter_value(&chain, counter.address), U256::from_u64(2));
@@ -343,7 +374,12 @@ fn reverted_tx_still_consumes_gas_and_bumps_nonce() {
     let (counter, _) = chain.deploy(&owner, Arc::new(Counter)).unwrap();
     let before = chain.state().balance(owner.address());
     let receipt = chain
-        .call_contract(&owner, counter.address, 0, abi::encode_call("nosuch()", &[]))
+        .call_contract(
+            &owner,
+            counter.address,
+            0,
+            abi::encode_call("nosuch()", &[]),
+        )
         .unwrap();
     assert!(matches!(receipt.status, ExecStatus::Reverted(_)));
     assert!(receipt.gas_used >= 21_000);
@@ -359,7 +395,7 @@ impl Contract for Recursor {
     fn name(&self) -> &'static str {
         "Recursor"
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let this = ctx.this_address();
         ctx.call(this, 0, abi::encode_call("spin()", &[]))
     }
@@ -381,7 +417,7 @@ fn call_depth_limit_enforced() {
                 gas_limit: 30_000_000, // only the depth limit stops it
                 to: Some(recursor.address),
                 value: 0,
-                data: Bytes(abi::encode_call("spin()", &[])),
+                data: Bytes::from(abi::encode_call("spin()", &[])),
             };
             let receipt = chain.submit(tx.sign(&owner)).unwrap();
             assert!(!receipt.status.is_success());
@@ -405,7 +441,12 @@ fn block_timestamps_monotone() {
             chain.advance_time(100);
         }
         let block = chain.seal_block();
-        assert!(block.timestamp > last, "block {} not after {}", block.timestamp, last);
+        assert!(
+            block.timestamp > last,
+            "block {} not after {}",
+            block.timestamp,
+            last
+        );
         last = block.timestamp;
     }
 }

@@ -9,7 +9,7 @@
 
 use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::{Address, H256, U256};
+use smacs_primitives::{Address, Bytes, H256, U256};
 
 const BALANCE_MAPPING_SLOT: u64 = 0;
 
@@ -35,7 +35,7 @@ impl Contract for Bank {
         1_800
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("addBalance()") {
             let sender = ctx.msg_sender();
@@ -43,7 +43,7 @@ impl Contract for Bank {
             let current = ctx.sload_u256(slot)?;
             let deposit = U256::from_u128(ctx.msg_value());
             ctx.sstore_u256(slot, current.wrapping_add(deposit))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("withdraw()") {
             let sender = ctx.msg_sender();
             let slot = balance_slot(ctx, sender)?;
@@ -58,12 +58,12 @@ impl Contract for Bank {
             }
             // Fig. 7 line 9 — too late.
             ctx.sstore_u256(slot, U256::ZERO)?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("balanceOf(address)") {
             let args = ctx.decode_args(&[AbiType::Address])?;
             let owner = args[0].as_address().expect("decoded as address");
             let slot = balance_slot(ctx, owner)?;
-            Ok(ctx.sload_u256(slot)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(slot)?.to_be_bytes()))
         } else {
             ctx.revert("Bank: unknown method")
         }
@@ -88,7 +88,7 @@ impl Contract for SafeBank {
         1_850
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("addBalance()") {
             let sender = ctx.msg_sender();
@@ -96,7 +96,7 @@ impl Contract for SafeBank {
             let current = ctx.sload_u256(slot)?;
             let deposit = U256::from_u128(ctx.msg_value());
             ctx.sstore_u256(slot, current.wrapping_add(deposit))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("withdraw()") {
             let sender = ctx.msg_sender();
             let slot = balance_slot(ctx, sender)?;
@@ -108,12 +108,12 @@ impl Contract for SafeBank {
             if amount_wei > 0 {
                 ctx.transfer(sender, amount_wei)?;
             }
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("balanceOf(address)") {
             let args = ctx.decode_args(&[AbiType::Address])?;
             let owner = args[0].as_address().expect("decoded as address");
             let slot = balance_slot(ctx, owner)?;
-            Ok(ctx.sload_u256(slot)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(slot)?.to_be_bytes()))
         } else {
             ctx.revert("SafeBank: unknown method")
         }
@@ -159,15 +159,15 @@ impl Contract for Attacker {
         ctx.sstore_u256(IS_ATTACK_SLOT, U256::ONE)
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("deposit()") {
             // Fig. 7: `bank.call.value(2).addBalance()` — deposit 2 wei.
             ctx.call(self.bank, 2, abi::encode_call("addBalance()", &[]))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("withdraw()") {
             ctx.call(self.bank, 0, Self::withdraw_payload())?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("Attacker: unknown method")
         }
@@ -221,7 +221,7 @@ impl SmacsAwareAttacker {
         Ok(())
     }
 
-    fn unstash(ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn unstash(ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let len = ctx.sload_u256(Self::stash_len_slot())?.low_u64() as usize;
         let mut data = Vec::with_capacity(len);
         for i in 0..len.div_ceil(32) {
@@ -229,7 +229,7 @@ impl SmacsAwareAttacker {
             data.extend_from_slice(&word.0);
         }
         data.truncate(len);
-        Ok(data)
+        Ok(Bytes::from(data))
     }
 }
 
@@ -246,7 +246,7 @@ impl Contract for SmacsAwareAttacker {
         ctx.sstore_u256(IS_ATTACK_SLOT, U256::ONE)
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("deposit()") {
             // Forward the caller's token array to the shielded bank.
@@ -256,17 +256,17 @@ impl Contract for SmacsAwareAttacker {
                 2,
                 &abi::encode_call("addBalance()", &[]),
             )?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("withdraw()") {
             // Build the exact token-bearing calldata for Bank.withdraw(),
             // stash it for the fallback replay, then strike.
-            let data = ctx.msg_data().to_vec();
+            let data = ctx.msg_data_bytes();
             let (_, tokens) = smacs_token::split_tokens(&data)
                 .map_err(|e| VmError::Revert(format!("attacker: {e}")))?;
             let bank_call = smacs_token::append_tokens(&Self::withdraw_payload_inner(), &tokens);
             Self::stash(ctx, &bank_call)?;
             ctx.call(self.bank, 0, bank_call)?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("SmacsAwareAttacker: unknown method")
         }
@@ -310,7 +310,12 @@ mod tests {
         let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
         // An honest victim deposits 2 wei.
         let r = chain
-            .call_contract(&victim, bank.address, 2, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &victim,
+                bank.address,
+                2,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         assert!(r.status.is_success());
 
@@ -319,7 +324,12 @@ mod tests {
             .unwrap();
         chain.fund_account(attacker.address, 10); // gas money for value calls
         let r = chain
-            .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+            .call_contract(
+                &attacker_eoa,
+                attacker.address,
+                2,
+                abi::encode_call("deposit()", &[]),
+            )
             .unwrap();
         assert!(r.status.is_success(), "{:?}", r.status);
         assert_eq!(chain.state().balance(bank.address), 4);
@@ -327,11 +337,20 @@ mod tests {
         // The attack: withdraw re-enters and collects 2 + 2.
         let before = chain.state().balance(attacker.address);
         let r = chain
-            .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("withdraw()", &[]))
+            .call_contract(
+                &attacker_eoa,
+                attacker.address,
+                0,
+                abi::encode_call("withdraw()", &[]),
+            )
             .unwrap();
         assert!(r.status.is_success(), "{:?}", r.status);
         let after = chain.state().balance(attacker.address);
-        assert_eq!(after - before, 4, "attacker should have drained the victim's 2 wei too");
+        assert_eq!(
+            after - before,
+            4,
+            "attacker should have drained the victim's 2 wei too"
+        );
         assert_eq!(chain.state().balance(bank.address), 0);
         // The trace shows Bank re-entered.
         assert!(r.trace.has_reentrancy(bank.address));
@@ -346,19 +365,34 @@ mod tests {
 
         let (bank, _) = chain.deploy(&owner, Arc::new(SafeBank)).unwrap();
         chain
-            .call_contract(&victim, bank.address, 2, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &victim,
+                bank.address,
+                2,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         let (attacker, _) = chain
             .deploy(&attacker_eoa, Arc::new(Attacker::new(bank.address)))
             .unwrap();
         chain.fund_account(attacker.address, 10);
         chain
-            .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+            .call_contract(
+                &attacker_eoa,
+                attacker.address,
+                2,
+                abi::encode_call("deposit()", &[]),
+            )
             .unwrap();
 
         let before = chain.state().balance(attacker.address);
         let r = chain
-            .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("withdraw()", &[]))
+            .call_contract(
+                &attacker_eoa,
+                attacker.address,
+                0,
+                abi::encode_call("withdraw()", &[]),
+            )
             .unwrap();
         assert!(r.status.is_success(), "{:?}", r.status);
         let after = chain.state().balance(attacker.address);
@@ -376,7 +410,12 @@ mod tests {
         for bank_logic in [Arc::new(Bank) as Arc<dyn Contract>, Arc::new(SafeBank)] {
             let (bank, _) = chain.deploy(&owner, bank_logic).unwrap();
             chain
-                .call_contract(&user, bank.address, 500, abi::encode_call("addBalance()", &[]))
+                .call_contract(
+                    &user,
+                    bank.address,
+                    500,
+                    abi::encode_call("addBalance()", &[]),
+                )
                 .unwrap();
             assert_eq!(chain.state().balance(bank.address), 500);
             let r = chain
@@ -394,7 +433,12 @@ mod tests {
         let user = chain.funded_keypair(2, 10u128.pow(20));
         let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
         chain
-            .call_contract(&user, bank.address, 123, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &user,
+                bank.address,
+                123,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         let (result, _, _, _) = chain.dry_run(
             user.address(),

@@ -7,7 +7,7 @@
 
 use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::{H256, U256};
+use smacs_primitives::{Bytes, H256, U256};
 
 /// Benchmark target: `ping(uint256,uint256)` accumulates `a + b` into slot
 /// 0 and emits `Pinged(uint256)`; `total()` reads it back.
@@ -38,7 +38,7 @@ impl Contract for BenchTarget {
         900
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector(Self::PING_SIG) {
             let args = ctx.decode_args(&[AbiType::Uint, AbiType::Uint])?;
@@ -48,9 +48,9 @@ impl Contract for BenchTarget {
             let new_total = total.wrapping_add(a).wrapping_add(b);
             ctx.sstore_u256(H256::ZERO, new_total)?;
             ctx.emit_event("Pinged(uint256)", new_total.to_be_bytes().to_vec())?;
-            Ok(new_total.to_be_bytes().to_vec())
+            Ok(Bytes::from(new_total.to_be_bytes()))
         } else if sel == abi::selector("total()") {
-            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(H256::ZERO)?.to_be_bytes()))
         } else {
             ctx.revert("BenchTarget: unknown method")
         }

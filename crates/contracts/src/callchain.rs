@@ -8,7 +8,7 @@
 
 use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::{Address, H256, U256};
+use smacs_primitives::{Address, Bytes, H256, U256};
 
 /// One link of the chain. `next = None` terminates it.
 pub struct ChainLink {
@@ -57,7 +57,7 @@ impl Contract for ChainLink {
         1_100
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector(Self::POKE_SIG) {
             let args = ctx.decode_args(&[AbiType::Uint, AbiType::Uint])?;
@@ -69,7 +69,7 @@ impl Contract for ChainLink {
                 // SMACS-enabled link finds its token.
                 smacs_core::verify::forward_call(ctx, next, 0, &Self::poke_payload())?;
             }
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else {
             ctx.revert("ChainLink: unknown method")
         }
@@ -87,11 +87,7 @@ mod tests {
 
     /// Deploy a shielded chain of `depth` links; returns addresses from
     /// entry (SC_A) to terminal.
-    fn deploy_chain(
-        chain: &mut Chain,
-        toolkit: &OwnerToolkit,
-        depth: usize,
-    ) -> Vec<Address> {
+    fn deploy_chain(chain: &mut Chain, toolkit: &OwnerToolkit, depth: usize) -> Vec<Address> {
         let params = ShieldParams {
             token_lifetime_secs: 3600,
             max_tx_per_second: 0.35,
@@ -153,13 +149,7 @@ mod tests {
             .collect();
 
         let r = client
-            .call_with_tokens(
-                &mut chain,
-                links[0],
-                0,
-                &ChainLink::poke_payload(),
-                &tokens,
-            )
+            .call_with_tokens(&mut chain, links[0], 0, &ChainLink::poke_payload(), &tokens)
             .unwrap();
         assert!(r.status.is_success(), "{:?}", r.status);
         for &link in &links {
@@ -181,8 +171,14 @@ mod tests {
 
         // Tokens for the first and third links only.
         let tokens = vec![
-            (links[0], method_token(&toolkit, client.address(), links[0], expire)),
-            (links[2], method_token(&toolkit, client.address(), links[2], expire)),
+            (
+                links[0],
+                method_token(&toolkit, client.address(), links[0], expire),
+            ),
+            (
+                links[2],
+                method_token(&toolkit, client.address(), links[2], expire),
+            ),
         ];
         let r = client
             .call_with_tokens(&mut chain, links[0], 0, &ChainLink::poke_payload(), &tokens)

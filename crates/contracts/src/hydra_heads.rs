@@ -11,7 +11,7 @@
 
 use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::{H256, U256};
+use smacs_primitives::{Bytes, H256, U256};
 
 /// Which structural variant a head uses — stands in for the paper's
 /// "different programming languages".
@@ -88,7 +88,7 @@ impl Contract for AdderHead {
         1_000
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector(Self::ADD_SIG) {
             let args = ctx.decode_args(&[AbiType::Uint])?;
@@ -96,9 +96,9 @@ impl Contract for AdderHead {
             let total = ctx.sload_u256(H256::ZERO)?;
             let new_total = self.combine(total, x);
             ctx.sstore_u256(H256::ZERO, new_total)?;
-            Ok(new_total.to_be_bytes().to_vec())
+            Ok(Bytes::from(new_total.to_be_bytes()))
         } else if sel == abi::selector("total()") {
-            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(H256::ZERO)?.to_be_bytes()))
         } else {
             ctx.revert("AdderHead: unknown method")
         }
@@ -123,7 +123,7 @@ impl Contract for BuggyAdderHead {
         1_000
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector(AdderHead::ADD_SIG) {
             let args = ctx.decode_args(&[AbiType::Uint])?;
@@ -135,9 +135,9 @@ impl Contract for BuggyAdderHead {
                 total.wrapping_add(x)
             };
             ctx.sstore_u256(H256::ZERO, new_total)?;
-            Ok(new_total.to_be_bytes().to_vec())
+            Ok(Bytes::from(new_total.to_be_bytes()))
         } else if sel == abi::selector("total()") {
-            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(H256::ZERO)?.to_be_bytes()))
         } else {
             ctx.revert("BuggyAdderHead: unknown method")
         }
@@ -171,7 +171,10 @@ mod tests {
         let inputs = [1u64, 2, 1000, 0, 99999, 13];
         let direct = run_head(Arc::new(AdderHead::new(HydraStyle::Direct)), &inputs);
         let shift = run_head(Arc::new(AdderHead::new(HydraStyle::ShiftAdd)), &inputs);
-        let twos = run_head(Arc::new(AdderHead::new(HydraStyle::TwosComplement)), &inputs);
+        let twos = run_head(
+            Arc::new(AdderHead::new(HydraStyle::TwosComplement)),
+            &inputs,
+        );
         assert_eq!(direct, shift);
         assert_eq!(direct, twos);
         // And the totals are right.

@@ -13,12 +13,11 @@
 
 use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::{Address, H256, U256};
+use smacs_primitives::{Address, Bytes, H256, U256};
 
 const OWNER_SLOT: H256 = H256([0u8; 32]);
 const SOLD_SLOT: H256 = H256([
-    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
-    1,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
 ]);
 const WHITELIST_MAPPING_SLOT: u64 = 2;
 const PURCHASES_MAPPING_SLOT: u64 = 3;
@@ -71,7 +70,7 @@ impl Contract for OnChainWhitelistSale {
         ctx.sstore(OWNER_SLOT, smacs_core::layout::address_to_word(self.owner))
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("addToWhitelist(address)") {
             self.require_owner(ctx)?;
@@ -79,14 +78,14 @@ impl Contract for OnChainWhitelistSale {
             let addr = args[0].as_address().expect("decoded address");
             let slot = ctx.mapping_slot(WHITELIST_MAPPING_SLOT, addr.as_bytes())?;
             ctx.sstore_u256(slot, U256::ONE)?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("removeFromWhitelist(address)") {
             self.require_owner(ctx)?;
             let args = ctx.decode_args(&[AbiType::Address])?;
             let addr = args[0].as_address().expect("decoded address");
             let slot = ctx.mapping_slot(WHITELIST_MAPPING_SLOT, addr.as_bytes())?;
             ctx.sstore_u256(slot, U256::ZERO)?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("buy()") {
             let sender = ctx.msg_sender();
             let slot = ctx.mapping_slot(WHITELIST_MAPPING_SLOT, sender.as_bytes())?;
@@ -97,7 +96,7 @@ impl Contract for OnChainWhitelistSale {
             let args = ctx.decode_args(&[AbiType::Address])?;
             let addr = args[0].as_address().expect("decoded address");
             let slot = ctx.mapping_slot(PURCHASES_MAPPING_SLOT, addr.as_bytes())?;
-            Ok(ctx.sload_u256(slot)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(slot)?.to_be_bytes()))
         } else {
             ctx.revert("Sale: unknown method")
         }
@@ -110,7 +109,7 @@ impl OnChainWhitelistSale {
         ctx.require(ctx.msg_sender() == stored, "Sale: owner only")
     }
 
-    fn record_purchase(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn record_purchase(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let units = U256::from_u128(ctx.msg_value() / TOKEN_PRICE_WEI);
         ctx.require(!units.is_zero(), "Sale: below minimum purchase")?;
         let sender = ctx.msg_sender();
@@ -120,7 +119,7 @@ impl OnChainWhitelistSale {
         let sold = ctx.sload_u256(SOLD_SLOT)?;
         ctx.sstore_u256(SOLD_SLOT, sold.wrapping_add(units))?;
         ctx.emit_event("Purchased(address,uint256)", units.to_be_bytes().to_vec())?;
-        Ok(units.to_be_bytes().to_vec())
+        Ok(Bytes::from(units.to_be_bytes()))
     }
 }
 
@@ -145,7 +144,7 @@ impl Contract for SmacsSale {
         1_300
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().expect("execute implies selector");
         if sel == abi::selector("buy()") {
             let units = U256::from_u128(ctx.msg_value() / TOKEN_PRICE_WEI);
@@ -157,12 +156,12 @@ impl Contract for SmacsSale {
             let sold = ctx.sload_u256(SOLD_SLOT)?;
             ctx.sstore_u256(SOLD_SLOT, sold.wrapping_add(units))?;
             ctx.emit_event("Purchased(address,uint256)", units.to_be_bytes().to_vec())?;
-            Ok(units.to_be_bytes().to_vec())
+            Ok(Bytes::from(units.to_be_bytes()))
         } else if sel == abi::selector("purchased(address)") {
             let args = ctx.decode_args(&[AbiType::Address])?;
             let addr = args[0].as_address().expect("decoded address");
             let slot = ctx.mapping_slot(PURCHASES_MAPPING_SLOT, addr.as_bytes())?;
-            Ok(ctx.sload_u256(slot)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(slot)?.to_be_bytes()))
         } else {
             ctx.revert("Sale: unknown method")
         }
@@ -187,7 +186,12 @@ mod tests {
 
         // Not yet whitelisted.
         let r = chain
-            .call_contract(&alice, sale.address, 5_000, OnChainWhitelistSale::buy_payload())
+            .call_contract(
+                &alice,
+                sale.address,
+                5_000,
+                OnChainWhitelistSale::buy_payload(),
+            )
             .unwrap();
         assert_eq!(r.revert_reason(), Some("Sale: sender not whitelisted"));
 
@@ -205,10 +209,18 @@ mod tests {
         assert!(r.gas_used > 20_000, "whitelist write costs a fresh SSTORE");
 
         let r = chain
-            .call_contract(&alice, sale.address, 5_000, OnChainWhitelistSale::buy_payload())
+            .call_contract(
+                &alice,
+                sale.address,
+                5_000,
+                OnChainWhitelistSale::buy_payload(),
+            )
             .unwrap();
         assert!(r.status.is_success());
-        assert_eq!(U256::from_be_slice(&r.return_data).unwrap(), U256::from_u64(5));
+        assert_eq!(
+            U256::from_be_slice(&r.return_data).unwrap(),
+            U256::from_u64(5)
+        );
 
         // Mallory still locked out; non-owner cannot whitelist.
         let r = chain
@@ -231,15 +243,27 @@ mod tests {
             .deploy(&owner, Arc::new(OnChainWhitelistSale::new(owner.address())))
             .unwrap();
         chain
-            .call_contract(&owner, sale.address, 0, OnChainWhitelistSale::add_payload(alice.address()))
+            .call_contract(
+                &owner,
+                sale.address,
+                0,
+                OnChainWhitelistSale::add_payload(alice.address()),
+            )
             .unwrap();
         let remove = abi::encode_call(
             "removeFromWhitelist(address)",
             &[smacs_chain::AbiValue::Address(alice.address())],
         );
-        chain.call_contract(&owner, sale.address, 0, remove).unwrap();
+        chain
+            .call_contract(&owner, sale.address, 0, remove)
+            .unwrap();
         let r = chain
-            .call_contract(&alice, sale.address, 5_000, OnChainWhitelistSale::buy_payload())
+            .call_contract(
+                &alice,
+                sale.address,
+                5_000,
+                OnChainWhitelistSale::buy_payload(),
+            )
             .unwrap();
         assert_eq!(r.revert_reason(), Some("Sale: sender not whitelisted"));
     }
@@ -256,7 +280,10 @@ mod tests {
             .call_contract(&alice, sale.address, 3_000, SmacsSale::buy_payload())
             .unwrap();
         assert!(r.status.is_success());
-        assert_eq!(U256::from_be_slice(&r.return_data).unwrap(), U256::from_u64(3));
+        assert_eq!(
+            U256::from_be_slice(&r.return_data).unwrap(),
+            U256::from_u64(3)
+        );
 
         // Below minimum.
         let r = chain

@@ -14,8 +14,6 @@
 //! ([`crate::storage_bitmap`]) implements the same transitions over
 //! storage words.
 
-use serde::{Deserialize, Serialize};
-
 /// The §IV-C sizing rule: a bitmap that never misses an unexpired token
 /// needs `token_lifetime × max_tx_per_second` bits.
 ///
@@ -57,7 +55,7 @@ impl BitmapVerdict {
 /// assert_eq!(bm.start(), 2);
 /// assert_eq!(bm.try_use(1), BitmapVerdict::RejectedStale); // token miss
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BitmapState {
     bits: Vec<bool>,
     start: u128,
@@ -230,7 +228,7 @@ mod tests {
         let mut bm = BitmapState::new(8);
         assert!(bm.try_use(5).is_accepted());
         assert!(bm.try_use(9).is_accepted()); // slides window
-        // 5 still within window [2..9] and must stay used.
+                                              // 5 still within window [2..9] and must stay used.
         assert!(bm.start() <= 5);
         assert_eq!(bm.try_use(5), BitmapVerdict::RejectedUsed);
         assert_eq!(bm.try_use(9), BitmapVerdict::RejectedUsed);

@@ -107,9 +107,16 @@ mod tests {
 
     #[test]
     fn meta_pack_round_trip() {
-        let cases = [(0u128, 0u64, 1u64), (u128::MAX, u64::MAX, 126_000), (42, 7, 256)];
+        let cases = [
+            (0u128, 0u64, 1u64),
+            (u128::MAX, u64::MAX, 126_000),
+            (42, 7, 256),
+        ];
         for (start, ptr, n) in cases {
-            assert_eq!(unpack_bitmap_meta(pack_bitmap_meta(start, ptr, n)), (start, ptr, n));
+            assert_eq!(
+                unpack_bitmap_meta(pack_bitmap_meta(start, ptr, n)),
+                (start, ptr, n)
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 //! transformed contract's `internal` methods don't.
 
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::Address;
+use smacs_primitives::{Address, Bytes};
 use std::sync::Arc;
 
 use crate::layout;
@@ -78,7 +78,7 @@ impl Contract for SmacsShield {
         self.inner.constructor(ctx)
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         // assert(verify(token)) before every method body (Fig. 4).
         verify_incoming(ctx)?;
         self.inner.execute(ctx)
@@ -105,8 +105,8 @@ mod tests {
         fn code_len(&self) -> usize {
             2_000
         }
-        fn execute(&self, _ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
-            Ok(Vec::new())
+        fn execute(&self, _ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
+            Ok(Bytes::new())
         }
     }
 

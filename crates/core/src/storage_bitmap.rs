@@ -33,19 +33,13 @@ impl StorageBitmap {
             layout::bitmap_meta_slot(),
             layout::pack_bitmap_meta(0, 0, n_bits),
         )?;
-        ctx.sstore_u256(
-            layout::bitmap_epoch_slot(),
-            smacs_primitives::U256::ONE,
-        )?;
+        ctx.sstore_u256(layout::bitmap_epoch_slot(), smacs_primitives::U256::ONE)?;
         // Pre-allocate: write a sentinel into every word slot. The sentinel
         // lives in epoch 0 keyed differently? No — the *live* epoch is 1 and
         // its words must read zero; the pre-touch charges deployment gas the
         // way the paper's prototype pays it, using epoch 0 slots.
         for w in 0..layout::bitmap_word_count(n_bits) {
-            ctx.sstore_u256(
-                layout::bitmap_word_slot(0, w),
-                smacs_primitives::U256::ONE,
-            )?;
+            ctx.sstore_u256(layout::bitmap_word_slot(0, w), smacs_primitives::U256::ONE)?;
         }
         Ok(())
     }
@@ -89,7 +83,7 @@ impl StorageBitmap {
             // Minimal slide by d = i − end (see crate::bitmap for why the
             // displacement must be minimal).
             let d = (i - end) as u64;
-            let new_start_ptr = ((start_ptr + d) % n_bits) as u64;
+            let new_start_ptr = (start_ptr + d) % n_bits;
             let new_start = i - n + 1;
             ctx.sstore(
                 layout::bitmap_meta_slot(),

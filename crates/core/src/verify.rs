@@ -26,6 +26,7 @@
 //! path, Table II), `bitmap` (one-time bookkeeping, Table II).
 
 use smacs_chain::{CallContext, VmError};
+use smacs_primitives::Bytes;
 use smacs_token::{split_tokens, PayloadContext, Token, TokenArray, TokenType};
 
 use crate::costs::{
@@ -52,7 +53,7 @@ pub struct VerifyOutcome {
 pub fn verify_incoming(ctx: &mut CallContext<'_, '_>) -> Result<VerifyOutcome, VmError> {
     // ---- extractToken(T): split the token array out of msg.data ----
     ctx.begin_gas_section("parse");
-    let data = ctx.msg_data().to_vec();
+    let data = ctx.msg_data_bytes();
     let split = split_tokens(&data);
     let (payload, tokens) = match split {
         Ok(parts) => parts,
@@ -158,11 +159,14 @@ pub fn forward_call(
     to: smacs_primitives::Address,
     value: u128,
     payload: &[u8],
-) -> Result<Vec<u8>, VmError> {
-    let data = ctx.msg_data().to_vec();
+) -> Result<Bytes, VmError> {
+    let data = ctx.msg_data_bytes();
     let (_, tokens) =
         split_tokens(&data).map_err(|e| VmError::Revert(format!("SMACS: forward: {e}")))?;
-    ctx.charge(ctx.schedule().copy_cost(payload.len() + tokens.len() * smacs_token::array::ENTRY_SIZE))?;
+    ctx.charge(
+        ctx.schedule()
+            .copy_cost(payload.len() + tokens.len() * smacs_token::array::ENTRY_SIZE),
+    )?;
     let nested = smacs_token::append_tokens(payload, &tokens);
     ctx.call(to, value, nested)
 }

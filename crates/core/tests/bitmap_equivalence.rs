@@ -8,7 +8,7 @@ use smacs_chain::abi::{self, AbiType};
 use smacs_chain::{CallContext, Chain, Contract, VmError};
 use smacs_core::bitmap::{BitmapState, BitmapVerdict};
 use smacs_core::storage_bitmap::StorageBitmap;
-use smacs_primitives::U256;
+use smacs_primitives::{Bytes, U256};
 use std::sync::Arc;
 
 /// A contract exposing the storage bitmap directly:
@@ -26,7 +26,7 @@ impl Contract for BitmapProbe {
         StorageBitmap::init(ctx, self.n_bits)
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().unwrap();
         if sel == abi::selector("tryUse(uint256)") {
             let args = ctx.decode_args(&[AbiType::Uint])?;
@@ -37,7 +37,7 @@ impl Contract for BitmapProbe {
                 BitmapVerdict::RejectedStale => 1,
                 BitmapVerdict::RejectedUsed => 2,
             };
-            Ok(U256::from_u64(code).to_be_bytes().to_vec())
+            Ok(Bytes::from(U256::from_u64(code).to_be_bytes()))
         } else {
             ctx.revert("unknown")
         }

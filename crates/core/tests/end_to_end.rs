@@ -8,10 +8,8 @@ use smacs_chain::{CallContext, Chain, Contract, ExecStatus, VmError};
 use smacs_core::client::ClientWallet;
 use smacs_core::owner::{OwnerToolkit, ShieldParams};
 use smacs_crypto::Keypair;
-use smacs_primitives::{Address, H256, U256};
-use smacs_token::{
-    signing_digest, PayloadContext, Token, TokenType, NO_INDEX,
-};
+use smacs_primitives::{Address, Bytes, H256, U256};
+use smacs_token::{signing_digest, PayloadContext, Token, TokenType, NO_INDEX};
 use std::sync::Arc;
 
 /// The protected application: a vault with a counter and a parameterized
@@ -22,18 +20,18 @@ impl Contract for Vault {
     fn name(&self) -> &'static str {
         "Vault"
     }
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let sel = ctx.msg_sig().unwrap();
         if sel == abi::selector("bump()") {
             let v = ctx.sload_u256(H256::ZERO)?;
             ctx.sstore_u256(H256::ZERO, v.wrapping_add(U256::ONE))?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("set(uint256)") {
             let args = ctx.decode_args(&[AbiType::Uint])?;
             ctx.sstore_u256(H256::ZERO, args[0].as_uint().unwrap())?;
-            Ok(Vec::new())
+            Ok(Bytes::new())
         } else if sel == abi::selector("get()") {
-            Ok(ctx.sload_u256(H256::ZERO)?.to_be_bytes().to_vec())
+            Ok(Bytes::from(ctx.sload_u256(H256::ZERO)?.to_be_bytes()))
         } else {
             ctx.revert("unknown method")
         }
@@ -105,7 +103,13 @@ fn super_ctx(s: &Setup) -> PayloadContext {
 #[test]
 fn super_token_grants_any_method() {
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), NO_INDEX, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        NO_INDEX,
+        &super_ctx(&s),
+    );
     for payload in [
         abi::encode_call("bump()", &[]),
         abi::encode_call("set(uint256)", &[AbiValue::Uint(U256::from_u64(9))]),
@@ -117,7 +121,10 @@ fn super_token_grants_any_method() {
             .unwrap();
         assert!(receipt.status.is_success(), "{:?}", receipt.status);
     }
-    assert_eq!(s.chain.state().storage_get_u256(s.vault, H256::ZERO), U256::from_u64(9));
+    assert_eq!(
+        s.chain.state().storage_get_u256(s.vault, H256::ZERO),
+        U256::from_u64(9)
+    );
 }
 
 #[test]
@@ -132,25 +139,46 @@ fn missing_token_is_rejected() {
         ExecStatus::Reverted(reason) => assert!(reason.contains("SMACS"), "{reason}"),
         other => panic!("expected revert, got {other:?}"),
     }
-    assert_eq!(s.chain.state().storage_get_u256(s.vault, H256::ZERO), U256::ZERO);
+    assert_eq!(
+        s.chain.state().storage_get_u256(s.vault, H256::ZERO),
+        U256::ZERO
+    );
 }
 
 #[test]
 fn expired_token_is_rejected() {
     let mut s = setup();
     let expire = (s.chain.pending_env().timestamp + 100) as u32;
-    let tk = issue(&s.toolkit, TokenType::Super, expire, NO_INDEX, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        expire,
+        NO_INDEX,
+        &super_ctx(&s),
+    );
     // Valid now …
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert!(r.status.is_success());
     // … expired after time passes.
     s.chain.advance_time(200);
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert_eq!(r.revert_reason(), Some("SMACS: token expired"));
 }
@@ -160,16 +188,34 @@ fn substitution_attack_fails() {
     // §VII-A(a): an attacker intercepts a token and tries to use it from
     // their own account. tx.origin differs ⇒ signature verification fails.
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), NO_INDEX, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        NO_INDEX,
+        &super_ctx(&s),
+    );
     let attacker = ClientWallet::new(s.chain.funded_keypair(666, 10u128.pow(24)));
     let r = attacker
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert_eq!(r.revert_reason(), Some("SMACS: invalid token signature"));
     // The legitimate holder can still use it.
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert!(r.status.is_success());
 }
@@ -181,11 +227,23 @@ fn method_token_binds_the_method() {
         selector: Some(abi::selector("bump()")),
         ..super_ctx(&s)
     };
-    let tk = issue(&s.toolkit, TokenType::Method, far_future(&s.chain), NO_INDEX, &ctx);
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Method,
+        far_future(&s.chain),
+        NO_INDEX,
+        &ctx,
+    );
     // Works for bump() with any state of arguments …
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert!(r.status.is_success());
     // … but not for set(uint256).
@@ -211,7 +269,13 @@ fn argument_token_binds_exact_arguments() {
         calldata: Some(good_payload.clone()),
         ..super_ctx(&s)
     };
-    let tk = issue(&s.toolkit, TokenType::Argument, far_future(&s.chain), NO_INDEX, &ctx);
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Argument,
+        far_future(&s.chain),
+        NO_INDEX,
+        &ctx,
+    );
 
     // Exact payload: accepted.
     let r = s
@@ -219,7 +283,10 @@ fn argument_token_binds_exact_arguments() {
         .call_with_token(&mut s.chain, s.vault, 0, &good_payload, tk)
         .unwrap();
     assert!(r.status.is_success());
-    assert_eq!(s.chain.state().storage_get_u256(s.vault, H256::ZERO), U256::from_u64(42));
+    assert_eq!(
+        s.chain.state().storage_get_u256(s.vault, H256::ZERO),
+        U256::from_u64(42)
+    );
 
     // Same method, different argument: rejected.
     let bad_payload = abi::encode_call("set(uint256)", &[AbiValue::Uint(U256::from_u64(43))]);
@@ -228,7 +295,10 @@ fn argument_token_binds_exact_arguments() {
         .call_with_token(&mut s.chain, s.vault, 0, &bad_payload, tk)
         .unwrap();
     assert_eq!(r.revert_reason(), Some("SMACS: invalid token signature"));
-    assert_eq!(s.chain.state().storage_get_u256(s.vault, H256::ZERO), U256::from_u64(42));
+    assert_eq!(
+        s.chain.state().storage_get_u256(s.vault, H256::ZERO),
+        U256::from_u64(42)
+    );
 }
 
 #[test]
@@ -236,10 +306,22 @@ fn forged_signature_rejected() {
     let mut s = setup();
     // Signed by the wrong key entirely.
     let mallory = OwnerToolkit::new(Keypair::from_seed(31337), Keypair::from_seed(31338));
-    let tk = issue(&mallory, TokenType::Super, far_future(&s.chain), NO_INDEX, &super_ctx(&s));
+    let tk = issue(
+        &mallory,
+        TokenType::Super,
+        far_future(&s.chain),
+        NO_INDEX,
+        &super_ctx(&s),
+    );
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert_eq!(r.revert_reason(), Some("SMACS: invalid token signature"));
 }
@@ -252,7 +334,13 @@ fn token_for_other_contract_rejected() {
         contract: other,
         ..super_ctx(&s)
     };
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), NO_INDEX, &ctx);
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        NO_INDEX,
+        &ctx,
+    );
     // Addressed to `other` in the array: the vault finds no token for
     // itself.
     let data = smacs_core::client::build_call_data(&abi::encode_call("bump()", &[]), other, tk);
@@ -261,8 +349,7 @@ fn token_for_other_contract_rejected() {
 
     // Addressed to the vault in the array but signed for `other`: the
     // signature binds cAddr, so verification fails.
-    let data =
-        smacs_core::client::build_call_data(&abi::encode_call("bump()", &[]), s.vault, tk);
+    let data = smacs_core::client::build_call_data(&abi::encode_call("bump()", &[]), s.vault, tk);
     let r = s.client.send(&mut s.chain, s.vault, 0, data).unwrap();
     assert_eq!(r.revert_reason(), Some("SMACS: invalid token signature"));
 }
@@ -270,7 +357,13 @@ fn token_for_other_contract_rejected() {
 #[test]
 fn one_time_token_single_use() {
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), 0, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        0,
+        &super_ctx(&s),
+    );
     assert!(tk.is_one_time());
     let payload = abi::encode_call("bump()", &[]);
     let r = s
@@ -288,7 +381,10 @@ fn one_time_token_single_use() {
         r.revert_reason(),
         Some("SMACS: one-time token already used or missed")
     );
-    assert_eq!(s.chain.state().storage_get_u256(s.vault, H256::ZERO), U256::ONE);
+    assert_eq!(
+        s.chain.state().storage_get_u256(s.vault, H256::ZERO),
+        U256::ONE
+    );
 }
 
 #[test]
@@ -296,7 +392,13 @@ fn one_time_tokens_consume_distinct_indexes() {
     let mut s = setup();
     let payload = abi::encode_call("bump()", &[]);
     for index in 0..5i128 {
-        let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), index, &super_ctx(&s));
+        let tk = issue(
+            &s.toolkit,
+            TokenType::Super,
+            far_future(&s.chain),
+            index,
+            &super_ctx(&s),
+        );
         let r = s
             .client
             .call_with_token(&mut s.chain, s.vault, 0, &payload, tk)
@@ -315,7 +417,13 @@ fn failed_use_does_not_burn_the_index() {
     // inner body is about to run; a failed attempt by an attacker must not
     // invalidate the legitimate holder's token.
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), 3, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        3,
+        &super_ctx(&s),
+    );
     let attacker = ClientWallet::new(s.chain.funded_keypair(667, 10u128.pow(24)));
     let payload = abi::encode_call("bump()", &[]);
     // Attacker steals the token; signature check fails (origin mismatch).
@@ -357,7 +465,13 @@ fn inner_revert_rolls_back_one_time_marking() {
     let tk = issue(&s.toolkit, TokenType::Method, far_future(&s.chain), 7, &ctx);
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert!(r.status.is_success());
 }
@@ -365,10 +479,22 @@ fn inner_revert_rolls_back_one_time_marking() {
 #[test]
 fn gas_breakdown_has_verify_section() {
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), NO_INDEX, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        NO_INDEX,
+        &super_ctx(&s),
+    );
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert!(r.status.is_success());
     let verify = r.breakdown.section("verify");
@@ -381,10 +507,22 @@ fn gas_breakdown_has_verify_section() {
 #[test]
 fn one_time_gas_breakdown_has_bitmap_section() {
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), 0, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        0,
+        &super_ctx(&s),
+    );
     let r = s
         .client
-        .call_with_token(&mut s.chain, s.vault, 0, &abi::encode_call("bump()", &[]), tk)
+        .call_with_token(
+            &mut s.chain,
+            s.vault,
+            0,
+            &abi::encode_call("bump()", &[]),
+            tk,
+        )
         .unwrap();
     assert!(r.status.is_success());
     let bitmap = r.breakdown.section("bitmap");
@@ -397,7 +535,13 @@ fn reorged_history_cannot_forge_tokens() {
     // §VII-A(c): a 51% adversary rewrites blocks, but a non-compliant
     // transaction still cannot carry a valid token afterwards.
     let mut s = setup();
-    let tk = issue(&s.toolkit, TokenType::Super, far_future(&s.chain), NO_INDEX, &super_ctx(&s));
+    let tk = issue(
+        &s.toolkit,
+        TokenType::Super,
+        far_future(&s.chain),
+        NO_INDEX,
+        &super_ctx(&s),
+    );
     let payload = abi::encode_call("bump()", &[]);
     s.client
         .call_with_token(&mut s.chain, s.vault, 0, &payload, tk)
@@ -416,7 +560,10 @@ fn reorged_history_cannot_forge_tokens() {
     // different address …
     if vault2.address != s.vault {
         let data = smacs_core::client::build_call_data(&payload, vault2.address, tk);
-        let r = s.client.send(&mut s.chain, vault2.address, 0, data).unwrap();
+        let r = s
+            .client
+            .send(&mut s.chain, vault2.address, 0, data)
+            .unwrap();
         assert_eq!(r.revert_reason(), Some("SMACS: invalid token signature"));
     }
     // … and an attacker still cannot mint one without sk_TS.
@@ -444,7 +591,10 @@ fn value_transfers_pass_through_fallback() {
     // Plain deposits (no selector) skip token verification by design.
     let mut s = setup();
     let before = s.chain.state().balance(s.vault);
-    let r = s.client.send(&mut s.chain, s.vault, 1_000, Vec::new()).unwrap();
+    let r = s
+        .client
+        .send(&mut s.chain, s.vault, 1_000, Vec::new())
+        .unwrap();
     assert!(r.status.is_success());
     assert_eq!(s.chain.state().balance(s.vault), before + 1_000);
 }

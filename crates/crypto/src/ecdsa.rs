@@ -3,14 +3,17 @@
 //! Signatures are the 65-byte `(r ‖ s ‖ v)` layout with the recovery id `v`
 //! in the trailing byte (encoded as 27/28 as Ethereum's `ecrecover` expects).
 //! Addresses are the last 20 bytes of `keccak256(uncompressed_pubkey[1..])`.
+//!
+//! The curve math lives in [`crate::secp256k1`], written from scratch since
+//! the build environment has no external crates. Nonces are derived by a
+//! deterministic keccak stretch over `(secret ‖ digest)` rather than
+//! RFC 6979's HMAC-SHA256 (same determinism property, different bytes).
 
-use k256::ecdsa::{RecoveryId, SigningKey, VerifyingKey};
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
 use smacs_primitives::{Address, H256};
 use std::fmt;
 
 use crate::keccak256;
+use crate::secp256k1 as curve;
 
 /// A secp256k1 public key (uncompressed SEC1 form, 64 bytes sans the 0x04
 /// tag).
@@ -25,11 +28,8 @@ impl PublicKey {
         Address::from_slice(&hash.0[12..]).expect("20-byte suffix of a 32-byte hash")
     }
 
-    fn from_verifying_key(vk: &VerifyingKey) -> Self {
-        let point = vk.to_encoded_point(false);
-        let mut out = [0u8; 64];
-        out.copy_from_slice(&point.as_bytes()[1..]);
-        PublicKey(out)
+    fn from_affine(point: &curve::Affine) -> Self {
+        PublicKey(point.to_bytes64())
     }
 }
 
@@ -42,7 +42,7 @@ impl fmt::Debug for PublicKey {
 /// A 65-byte recoverable ECDSA signature: `r` (32) ‖ `s` (32) ‖ `v` (1).
 ///
 /// This is the `signature` field of the paper's 86-byte token (Fig. 3).
-#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// The 32-byte `r` component.
     pub r: [u8; 32],
@@ -121,19 +121,33 @@ impl fmt::Debug for Signature {
 /// externally owned account holds one for transaction signing.
 #[derive(Clone)]
 pub struct Keypair {
-    signing: SigningKey,
+    secret: curve::U256L,
     public: PublicKey,
 }
 
 impl Keypair {
-    /// Generate a fresh random keypair.
-    pub fn random<R: RngCore>(rng: &mut R) -> Self {
-        let mut bytes = [0u8; 32];
+    /// Generate a fresh keypair from process-local entropy (address of a
+    /// heap allocation, monotonic time, and a counter, stretched through
+    /// keccak). Not for production key material — like everything in this
+    /// simulator.
+    pub fn random() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = Box::new(0u8);
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&(&*unique as *const u8 as usize as u64).to_be_bytes());
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        seed[8..16].copy_from_slice(&nanos.to_be_bytes());
+        seed[16..24].copy_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_be_bytes());
+        let mut candidate = keccak256(&seed).0;
         loop {
-            rng.fill_bytes(&mut bytes);
-            if let Ok(sk) = SigningKey::from_bytes((&bytes).into()) {
-                return Self::from_signing_key(sk);
+            if let Some(kp) = Self::from_secret_bytes(&candidate) {
+                return kp;
             }
+            candidate = keccak256(&candidate).0;
         }
     }
 
@@ -143,8 +157,8 @@ impl Keypair {
         // Stretch the seed through keccak until it lands in the field.
         let mut candidate = keccak256(&seed.to_be_bytes()).0;
         loop {
-            if let Ok(sk) = SigningKey::from_bytes((&candidate).into()) {
-                return Self::from_signing_key(sk);
+            if let Some(kp) = Self::from_secret_bytes(&candidate) {
+                return kp;
             }
             candidate = keccak256(&candidate).0;
         }
@@ -152,20 +166,18 @@ impl Keypair {
 
     /// Construct from raw 32-byte private scalar.
     pub fn from_secret_bytes(bytes: &[u8; 32]) -> Option<Self> {
-        SigningKey::from_bytes(bytes.into())
-            .ok()
-            .map(Self::from_signing_key)
-    }
-
-    fn from_signing_key(signing: SigningKey) -> Self {
-        let public = PublicKey::from_verifying_key(signing.verifying_key());
-        Keypair { signing, public }
+        let secret = curve::from_be_bytes(bytes);
+        if !curve::scalar_is_valid(&secret) {
+            return None;
+        }
+        let public = PublicKey::from_affine(&curve::pubkey(&secret));
+        Some(Keypair { secret, public })
     }
 
     /// The raw 32-byte private scalar — needed by persistence layers.
     /// Handle with the care private key material deserves.
     pub fn secret_bytes(&self) -> [u8; 32] {
-        self.signing.to_bytes().into()
+        curve::to_be_bytes(&self.secret)
     }
 
     /// The public half.
@@ -180,30 +192,19 @@ impl Keypair {
 
     /// Sign a 32-byte digest, producing a recoverable 65-byte signature.
     ///
-    /// Deterministic (RFC 6979), like Ethereum clients.
+    /// Deterministic: the nonce is a keccak stretch over
+    /// `(secret ‖ digest ‖ counter)`, so equal inputs yield equal
+    /// signatures.
     pub fn sign_digest(&self, digest: &H256) -> Signature {
-        let (sig, recid) = self
-            .signing
-            .sign_prehash_recoverable(&digest.0)
-            .expect("signing a 32-byte digest cannot fail");
-        let sig = sig.normalize_s().unwrap_or(sig);
-        // Re-derive the recovery id after low-s normalization: flipping s
-        // flips the parity bit.
-        let recid = RecoveryId::trial_recovery_from_prehash(
-            self.signing.verifying_key(),
-            &digest.0,
-            &sig,
-        )
-        .unwrap_or(recid);
-        let bytes = sig.to_bytes();
-        let mut r = [0u8; 32];
-        let mut s = [0u8; 32];
-        r.copy_from_slice(&bytes[..32]);
-        s.copy_from_slice(&bytes[32..]);
+        let z = curve::reduce_bytes(&digest.0, &curve::N);
+        let secret_bytes = self.secret_bytes();
+        let sig = curve::sign(&z, &self.secret, |counter| {
+            crate::keccak256_concat(&[&secret_bytes, &digest.0, &counter.to_be_bytes()]).0
+        });
         Signature {
-            r,
-            s,
-            v: 27 + recid.to_byte(),
+            r: curve::to_be_bytes(&sig.r),
+            s: curve::to_be_bytes(&sig.s),
+            v: 27 + sig.y_odd as u8,
         }
     }
 
@@ -224,13 +225,14 @@ impl fmt::Debug for Keypair {
 /// as a failed verification, exactly like Solidity's `ecrecover` returning
 /// the zero address.
 pub fn recover_address(digest: &H256, signature: &Signature) -> Option<Address> {
-    let recid = RecoveryId::from_byte(signature.v.checked_sub(27)?)?;
-    let mut rs = [0u8; 64];
-    rs[..32].copy_from_slice(&signature.r);
-    rs[32..].copy_from_slice(&signature.s);
-    let sig = k256::ecdsa::Signature::from_slice(&rs).ok()?;
-    let vk = VerifyingKey::recover_from_prehash(&digest.0, &sig, recid).ok()?;
-    Some(PublicKey::from_verifying_key(&vk).address())
+    if signature.v != 27 && signature.v != 28 {
+        return None;
+    }
+    let z = curve::reduce_bytes(&digest.0, &curve::N);
+    let r = curve::from_be_bytes(&signature.r);
+    let s = curve::from_be_bytes(&signature.s);
+    let point = curve::recover(&z, &r, &s, signature.v == 28)?;
+    Some(PublicKey::from_affine(&point).address())
 }
 
 /// Verify that `signature` over `digest` was produced by the holder of
@@ -281,16 +283,28 @@ mod tests {
 
     #[test]
     fn wire_rejects_bad_input() {
-        assert_eq!(Signature::from_bytes(&[0u8; 64]), Err(SignatureError::BadLength));
+        assert_eq!(
+            Signature::from_bytes(&[0u8; 64]),
+            Err(SignatureError::BadLength)
+        );
         let mut bytes = [0u8; 65];
         bytes[64] = 5;
-        assert_eq!(Signature::from_bytes(&bytes), Err(SignatureError::BadRecoveryId));
+        assert_eq!(
+            Signature::from_bytes(&bytes),
+            Err(SignatureError::BadRecoveryId)
+        );
     }
 
     #[test]
     fn deterministic_seeding() {
-        assert_eq!(Keypair::from_seed(9).address(), Keypair::from_seed(9).address());
-        assert_ne!(Keypair::from_seed(9).address(), Keypair::from_seed(10).address());
+        assert_eq!(
+            Keypair::from_seed(9).address(),
+            Keypair::from_seed(9).address()
+        );
+        assert_ne!(
+            Keypair::from_seed(9).address(),
+            Keypair::from_seed(10).address()
+        );
     }
 
     #[test]
@@ -302,9 +316,8 @@ mod tests {
 
     #[test]
     fn random_keypairs_differ() {
-        let mut rng = rand::thread_rng();
-        let a = Keypair::random(&mut rng);
-        let b = Keypair::random(&mut rng);
+        let a = Keypair::random();
+        let b = Keypair::random();
         assert_ne!(a.address(), b.address());
     }
 

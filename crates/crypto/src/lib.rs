@@ -15,6 +15,7 @@
 
 pub mod ecdsa;
 pub mod keccak;
+pub mod secp256k1;
 
 pub use ecdsa::{recover_address, Keypair, PublicKey, Signature, SignatureError};
 pub use keccak::{keccak256, keccak256_concat, Keccak256};

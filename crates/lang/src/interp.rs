@@ -15,7 +15,7 @@
 
 use smacs_chain::abi::{self, AbiType, AbiValue, Selector};
 use smacs_chain::{CallContext, Contract, VmError};
-use smacs_primitives::{Address, H256, U256};
+use smacs_primitives::{Address, Bytes, H256, U256};
 use std::collections::HashMap;
 
 use crate::ast::{ContractDef, Expr, Function, Stmt, TypeName};
@@ -118,9 +118,9 @@ impl Value {
     fn from_word(word: H256, ty: &TypeName) -> Value {
         match canonical_type(ty).as_str() {
             "bool" => Value::Bool(!word.is_zero()),
-            "address" => Value::Address(
-                Address::from_slice(&word.0[12..]).expect("20-byte suffix"),
-            ),
+            "address" => {
+                Value::Address(Address::from_slice(&word.0[12..]).expect("20-byte suffix"))
+            }
             _ => Value::Uint(word.to_u256()),
         }
     }
@@ -141,7 +141,11 @@ pub fn canonical_type(ty: &TypeName) -> String {
 
 /// The canonical selector of a function definition.
 pub fn function_selector(function: &Function) -> Selector {
-    let params: Vec<String> = function.params.iter().map(|p| canonical_type(&p.ty)).collect();
+    let params: Vec<String> = function
+        .params
+        .iter()
+        .map(|p| canonical_type(&p.ty))
+        .collect();
     abi::selector(&format!("{}({})", function.name, params.join(",")))
 }
 
@@ -267,14 +271,18 @@ impl Contract for InterpretedContract {
         Ok(())
     }
 
-    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Vec<u8>, VmError> {
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
         let selector = ctx.msg_sig().expect("execute implies selector");
         let Some(function) = self.dispatch_target(selector) else {
             return Err(VmError::Revert(format!(
                 "interp: no method with selector {selector}"
             )));
         };
-        let types: Vec<AbiType> = function.params.iter().map(|p| abi_type_for(&p.ty)).collect();
+        let types: Vec<AbiType> = function
+            .params
+            .iter()
+            .map(|p| abi_type_for(&p.ty))
+            .collect();
         let args = ctx
             .decode_args(&types)?
             .iter()
@@ -282,8 +290,8 @@ impl Contract for InterpretedContract {
             .collect();
         let function = function.clone();
         match self.run_function(ctx, &function, args)? {
-            Some(value) => Ok(value.to_word().0.to_vec()),
-            None => Ok(Vec::new()),
+            Some(value) => Ok(Bytes::from(value.to_word().0)),
+            None => Ok(Bytes::new()),
         }
     }
 
@@ -302,7 +310,11 @@ struct Env<'c> {
 }
 
 impl<'c> Env<'c> {
-    fn exec_block(&mut self, ctx: &mut CallContext<'_, '_>, body: &[Stmt]) -> Result<Flow, VmError> {
+    fn exec_block(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        body: &[Stmt],
+    ) -> Result<Flow, VmError> {
         for stmt in body {
             match self.exec_stmt(ctx, stmt)? {
                 Flow::Normal => {}
@@ -396,13 +408,15 @@ impl<'c> Env<'c> {
                 Ok((slot, (**value_ty).clone()))
             }
             (_, None) => Ok((H256::from_u256(U256::from_u64(slot)), ty)),
-            (_, Some(_)) => Err(VmError::Revert(format!(
-                "interp: {name} is not a mapping"
-            ))),
+            (_, Some(_)) => Err(VmError::Revert(format!("interp: {name} is not a mapping"))),
         }
     }
 
-    fn read_target(&mut self, ctx: &mut CallContext<'_, '_>, target: &Expr) -> Result<Value, VmError> {
+    fn read_target(
+        &mut self,
+        ctx: &mut CallContext<'_, '_>,
+        target: &Expr,
+    ) -> Result<Value, VmError> {
         self.eval(ctx, target)
     }
 
@@ -459,7 +473,9 @@ impl<'c> Env<'c> {
                     let word = ctx.sload(slot)?;
                     return Ok(Value::from_word(word, &ty));
                 }
-                Err(VmError::Revert(format!("interp: unknown identifier {name}")))
+                Err(VmError::Revert(format!(
+                    "interp: unknown identifier {name}"
+                )))
             }
             Expr::Member(base, member) => self.eval_member(ctx, base, member),
             Expr::Index(base, key) => {
@@ -525,9 +541,7 @@ impl<'c> Env<'c> {
                 ("msg", "value") => return Ok(Value::Uint(U256::from_u128(ctx.msg_value()))),
                 ("tx", "origin") => return Ok(Value::Address(ctx.tx_origin())),
                 ("block", "timestamp") => return Ok(Value::Uint(U256::from_u64(ctx.now()))),
-                ("block", "number") => {
-                    return Ok(Value::Uint(U256::from_u64(ctx.block().number)))
-                }
+                ("block", "number") => return Ok(Value::Uint(U256::from_u64(ctx.block().number))),
                 _ => {}
             }
         }

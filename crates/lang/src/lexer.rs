@@ -212,7 +212,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             ',' => push1(&mut tokens, Token::Comma, &mut i),
             '.' => push1(&mut tokens, Token::Dot, &mut i),
             '+' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::PlusAssign, &mut i),
-            '-' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::MinusAssign, &mut i),
+            '-' if bytes.get(i + 1) == Some(&b'=') => {
+                push2(&mut tokens, Token::MinusAssign, &mut i)
+            }
             '=' if bytes.get(i + 1) == Some(&b'=') => push2(&mut tokens, Token::Eq, &mut i),
             '=' if bytes.get(i + 1) == Some(&b'>') => push2(&mut tokens, Token::FatArrow, &mut i),
             '=' => push1(&mut tokens, Token::Assign, &mut i),
@@ -275,7 +277,8 @@ mod tests {
 
     #[test]
     fn comments_and_directives_skipped() {
-        let src = "pragma solidity ^0.4.24;\nimport \"./B.sol\";\n// line\n/* block */ contract A {}";
+        let src =
+            "pragma solidity ^0.4.24;\nimport \"./B.sol\";\n// line\n/* block */ contract A {}";
         let tokens = tokenize(src).unwrap();
         assert_eq!(
             tokens,

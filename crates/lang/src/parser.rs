@@ -212,7 +212,10 @@ impl Parser {
                 visibility = Visibility::Private;
             } else if self.eat_keyword("payable") {
                 payable = true;
-            } else if self.eat_keyword("view") || self.eat_keyword("pure") || self.eat_keyword("constant") {
+            } else if self.eat_keyword("view")
+                || self.eat_keyword("pure")
+                || self.eat_keyword("constant")
+            {
                 // Mutability markers are accepted and dropped (the subset
                 // does not track them).
             } else if self.eat_keyword("returns") {
@@ -605,7 +608,10 @@ mod tests {
     fn operator_precedence() {
         let unit = parse("contract P { function f() public { uint x = 1 + 2 * 3; } }").unwrap();
         let f = unit.contracts[0].function("f").unwrap();
-        let Stmt::VarDecl { value: Some(expr), .. } = &f.body[0] else {
+        let Stmt::VarDecl {
+            value: Some(expr), ..
+        } = &f.body[0]
+        else {
             panic!()
         };
         // 1 + (2 * 3), not (1 + 2) * 3.
@@ -621,7 +627,13 @@ mod tests {
         let src = "contract W { function f() public { while (a < 10 && !done) { a += 1; } } }";
         let unit = parse(src).unwrap();
         let f = unit.contracts[0].function("f").unwrap();
-        assert!(matches!(&f.body[0], Stmt::While { cond: Expr::Binary("&&", _, _), .. }));
+        assert!(matches!(
+            &f.body[0],
+            Stmt::While {
+                cond: Expr::Binary("&&", _, _),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -122,9 +122,7 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
             out.push_str(&format!("{pad}}}\n"));
         }
         Stmt::Return(None) => out.push_str(&format!("{pad}return;\n")),
-        Stmt::Return(Some(expr)) => {
-            out.push_str(&format!("{pad}return {};\n", print_expr(expr)))
-        }
+        Stmt::Return(Some(expr)) => out.push_str(&format!("{pad}return {};\n", print_expr(expr))),
         Stmt::Throw => out.push_str(&format!("{pad}throw;\n")),
     }
 }
@@ -143,11 +141,9 @@ pub fn print_expr(expr: &Expr) -> String {
             format!("{}({})", print_expr(callee), rendered.join(", "))
         }
         Expr::Unary(op, inner) => format!("{op}{}", wrap_if_binary(inner)),
-        Expr::Binary(op, left, right) => format!(
-            "{} {op} {}",
-            wrap_if_binary(left),
-            wrap_if_binary(right)
-        ),
+        Expr::Binary(op, left, right) => {
+            format!("{} {op} {}", wrap_if_binary(left), wrap_if_binary(right))
+        }
     }
 }
 

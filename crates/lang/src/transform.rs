@@ -420,7 +420,7 @@ mod tests {
             panic!("wrapper must delegate");
         };
         assert_eq!(args.len(), 2); // forwards a and b, not the token
-        // caller() rewired to the private half.
+                                   // caller() rewired to the private half.
         let printed = print_source(&enabled);
         let caller_src = &printed[printed.find("function caller").unwrap()..];
         assert!(caller_src.contains("_setBoth(1, 2)"), "{printed}");

@@ -94,7 +94,10 @@ fn interpreted_bank_deposit_and_withdraw() {
     assert!(r.status.is_success(), "{:?}", r.status);
     assert_eq!(chain.state().balance(bank), 0);
     let gas_cost = r.gas_used as u128 * 1_000_000_000;
-    assert_eq!(chain.state().balance(user.address()), before + 400 - gas_cost);
+    assert_eq!(
+        chain.state().balance(user.address()),
+        before + 400 - gas_cost
+    );
 }
 
 /// The paper's Fig. 7 attack, interpreted from source: the attacker's
@@ -125,7 +128,12 @@ fn fig7_attack_runs_from_source() {
 
     // deposit() sends 2 wei into the bank via `bank.call.value(2).addBalance()`.
     let r = chain
-        .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+        .call_contract(
+            &attacker_eoa,
+            attacker.address,
+            2,
+            abi::encode_call("deposit()", &[]),
+        )
         .unwrap();
     assert!(r.status.is_success(), "{:?}", r.status);
     assert_eq!(chain.state().balance(bank), 4);
@@ -133,7 +141,12 @@ fn fig7_attack_runs_from_source() {
     // strike(): withdraw → fallback → withdraw again. All 4 wei leave.
     let before = chain.state().balance(attacker.address);
     let r = chain
-        .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("strike()", &[]))
+        .call_contract(
+            &attacker_eoa,
+            attacker.address,
+            0,
+            abi::encode_call("strike()", &[]),
+        )
         .unwrap();
     assert!(r.status.is_success(), "{:?}", r.status);
     assert_eq!(chain.state().balance(bank), 0);
@@ -248,7 +261,9 @@ fn interpreted_hydra_head_matches_native() {
         let a = chain
             .call_contract(&owner, interpreted.address, 0, payload.clone())
             .unwrap();
-        let b = chain.call_contract(&owner, native.address, 0, payload).unwrap();
+        let b = chain
+            .call_contract(&owner, native.address, 0, payload)
+            .unwrap();
         assert!(a.status.is_success() && b.status.is_success());
         assert_eq!(a.return_data, b.return_data, "x = {x}");
     }
@@ -313,7 +328,10 @@ fn interpreted_loops_and_arithmetic() {
             0,
             abi::encode_call(
                 "mix(uint256,uint256)",
-                &[AbiValue::Uint(U256::from_u64(10)), AbiValue::Uint(U256::from_u64(7))],
+                &[
+                    AbiValue::Uint(U256::from_u64(10)),
+                    AbiValue::Uint(U256::from_u64(7)),
+                ],
             ),
         )
         .unwrap();

@@ -1,11 +1,10 @@
 //! Ethereum-style 20-byte account addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 20-byte account address. Both externally owned accounts and contract
 /// instances are uniformly identified by addresses (paper §II-C).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {

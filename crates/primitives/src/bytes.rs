@@ -1,17 +1,37 @@
-//! A thin owned byte-buffer newtype with hex-oriented formatting.
+//! A cheaply cloneable, immutable byte buffer with hex-oriented formatting.
+//!
+//! `Bytes` is reference-counted: cloning is an `Arc` refcount bump, never a
+//! buffer copy. This is what makes the execution hot path zero-copy — the
+//! same calldata buffer is shared by the transaction, every nested call
+//! frame's `msg.data`, the receipt, and the trace, instead of being
+//! re-cloned per frame as the previous `Vec<u8>`-backed version did.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
-/// Owned byte buffer used for calldata, return data, and token wire images.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct Bytes(pub Vec<u8>);
+/// Immutable shared byte buffer used for calldata, return data, and token
+/// wire images. Cloning is O(1).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+fn empty() -> &'static Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
 
 impl Bytes {
-    /// The empty buffer.
+    /// The empty buffer (shared, allocation-free).
     pub fn new() -> Self {
-        Bytes(Vec::new())
+        Bytes(Arc::clone(empty()))
+    }
+
+    /// Wrap an owned vector without copying.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Bytes::new();
+        }
+        Bytes(Arc::new(v))
     }
 
     /// Length in bytes.
@@ -29,20 +49,21 @@ impl Bytes {
         &self.0
     }
 
-    /// Consume into the inner vector.
+    /// Consume into a vector. Free when this is the only handle; copies
+    /// otherwise.
     pub fn into_vec(self) -> Vec<u8> {
-        self.0
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Render as a lowercase `0x…` hex string.
     pub fn to_hex(&self) -> String {
-        format!("0x{}", hex::encode(&self.0))
+        format!("0x{}", hex::encode(self.as_slice()))
     }
 
     /// Parse from a hex string with optional `0x` prefix.
     pub fn from_hex(s: &str) -> Option<Self> {
         let s = s.strip_prefix("0x").unwrap_or(s);
-        hex::decode(s).ok().map(Bytes)
+        hex::decode(s).ok().map(Bytes::from_vec)
     }
 
     /// Count of zero / non-zero bytes — the split the Ethereum calldata gas
@@ -53,6 +74,12 @@ impl Bytes {
     }
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
@@ -60,21 +87,33 @@ impl Deref for Bytes {
     }
 }
 
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(v)
+        Bytes::from_vec(v)
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes(v.to_vec())
+        Bytes::from_vec(v.to_vec())
     }
 }
 
 impl<const N: usize> From<[u8; N]> for Bytes {
     fn from(v: [u8; N]) -> Self {
-        Bytes(v.to_vec())
+        Bytes::from_vec(v.to_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from_vec(iter.into_iter().collect())
     }
 }
 
@@ -96,7 +135,7 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        let b = Bytes(vec![0xde, 0xad, 0xbe, 0xef]);
+        let b = Bytes::from(vec![0xde, 0xad, 0xbe, 0xef]);
         assert_eq!(b.to_hex(), "0xdeadbeef");
         assert_eq!(Bytes::from_hex("0xdeadbeef"), Some(b));
         assert_eq!(Bytes::from_hex("nothex"), None);
@@ -104,15 +143,39 @@ mod tests {
 
     #[test]
     fn zero_nonzero_split() {
-        let b = Bytes(vec![0, 1, 0, 2, 3]);
+        let b = Bytes::from(vec![0, 1, 0, 2, 3]);
         assert_eq!(b.zero_nonzero_counts(), (2, 3));
         assert_eq!(Bytes::new().zero_nonzero_counts(), (0, 0));
     }
 
     #[test]
     fn deref_gives_slice_ops() {
-        let b = Bytes(vec![1, 2, 3]);
+        let b = Bytes::from(vec![1, 2, 3]);
         assert_eq!(&b[1..], &[2, 3]);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn clone_shares_the_buffer() {
+        let a = Bytes::from(vec![9u8; 64]);
+        let b = a.clone();
+        // Same allocation, not a copy.
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn into_vec_round_trips() {
+        let v = vec![5u8, 6, 7];
+        let b = Bytes::from(v.clone());
+        let shared = b.clone();
+        assert_eq!(shared.into_vec(), v); // copies (b still alive)
+        assert_eq!(b.into_vec(), v); // reclaims in place
+    }
+
+    #[test]
+    fn empty_is_shared() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        assert!(std::ptr::eq(Arc::as_ptr(&a.0), Arc::as_ptr(&b.0)));
     }
 }

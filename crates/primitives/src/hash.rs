@@ -1,13 +1,12 @@
 //! 32-byte hash values (keccak digests, storage keys, transaction ids).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::U256;
 
 /// A 32-byte hash, as produced by keccak256 and used for storage keys,
 /// transaction hashes, and block hashes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct H256(pub [u8; 32]);
 
 impl H256 {

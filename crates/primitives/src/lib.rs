@@ -10,6 +10,7 @@ pub mod address;
 pub mod bytes;
 pub mod hash;
 pub mod hexutil;
+pub mod json;
 pub mod rlp;
 pub mod u256;
 

@@ -43,7 +43,7 @@ pub fn encode(item: &Item) -> Vec<u8> {
     match item {
         Item::Bytes(bytes) => encode_bytes(bytes),
         Item::List(items) => {
-            let payload: Vec<u8> = items.iter().flat_map(|i| encode(i)).collect();
+            let payload: Vec<u8> = items.iter().flat_map(encode).collect();
             let mut out = length_prefix(payload.len(), 0xc0);
             out.extend_from_slice(&payload);
             out
@@ -173,7 +173,7 @@ impl ToRlp for Address {
 
 impl ToRlp for Bytes {
     fn to_rlp(&self) -> Item {
-        Item::Bytes(self.0.clone())
+        Item::Bytes(self.as_slice().to_vec())
     }
 }
 
@@ -191,7 +191,10 @@ mod tests {
     // Canonical vectors from the Ethereum wiki.
     #[test]
     fn known_vectors() {
-        assert_eq!(encode(&Item::Bytes(b"dog".to_vec())), vec![0x83, b'd', b'o', b'g']);
+        assert_eq!(
+            encode(&Item::Bytes(b"dog".to_vec())),
+            vec![0x83, b'd', b'o', b'g']
+        );
         assert_eq!(
             encode(&Item::List(vec![
                 Item::Bytes(b"cat".to_vec()),
@@ -202,7 +205,10 @@ mod tests {
         assert_eq!(encode(&Item::Bytes(vec![])), vec![0x80]);
         assert_eq!(encode(&Item::Bytes(vec![0x00])), vec![0x00]);
         assert_eq!(encode(&Item::Bytes(vec![0x0f])), vec![0x0f]);
-        assert_eq!(encode(&Item::Bytes(vec![0x04, 0x00])), vec![0x82, 0x04, 0x00]);
+        assert_eq!(
+            encode(&Item::Bytes(vec![0x04, 0x00])),
+            vec![0x82, 0x04, 0x00]
+        );
         assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
     }
 
@@ -251,7 +257,10 @@ mod tests {
     fn u256_trimming() {
         assert_eq!(encode(&U256::ZERO.to_rlp()), vec![0x80]);
         assert_eq!(encode(&U256::from_u64(15).to_rlp()), vec![0x0f]);
-        assert_eq!(encode(&U256::from_u64(1024).to_rlp()), vec![0x82, 0x04, 0x00]);
+        assert_eq!(
+            encode(&U256::from_u64(1024).to_rlp()),
+            vec![0x82, 0x04, 0x00]
+        );
     }
 
     fn arb_item() -> impl Strategy<Value = Item> {

@@ -5,7 +5,6 @@
 //! mul, div/rem, bit ops, shifts, byte conversion) rather than a full bignum
 //! library.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
@@ -20,7 +19,7 @@ use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
 /// assert_eq!(b >> 128, U256::from_u64(3));
 /// assert_eq!(U256::MAX.wrapping_add(U256::ONE), U256::ZERO); // EVM wrap
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct U256(pub [u64; 4]);
 
 impl U256 {
@@ -98,10 +97,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (a, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (b, c2) = a.overflowing_add(carry as u64);
-            out[i] = b;
+            *limb = b;
             carry = c1 || c2;
         }
         (U256(out), carry)
@@ -126,10 +125,10 @@ impl U256 {
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (a, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (b, b2) = a.overflowing_sub(borrow as u64);
-            out[i] = b;
+            *limb = b;
             borrow = b1 || b2;
         }
         (U256(out), borrow)
@@ -156,9 +155,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -287,7 +284,9 @@ impl U256 {
         let ten = U256::from_u64(10);
         for c in s.chars() {
             let d = c.to_digit(10)?;
-            acc = acc.checked_mul(ten)?.checked_add(U256::from_u64(d as u64))?;
+            acc = acc
+                .checked_mul(ten)?
+                .checked_add(U256::from_u64(d as u64))?;
         }
         Some(acc)
     }
@@ -431,11 +430,11 @@ impl Shr<u32> for U256 {
         let limb_shift = (shift / 64) as usize;
         let bit_shift = shift % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             if i + limb_shift < 4 {
-                out[i] = self.0[i + limb_shift] >> bit_shift;
+                *limb = self.0[i + limb_shift] >> bit_shift;
                 if bit_shift > 0 && i + limb_shift + 1 < 4 {
-                    out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+                    *limb |= self.0[i + limb_shift + 1] << (64 - bit_shift);
                 }
             }
         }
@@ -581,12 +580,21 @@ mod tests {
     #[test]
     fn trimmed_bytes() {
         assert!(U256::ZERO.to_be_bytes_trimmed().is_empty());
-        assert_eq!(U256::from_u64(0x1234).to_be_bytes_trimmed(), vec![0x12, 0x34]);
+        assert_eq!(
+            U256::from_u64(0x1234).to_be_bytes_trimmed(),
+            vec![0x12, 0x34]
+        );
     }
 
     #[test]
     fn decimal_round_trip() {
-        for s in ["0", "1", "42", "18446744073709551616", "115792089237316195423570985008687907853269984665640564039457584007913129639935"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        ] {
             let v = U256::from_dec_str(s).unwrap();
             assert_eq!(v.to_dec_string(), s);
         }
@@ -594,7 +602,9 @@ mod tests {
         assert_eq!(U256::from_dec_str("12a"), None);
         // One above MAX overflows.
         assert_eq!(
-            U256::from_dec_str("115792089237316195423570985008687907853269984665640564039457584007913129639936"),
+            U256::from_dec_str(
+                "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+            ),
             None
         );
     }
@@ -634,10 +644,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use crate::json::{from_str, to_string};
         let v = U256([7, 8, 9, 10]);
-        let json = serde_json::to_string(&v).unwrap();
-        let back: U256 = serde_json::from_str(&json).unwrap();
+        let json = to_string(&v);
+        let back: U256 = from_str(&json).unwrap();
         assert_eq!(back, v);
     }
 

@@ -1,0 +1,623 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate reimplements
+//! the (small) proptest API surface the workspace's property tests use:
+//! `proptest!`, strategies for integer ranges / `any::<T>()` / tuples /
+//! `prop::collection::vec` / `prop::array::uniform4` / regex-subset string
+//! strategies / `Just` / `prop_oneof!`, and the `prop_map`, `prop_recursive`
+//! and `boxed` combinators.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! cases are generated from a deterministic per-test RNG, so failures are
+//! reproducible across runs.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Deterministic xorshift* generator seeded per test and case.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from a test name and case index (FNV-1a over the name).
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value below `n` (n > 0).
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform 128-bit value.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+    }
+
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; keep test runs quick since the
+            // workspace runs some scalar-multiplication-heavy properties in
+            // debug builds.
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::*;
+
+    /// A value generator. The shim's analog of proptest's `Strategy`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive structures: `f` receives a boxed self-strategy for the
+        /// recursive positions; `depth` bounds the recursion.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                expand: Arc::new(move |inner| f(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_recursive`].
+    pub struct Recursive<V> {
+        pub(crate) base: BoxedStrategy<V>,
+        pub(crate) expand: Arc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+        pub(crate) depth: u32,
+    }
+
+    impl<V: 'static> Strategy for Recursive<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            if self.depth == 0 || rng.below(2) == 0 {
+                return self.base.generate(rng);
+            }
+            let inner = Recursive {
+                base: self.base.clone(),
+                expand: Arc::clone(&self.expand),
+                depth: self.depth - 1,
+            };
+            (self.expand)(inner.boxed()).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the macro-collected arms.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty => $via:ident),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (rng.$via() as u128 % span) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy! {
+        u8 => next_u64, u16 => next_u64, u32 => next_u64, u64 => next_u64,
+        usize => next_u64, u128 => next_u128,
+    }
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u128() % span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, i128, isize);
+
+    /// Types with a canonical "anything" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+
+    // ---- regex-subset string strategies ----
+    //
+    // The workspace uses patterns of the shape `[class]{m,n}` interleaved
+    // with escaped literals (e.g. `"[a-z]{1,12}\\(\\)"`). This parser
+    // supports exactly: character classes with ranges and literal members,
+    // `{m}` / `{m,n}` repetition suffixes, backslash escapes, and literal
+    // characters.
+    #[derive(Clone)]
+    enum RegexPiece {
+        Literal(char),
+        Class {
+            chars: Vec<char>,
+            min: u32,
+            max: u32,
+        },
+    }
+
+    fn parse_regex_subset(pattern: &str) -> Vec<RegexPiece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                    pieces.push(RegexPiece::Literal(chars[i]));
+                    i += 1;
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unclosed class")
+                        + i;
+                    let mut members = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            members.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    let (min, max) = if i < chars.len() && chars[i] == '{' {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unclosed repetition")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                            None => {
+                                let m: u32 = body.parse().unwrap();
+                                (m, m)
+                            }
+                        }
+                    } else {
+                        (1, 1)
+                    };
+                    pieces.push(RegexPiece::Class {
+                        chars: members,
+                        min,
+                        max,
+                    });
+                }
+                c => {
+                    pieces.push(RegexPiece::Literal(c));
+                    i += 1;
+                }
+            }
+        }
+        pieces
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_regex_subset(self) {
+                match piece {
+                    RegexPiece::Literal(c) => out.push(c),
+                    RegexPiece::Class { chars, min, max } => {
+                        let n = min + rng.below((max - min + 1) as u64) as u32;
+                        for _ in 0..n {
+                            out.push(chars[rng.below(chars.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Vector of `element` values with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Fixed-size array of 4 values from one strategy.
+    pub struct Uniform4<S>(S);
+
+    /// `prop::array::uniform4(element)`.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::array::uniform4`).
+pub mod prop {
+    pub use super::array;
+    pub use super::collection;
+}
+
+pub mod prelude {
+    pub use super::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use super::test_runner::{ProptestConfig, TestRng};
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property; panics (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+}
+
+/// Skip the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test entry point; mirrors proptest's macro syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg(<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strats = ($($strat,)+);
+            for __case in 0..__config.cases as u64 {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), __case);
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = __strats;
+                    ($($crate::strategy::Strategy::generate($arg, &mut __rng),)+)
+                };
+                // Run the body in a closure so `prop_assume!` can skip the
+                // case with an early return.
+                #[allow(clippy::redundant_closure_call)]
+                {
+                    (move || $body)();
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges", 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("regex", 0);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-z]{1,12}\\(\\)", &mut rng);
+            assert!(s.ends_with("()"));
+            let stem = &s[..s.len() - 2];
+            assert!((1..=12).contains(&stem.len()));
+            assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_binds_arguments(a in 0u64..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..4) {
+            prop_assume!(x != 1);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = prop::collection::vec(any::<u8>(), 1..2).prop_map(|v| Tree::Leaf(v[0]));
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::deterministic("tree", 0);
+        for _ in 0..50 {
+            let _ = strat.generate(&mut rng); // must terminate
+        }
+        let u = prop_oneof![Just(1u8), 2u8..4];
+        let v = Strategy::generate(&u, &mut rng);
+        assert!((1..4).contains(&v));
+    }
+}

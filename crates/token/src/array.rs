@@ -22,7 +22,6 @@
 //! the next contract on the chain, it passes the same array along, and each
 //! callee parses out its own token (Fig. 5's flow).
 
-use serde::{Deserialize, Serialize};
 use smacs_primitives::Address;
 use std::fmt;
 
@@ -56,7 +55,7 @@ impl std::error::Error for TokenArrayError {}
 
 /// An ordered list of `(contract, token)` pairs — one per SMACS-enabled
 /// contract on the intended call chain.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct TokenArray {
     entries: Vec<(Address, Token)>,
 }

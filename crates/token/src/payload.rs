@@ -62,8 +62,14 @@ pub struct PayloadContext {
 /// [`TokenType::Argument`]; the calldata only for [`TokenType::Argument`].
 /// Fields irrelevant to the type are ignored even if present in `ctx`, so a
 /// token can never be "upgraded" by replaying it against a different method.
-pub fn signing_payload(ttype: TokenType, expire: u32, index: i128, ctx: &PayloadContext) -> Vec<u8> {
-    let mut data = Vec::with_capacity(1 + 4 + 16 + 20 + 20 + 4 + ctx.calldata.as_ref().map_or(0, |c| c.len()));
+pub fn signing_payload(
+    ttype: TokenType,
+    expire: u32,
+    index: i128,
+    ctx: &PayloadContext,
+) -> Vec<u8> {
+    let mut data =
+        Vec::with_capacity(1 + 4 + 16 + 20 + 20 + 4 + ctx.calldata.as_ref().map_or(0, |c| c.len()));
     data.push(ttype.code());
     data.extend_from_slice(&expire.to_be_bytes());
     data.extend_from_slice(&index.to_be_bytes());

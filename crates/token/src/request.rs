@@ -12,15 +12,16 @@
 //! `"withdraw(uint256)"`); the 4-byte selector is derived from it. Requests
 //! also serialize to JSON for the TS's web front end.
 
-use serde::{Deserialize, Serialize};
 use smacs_chain::abi::{selector, Selector};
+use smacs_primitives::hexutil;
+use smacs_primitives::json::{FromJson, Json, JsonError, ToJson};
 use smacs_primitives::Address;
 use std::fmt;
 
 use crate::types::TokenType;
 
 /// A named argument binding in an argument-token request.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ArgBinding {
     /// Argument name (`argName`).
     pub name: String,
@@ -29,7 +30,7 @@ pub struct ArgBinding {
 }
 
 /// A client's token request (Fig. 2).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TokenRequest {
     /// Requested token type.
     pub ttype: TokenType,
@@ -45,10 +46,8 @@ pub struct TokenRequest {
     /// The exact payload calldata (selector + ABI-encoded arguments) the
     /// client will send; required for argument tokens so the TS can bind
     /// the signature to `msg.data` (and feed runtime-verification tools).
-    #[serde(default)]
     pub calldata: Option<Vec<u8>>,
     /// Whether the client asks for the one-time property.
-    #[serde(default)]
     pub one_time: bool,
 }
 
@@ -238,6 +237,80 @@ impl TokenRequest {
     }
 }
 
+impl ToJson for ArgBinding {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("value".into(), Json::Str(self.value.clone())),
+        ])
+    }
+}
+
+impl FromJson for ArgBinding {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ArgBinding {
+            name: String::from_json(json.want("name")?)?,
+            value: String::from_json(json.want("value")?)?,
+        })
+    }
+}
+
+impl ToJson for TokenRequest {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("ttype".into(), self.ttype.to_json()),
+            ("contract".into(), self.contract.to_json()),
+            ("sender".into(), self.sender.to_json()),
+            ("method".into(), self.method.to_json()),
+            ("args".into(), self.args.to_json()),
+            (
+                "calldata".into(),
+                match &self.calldata {
+                    Some(data) => Json::Str(hexutil::encode_prefixed(data)),
+                    None => Json::Null,
+                },
+            ),
+            ("one_time".into(), Json::Bool(self.one_time)),
+        ])
+    }
+}
+
+impl FromJson for TokenRequest {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let calldata = match json.get("calldata") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(
+                hexutil::decode_flexible(s)
+                    .ok_or_else(|| JsonError(format!("bad calldata hex {s:?}")))?,
+            ),
+            Some(other) => {
+                return Err(JsonError(format!("bad calldata value {other}")));
+            }
+        };
+        // Optional fields tolerate absence (not just explicit null), matching
+        // the serde-derived codec this replaces: a super-token request may
+        // simply omit "method", "args", "calldata", and "one_time".
+        Ok(TokenRequest {
+            ttype: TokenType::from_json(json.want("ttype")?)?,
+            contract: Address::from_json(json.want("contract")?)?,
+            sender: Address::from_json(json.want("sender")?)?,
+            method: match json.get("method") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(String::from_json(v)?),
+            },
+            args: match json.get("args") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(v) => Vec::<ArgBinding>::from_json(v)?,
+            },
+            calldata,
+            one_time: match json.get("one_time") {
+                None | Some(Json::Null) => false,
+                Some(v) => bool::from_json(v)?,
+            },
+        })
+    }
+}
+
 fn write_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u16).to_be_bytes());
     out.extend_from_slice(s.as_bytes());
@@ -267,11 +340,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn take_u16(&mut self) -> Result<u16, RequestError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn take_u32(&mut self) -> Result<u32, RequestError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn take_string(&mut self) -> Result<String, RequestError> {
@@ -296,7 +373,9 @@ mod tests {
 
     #[test]
     fn constructors_validate() {
-        assert!(TokenRequest::super_token(contract(), sender()).validate().is_ok());
+        assert!(TokenRequest::super_token(contract(), sender())
+            .validate()
+            .is_ok());
         assert!(TokenRequest::method_token(contract(), sender(), "f()")
             .validate()
             .is_ok());
@@ -339,7 +418,10 @@ mod tests {
     fn selector_derivation() {
         let req = TokenRequest::method_token(contract(), sender(), "transfer(address,uint256)");
         assert_eq!(req.selector().unwrap().to_hex(), "0xa9059cbb");
-        assert_eq!(TokenRequest::super_token(contract(), sender()).selector(), None);
+        assert_eq!(
+            TokenRequest::super_token(contract(), sender()).selector(),
+            None
+        );
     }
 
     #[test]
@@ -383,6 +465,20 @@ mod tests {
     }
 
     #[test]
+    fn json_accepts_omitted_optional_fields() {
+        // External clients may omit every non-required field, as the old
+        // serde-derived codec allowed.
+        let json = format!(
+            r#"{{"ttype":"super","contract":"{}","sender":"{}"}}"#,
+            contract().to_hex(),
+            sender().to_hex()
+        );
+        let req: TokenRequest = smacs_primitives::json::from_str(&json).unwrap();
+        assert_eq!(req, TokenRequest::super_token(contract(), sender()));
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
     fn json_round_trip() {
         let req = TokenRequest::argument_token(
             contract(),
@@ -394,8 +490,8 @@ mod tests {
             }],
             vec![0xab],
         );
-        let json = serde_json::to_string(&req).unwrap();
-        let back: TokenRequest = serde_json::from_str(&json).unwrap();
+        let json = smacs_primitives::json::to_string(&req);
+        let back: TokenRequest = smacs_primitives::json::from_str(&json).unwrap();
         assert_eq!(back, req);
     }
 

@@ -1,7 +1,6 @@
 //! The token itself: types, the 86-byte wire image, and expiry/one-time
 //! semantics.
 
-use serde::{Deserialize, Serialize};
 use smacs_crypto::{Signature, SignatureError};
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 pub const NO_INDEX: i128 = -1;
 
 /// The three token types of §IV-A, ordered by decreasing permission scope.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum TokenType {
     /// Highest permission level: call all public methods with arbitrary
     /// arguments until expiry.
@@ -53,6 +52,27 @@ impl fmt::Display for TokenType {
             TokenType::Super => write!(f, "super"),
             TokenType::Method => write!(f, "method"),
             TokenType::Argument => write!(f, "argument"),
+        }
+    }
+}
+
+impl smacs_primitives::json::ToJson for TokenType {
+    fn to_json(&self) -> smacs_primitives::json::Json {
+        smacs_primitives::json::Json::Str(self.to_string())
+    }
+}
+
+impl smacs_primitives::json::FromJson for TokenType {
+    fn from_json(
+        json: &smacs_primitives::json::Json,
+    ) -> Result<Self, smacs_primitives::json::JsonError> {
+        match json.as_str() {
+            Some("super") => Ok(TokenType::Super),
+            Some("method") => Ok(TokenType::Method),
+            Some("argument") => Ok(TokenType::Argument),
+            other => Err(smacs_primitives::json::JsonError(format!(
+                "unknown token type {other:?}"
+            ))),
         }
     }
 }
@@ -111,7 +131,7 @@ impl std::error::Error for TokenCodecError {}
 /// assert_eq!(Token::from_bytes(&wire).unwrap(), token);
 /// assert!(!token.is_one_time());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Token {
     /// Token type.
     pub ttype: TokenType,

@@ -7,12 +7,12 @@
 //! by contract address — the moral equivalent of the metadata JSON Solidity
 //! toolchains publish per deployment.
 
-use serde::{Deserialize, Serialize};
+use smacs_primitives::json::{FromJson, Json, JsonError, ToJson};
 use smacs_primitives::Address;
 use std::collections::BTreeMap;
 
 /// Per-contract deployment metadata.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ContractMetadata {
     /// Human-readable contract name.
     pub name: String,
@@ -23,7 +23,7 @@ pub struct ContractMetadata {
 }
 
 /// The metadata directory.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceDirectory {
     // Keyed by the contract's canonical hex address (JSON-friendly).
     entries: BTreeMap<String, ContractMetadata>,
@@ -62,6 +62,40 @@ impl ServiceDirectory {
     /// True iff nothing is published.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl ToJson for ContractMetadata {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("compiler".into(), self.compiler.to_json()),
+            ("token_service_url".into(), self.token_service_url.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ContractMetadata {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ContractMetadata {
+            name: String::from_json(json.want("name")?)?,
+            compiler: String::from_json(json.want("compiler")?)?,
+            token_service_url: Option::from_json(json.want("token_service_url")?)?,
+        })
+    }
+}
+
+impl ToJson for ServiceDirectory {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("entries".into(), self.entries.to_json())])
+    }
+}
+
+impl FromJson for ServiceDirectory {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ServiceDirectory {
+            entries: BTreeMap::from_json(json.want("entries")?)?,
+        })
     }
 }
 
@@ -112,8 +146,8 @@ mod tests {
                 token_service_url: Some("http://ts".into()),
             },
         );
-        let json = serde_json::to_string(&dir).unwrap();
-        let back: ServiceDirectory = serde_json::from_str(&json).unwrap();
+        let json = smacs_primitives::json::to_string(&dir);
+        let back: ServiceDirectory = smacs_primitives::json::from_str(&json).unwrap();
         assert_eq!(back, dir);
     }
 }

@@ -9,15 +9,14 @@
 //!   owner bearer secret in this prototype; production would use TLS client
 //!   auth).
 
-use serde::{Deserialize, Serialize};
+use smacs_primitives::json::{FromJson, Json, JsonError, ToJson};
 use smacs_token::{Token, TokenRequest};
 
 use crate::rules::RuleBook;
 use crate::service::TokenService;
 
 /// A front-end request envelope.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "op", rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum FrontRequest {
     /// Client: request a token.
     IssueToken {
@@ -36,8 +35,7 @@ pub enum FrontRequest {
 }
 
 /// A front-end response envelope.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
-#[serde(tag = "status", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrontResponse {
     /// Token granted: the hex-encoded 86-byte wire image.
     Token {
@@ -59,6 +57,88 @@ pub enum FrontResponse {
         /// What went wrong.
         message: String,
     },
+}
+
+// The wire shape matches what the original serde derive produced:
+// internally tagged envelopes with snake_case tags —
+// `{"op": "issue_token", "request": {...}}` / `{"status": "token", ...}`.
+
+impl ToJson for FrontRequest {
+    fn to_json(&self) -> Json {
+        match self {
+            FrontRequest::IssueToken { request } => Json::Obj(vec![
+                ("op".into(), Json::Str("issue_token".into())),
+                ("request".into(), request.to_json()),
+            ]),
+            FrontRequest::SetRules {
+                owner_secret,
+                rules,
+            } => Json::Obj(vec![
+                ("op".into(), Json::Str("set_rules".into())),
+                ("owner_secret".into(), owner_secret.to_json()),
+                ("rules".into(), rules.to_json()),
+            ]),
+            FrontRequest::Ping => Json::Obj(vec![("op".into(), Json::Str("ping".into()))]),
+        }
+    }
+}
+
+impl FromJson for FrontRequest {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.want("op")?.as_str() {
+            Some("issue_token") => Ok(FrontRequest::IssueToken {
+                request: TokenRequest::from_json(json.want("request")?)?,
+            }),
+            Some("set_rules") => Ok(FrontRequest::SetRules {
+                owner_secret: String::from_json(json.want("owner_secret")?)?,
+                rules: RuleBook::from_json(json.want("rules")?)?,
+            }),
+            Some("ping") => Ok(FrontRequest::Ping),
+            other => Err(JsonError(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for FrontResponse {
+    fn to_json(&self) -> Json {
+        match self {
+            FrontResponse::Token { token_hex } => Json::Obj(vec![
+                ("status".into(), Json::Str("token".into())),
+                ("token_hex".into(), token_hex.to_json()),
+            ]),
+            FrontResponse::Denied { reason } => Json::Obj(vec![
+                ("status".into(), Json::Str("denied".into())),
+                ("reason".into(), reason.to_json()),
+            ]),
+            FrontResponse::RulesUpdated => {
+                Json::Obj(vec![("status".into(), Json::Str("rules_updated".into()))])
+            }
+            FrontResponse::Pong => Json::Obj(vec![("status".into(), Json::Str("pong".into()))]),
+            FrontResponse::Error { message } => Json::Obj(vec![
+                ("status".into(), Json::Str("error".into())),
+                ("message".into(), message.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for FrontResponse {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.want("status")?.as_str() {
+            Some("token") => Ok(FrontResponse::Token {
+                token_hex: String::from_json(json.want("token_hex")?)?,
+            }),
+            Some("denied") => Ok(FrontResponse::Denied {
+                reason: String::from_json(json.want("reason")?)?,
+            }),
+            Some("rules_updated") => Ok(FrontResponse::RulesUpdated),
+            Some("pong") => Ok(FrontResponse::Pong),
+            Some("error") => Ok(FrontResponse::Error {
+                message: String::from_json(json.want("message")?)?,
+            }),
+            other => Err(JsonError(format!("unknown status {other:?}"))),
+        }
+    }
 }
 
 /// The front end: a service plus its owner secret.
@@ -86,7 +166,8 @@ impl FrontEnd {
 
     /// Advance the TS-local clock.
     pub fn advance_time(&self, secs: u64) {
-        self.now.fetch_add(secs, std::sync::atomic::Ordering::SeqCst);
+        self.now
+            .fetch_add(secs, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Handle a structured request.
@@ -121,13 +202,13 @@ impl FrontEnd {
 
     /// Handle a raw JSON request line (the wire form of [`FrontEnd::handle`]).
     pub fn handle_json(&self, body: &str) -> String {
-        let response = match serde_json::from_str::<FrontRequest>(body) {
+        let response = match smacs_primitives::json::from_str::<FrontRequest>(body) {
             Ok(req) => self.handle(req),
             Err(e) => FrontResponse::Error {
                 message: format!("bad request: {e}"),
             },
         };
-        serde_json::to_string(&response).expect("responses always serialize")
+        smacs_primitives::json::to_string(&response)
     }
 }
 
@@ -176,8 +257,10 @@ mod tests {
     #[test]
     fn issue_round_trip_through_json() {
         let front = front();
-        let body = serde_json::to_string(&FrontRequest::IssueToken { request: request() }).unwrap();
-        let response: FrontResponse = serde_json::from_str(&front.handle_json(&body)).unwrap();
+        let body =
+            smacs_primitives::json::to_string(&FrontRequest::IssueToken { request: request() });
+        let response: FrontResponse =
+            smacs_primitives::json::from_str(&front.handle_json(&body)).unwrap();
         let FrontResponse::Token { token_hex } = response else {
             panic!("expected token, got {response:?}");
         };
@@ -227,7 +310,7 @@ mod tests {
     fn malformed_json_is_an_error() {
         let front = front();
         let response: FrontResponse =
-            serde_json::from_str(&front.handle_json("{not json")).unwrap();
+            smacs_primitives::json::from_str(&front.handle_json("{not json")).unwrap();
         assert!(matches!(response, FrontResponse::Error { .. }));
     }
 

@@ -112,7 +112,11 @@ fn serve_connection(mut stream: TcpStream, front: &FrontEnd) -> std::io::Result<
     }
 
     if method != "POST" {
-        return write_response(&mut stream, 405, r#"{"status":"error","message":"POST only"}"#);
+        return write_response(
+            &mut stream,
+            405,
+            r#"{"status":"error","message":"POST only"}"#,
+        );
     }
     let mut body = vec![0u8; content_length.min(1 << 20)];
     reader.read_exact(&mut body)?;
@@ -122,7 +126,11 @@ fn serve_connection(mut stream: TcpStream, front: &FrontEnd) -> std::io::Result<
 }
 
 fn write_response(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
-    let reason = if code == 200 { "OK" } else { "Method Not Allowed" };
+    let reason = if code == 200 {
+        "OK"
+    } else {
+        "Method Not Allowed"
+    };
     write!(
         stream,
         "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -174,14 +182,11 @@ mod tests {
     fn token_issuance_over_http() {
         let server = running_server();
         let request = FrontRequest::IssueToken {
-            request: TokenRequest::super_token(
-                Address::from_low_u64(1),
-                Address::from_low_u64(2),
-            ),
+            request: TokenRequest::super_token(Address::from_low_u64(1), Address::from_low_u64(2)),
         };
-        let body = serde_json::to_string(&request).unwrap();
+        let body = smacs_primitives::json::to_string(&request);
         let response = post_json(server.addr(), &body).unwrap();
-        let parsed: FrontResponse = serde_json::from_str(&response).unwrap();
+        let parsed: FrontResponse = smacs_primitives::json::from_str(&response).unwrap();
         let FrontResponse::Token { token_hex } = parsed else {
             panic!("expected token, got {parsed:?}");
         };
@@ -202,10 +207,10 @@ mod tests {
                             Address::from_low_u64(100 + i),
                         ),
                     };
-                    let body = serde_json::to_string(&request).unwrap();
+                    let body = smacs_primitives::json::to_string(&request);
                     let response = post_json(addr, &body).unwrap();
                     matches!(
-                        serde_json::from_str::<FrontResponse>(&response).unwrap(),
+                        smacs_primitives::json::from_str::<FrontResponse>(&response).unwrap(),
                         FrontResponse::Token { .. }
                     )
                 })
@@ -223,7 +228,9 @@ mod tests {
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         write!(stream, "GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         let mut response = String::new();
-        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .unwrap();
         assert!(response.starts_with("HTTP/1.1 405"));
         server.shutdown();
     }

@@ -28,13 +28,13 @@ pub mod front;
 pub mod http;
 pub mod replica;
 pub mod rules;
-pub mod store;
 pub mod service;
+pub mod store;
 pub mod validation;
 
 pub use discovery::ServiceDirectory;
 pub use replica::CounterCluster;
 pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
-pub use store::RuleStore;
 pub use service::{IssueError, TokenService, TokenServiceConfig};
+pub use store::RuleStore;
 pub use validation::{NullTool, ValidationTool};

@@ -93,7 +93,9 @@ impl CounterCluster {
             .map(|n| n.committed.load(Ordering::SeqCst))
             .max()
             .unwrap_or(0);
-        self.nodes[id].committed.store(max_committed, Ordering::SeqCst);
+        self.nodes[id]
+            .committed
+            .store(max_committed, Ordering::SeqCst);
         self.nodes[id].alive.store(true, Ordering::SeqCst);
     }
 
@@ -102,10 +104,7 @@ impl CounterCluster {
     pub fn next_index(&self) -> Option<u64> {
         let _guard = self.proposal_lock.lock();
         // Leader = lowest-id live node; it proposes its committed value.
-        let leader = self
-            .nodes
-            .iter()
-            .find(|n| n.alive.load(Ordering::SeqCst))?;
+        let leader = self.nodes.iter().find(|n| n.alive.load(Ordering::SeqCst))?;
         let value = leader.committed.load(Ordering::SeqCst);
         // Replicate: every live node acks and pre-applies value + 1.
         let mut acks = 0;
@@ -146,7 +145,9 @@ mod tests {
         for _ in 0..8 {
             let c = cluster.clone();
             handles.push(thread::spawn(move || {
-                (0..100).filter_map(|_| c.next_index()).collect::<Vec<u64>>()
+                (0..100)
+                    .filter_map(|_| c.next_index())
+                    .collect::<Vec<u64>>()
             }));
         }
         let mut seen = HashSet::new();

@@ -15,7 +15,7 @@
 //! for argument tokens". All lists are dynamically updatable by the owner
 //! — no contract change required.
 
-use serde::{Deserialize, Serialize};
+use smacs_primitives::json::{FromJson, Json, JsonError, ToJson};
 use smacs_primitives::Address;
 use smacs_token::{TokenRequest, TokenType};
 use std::collections::{BTreeMap, BTreeSet};
@@ -35,8 +35,7 @@ use std::fmt;
 /// employees.remove("0xaa..01"); // dynamic update, no gas, no contract change
 /// assert!(!employees.permits("0xaa..01"));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ListPolicy {
     /// Only listed subjects pass.
     Whitelist(BTreeSet<String>),
@@ -136,16 +135,13 @@ impl fmt::Display for RuleViolation {
 impl std::error::Error for RuleViolation {}
 
 /// The Fig. 6 rule structure for one token type.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TypeRules {
     /// Sender policy (who may obtain tokens of this type).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sender: Option<ListPolicy>,
     /// Per-method sender policies, keyed by canonical method signature.
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub method: BTreeMap<String, ListPolicy>,
     /// Per-argument value policies, keyed by argument name.
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub argument: BTreeMap<String, ListPolicy>,
 }
 
@@ -191,11 +187,10 @@ impl TypeRules {
 }
 
 /// The complete, per-type rule book a TS enforces.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RuleBook {
     /// Rules for each token type. Absent type ⇒ requests of that type are
     /// denied ([`RuleViolation::TypeNotConfigured`]).
-    #[serde(default)]
     pub types: BTreeMap<TokenType, TypeRules>,
 }
 
@@ -227,6 +222,90 @@ impl RuleBook {
             .get(&req.ttype)
             .ok_or(RuleViolation::TypeNotConfigured(req.ttype))?;
         rules.check(req)
+    }
+}
+
+impl ToJson for ListPolicy {
+    fn to_json(&self) -> Json {
+        match self {
+            ListPolicy::Whitelist(set) => Json::Obj(vec![("whitelist".into(), set.to_json())]),
+            ListPolicy::Blacklist(set) => Json::Obj(vec![("blacklist".into(), set.to_json())]),
+        }
+    }
+}
+
+impl FromJson for ListPolicy {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if let Some(set) = json.get("whitelist") {
+            return Ok(ListPolicy::Whitelist(BTreeSet::from_json(set)?));
+        }
+        if let Some(set) = json.get("blacklist") {
+            return Ok(ListPolicy::Blacklist(BTreeSet::from_json(set)?));
+        }
+        Err(JsonError("expected whitelist or blacklist".into()))
+    }
+}
+
+impl ToJson for TypeRules {
+    fn to_json(&self) -> Json {
+        // Fig. 6 shape: omit empty sections, as the serde version did.
+        let mut members = Vec::new();
+        if let Some(sender) = &self.sender {
+            members.push(("sender".into(), sender.to_json()));
+        }
+        if !self.method.is_empty() {
+            members.push(("method".into(), self.method.to_json()));
+        }
+        if !self.argument.is_empty() {
+            members.push(("argument".into(), self.argument.to_json()));
+        }
+        Json::Obj(members)
+    }
+}
+
+impl FromJson for TypeRules {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TypeRules {
+            sender: match json.get("sender") {
+                None | Some(Json::Null) => None,
+                Some(policy) => Some(ListPolicy::from_json(policy)?),
+            },
+            method: match json.get("method") {
+                None => BTreeMap::new(),
+                Some(map) => BTreeMap::from_json(map)?,
+            },
+            argument: match json.get("argument") {
+                None => BTreeMap::new(),
+                Some(map) => BTreeMap::from_json(map)?,
+            },
+        })
+    }
+}
+
+impl ToJson for RuleBook {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "types".into(),
+            Json::Obj(
+                self.types
+                    .iter()
+                    .map(|(ttype, rules)| (ttype.to_string(), rules.to_json()))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl FromJson for RuleBook {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let mut types = BTreeMap::new();
+        if let Some(map) = json.get("types") {
+            for (key, rules) in map.as_obj().ok_or(JsonError("expected object".into()))? {
+                let ttype = TokenType::from_json(&Json::Str(key.clone()))?;
+                types.insert(ttype, TypeRules::from_json(rules)?);
+            }
+        }
+        Ok(RuleBook { types })
     }
 }
 
@@ -285,7 +364,9 @@ mod tests {
         // addresses.
         let mut book = RuleBook::deny_all();
         book.rules_mut(TokenType::Super).sender = Some(whitelist(&[addr(1), addr(2)]));
-        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_ok());
+        assert!(book
+            .check(&TokenRequest::super_token(addr(9), addr(1)))
+            .is_ok());
         assert_eq!(
             book.check(&TokenRequest::super_token(addr(9), addr(3))),
             Err(RuleViolation::SenderRejected(addr(3)))
@@ -294,8 +375,12 @@ mod tests {
         let senders = book.rules_mut(TokenType::Super).sender.as_mut().unwrap();
         senders.insert(addr(3).to_hex());
         senders.remove(&addr(1).to_hex());
-        assert!(book.check(&TokenRequest::super_token(addr(9), addr(3))).is_ok());
-        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_err());
+        assert!(book
+            .check(&TokenRequest::super_token(addr(9), addr(3)))
+            .is_ok());
+        assert!(book
+            .check(&TokenRequest::super_token(addr(9), addr(1)))
+            .is_err());
     }
 
     #[test]
@@ -303,8 +388,12 @@ mod tests {
         // Paper Example 2: block a predefined set of addresses.
         let mut book = RuleBook::deny_all();
         book.rules_mut(TokenType::Super).sender = Some(blacklist(&[addr(13)]));
-        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_ok());
-        assert!(book.check(&TokenRequest::super_token(addr(9), addr(13))).is_err());
+        assert!(book
+            .check(&TokenRequest::super_token(addr(9), addr(1)))
+            .is_ok());
+        assert!(book
+            .check(&TokenRequest::super_token(addr(9), addr(13)))
+            .is_err());
     }
 
     #[test]
@@ -315,12 +404,10 @@ mod tests {
         book.rules_mut(TokenType::Method)
             .method
             .insert("moveMoney(address)".into(), whitelist(&[addr(1)]));
-        book.rules_mut(TokenType::Argument)
-            .argument
-            .insert(
-                "recipient".into(),
-                ListPolicy::Blacklist(std::iter::once("0xEVIL".to_string()).collect()),
-            );
+        book.rules_mut(TokenType::Argument).argument.insert(
+            "recipient".into(),
+            ListPolicy::Blacklist(std::iter::once("0xEVIL".to_string()).collect()),
+        );
 
         let ok = TokenRequest::method_token(addr(9), addr(1), "moveMoney(address)");
         assert!(book.check(&ok).is_ok());
@@ -353,7 +440,9 @@ mod tests {
         let mut book = RuleBook::deny_all();
         book.rules_mut(TokenType::Super).sender = Some(whitelist(&[addr(1)]));
         book.rules_mut(TokenType::Argument).sender = Some(blacklist(&[addr(1)]));
-        assert!(book.check(&TokenRequest::super_token(addr(9), addr(1))).is_ok());
+        assert!(book
+            .check(&TokenRequest::super_token(addr(9), addr(1)))
+            .is_ok());
         let arg_req = TokenRequest::argument_token(addr(9), addr(1), "f()", vec![], vec![]);
         assert!(matches!(
             book.check(&arg_req),
@@ -367,14 +456,14 @@ mod tests {
         book.rules_mut(TokenType::Super).sender = Some(whitelist(&[addr(0x366c), addr(0xd488)]));
         book.rules_mut(TokenType::Method)
             .method
-            .insert("methodA()".into(), blacklist(&[addr(0xBa7F)]));
+            .insert("methodA()".into(), blacklist(&[addr(0xBA7F)]));
         book.rules_mut(TokenType::Argument)
             .argument
             .insert("argA".into(), whitelist(&[addr(0x3540)]));
-        let json = serde_json::to_string_pretty(&book).unwrap();
+        let json = smacs_primitives::json::to_string_pretty(&book);
         assert!(json.contains("whitelist"));
         assert!(json.contains("blacklist"));
-        let back: RuleBook = serde_json::from_str(&json).unwrap();
+        let back: RuleBook = smacs_primitives::json::from_str(&json).unwrap();
         assert_eq!(back, book);
     }
 }

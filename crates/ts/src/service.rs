@@ -10,9 +10,7 @@ use parking_lot::RwLock;
 use smacs_chain::Chain;
 use smacs_crypto::Keypair;
 use smacs_primitives::Address;
-use smacs_token::{
-    signing_digest, PayloadContext, Token, TokenRequest, TokenType, NO_INDEX,
-};
+use smacs_token::{signing_digest, PayloadContext, Token, TokenRequest, TokenType, NO_INDEX};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -327,7 +325,9 @@ mod tests {
             .with_testnet(Chain::default_chain().fork())
             .with_tool(Arc::new(VetoTool));
         // Super tokens unaffected (tool applies to argument tokens only).
-        assert!(ts.issue(&TokenRequest::super_token(contract(), sender()), 0).is_ok());
+        assert!(ts
+            .issue(&TokenRequest::super_token(contract(), sender()), 0)
+            .is_ok());
         // Argument tokens vetoed.
         let req = TokenRequest::argument_token(
             contract(),
@@ -358,7 +358,10 @@ mod tests {
         }
         let ts = service().with_tool(Arc::new(NeedsNet));
         let req = TokenRequest::argument_token(contract(), sender(), "f()", vec![], vec![1]);
-        assert!(matches!(ts.issue(&req, 0), Err(IssueError::ToolRejected { .. })));
+        assert!(matches!(
+            ts.issue(&req, 0),
+            Err(IssueError::ToolRejected { .. })
+        ));
     }
 
     #[test]

@@ -41,15 +41,14 @@ impl RuleStore {
 
     /// Persist the rule book.
     pub fn save_rules(&self, rules: &RuleBook) -> io::Result<()> {
-        let json = serde_json::to_string_pretty(rules)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let json = smacs_primitives::json::to_string_pretty(rules);
         std::fs::write(self.rules_path(), json)
     }
 
     /// Load the rule book; `Ok(None)` if never saved.
     pub fn load_rules(&self) -> io::Result<Option<RuleBook>> {
         match std::fs::read_to_string(self.rules_path()) {
-            Ok(json) => serde_json::from_str(&json)
+            Ok(json) => smacs_primitives::json::from_str(&json)
                 .map(Some)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
@@ -60,7 +59,6 @@ impl RuleStore {
     /// Persist the signing key (`sk_TS`).
     pub fn save_keypair(&self, keypair: &Keypair) -> io::Result<()> {
         // Round-trip through a seed is impossible; store the raw scalar.
-        // k256 exposes it via the signing key bytes.
         let secret = keypair_secret_hex(keypair);
         std::fs::write(self.key_path(), secret)
     }
@@ -119,10 +117,8 @@ mod tests {
     use smacs_token::TokenType;
 
     fn temp_store(tag: &str) -> RuleStore {
-        let dir = std::env::temp_dir().join(format!(
-            "smacs-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("smacs-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         RuleStore::open(dir).unwrap()
     }

@@ -140,7 +140,7 @@ fn analyse_outer_frame(frame: &TraceFrame, contract: Address, out: &mut Vec<EcfV
     }
 }
 
-fn frames_of<'t>(subtree: &'t TraceFrame, contract: Address) -> Vec<&'t TraceFrame> {
+fn frames_of(subtree: &TraceFrame, contract: Address) -> Vec<&TraceFrame> {
     subtree
         .walk()
         .into_iter()
@@ -181,15 +181,14 @@ impl ValidationTool for EcfTool {
             .calldata
             .as_ref()
             .ok_or("ecf: argument request carries no calldata")?;
-        let (result, _gas, trace, _) = testnet.dry_run(req.sender, self.target, 0, calldata.clone());
+        let (result, _gas, trace, _) =
+            testnet.dry_run(req.sender, self.target, 0, calldata.clone());
         if let Err(e) = result {
             return Err(format!("ecf: simulated call failed: {e}"));
         }
         match check_trace_ecf(&trace, self.target) {
             EcfVerdict::CallbackFree => Ok(()),
-            EcfVerdict::Violations(violations) => {
-                Err(format!("ecf: {}", violations[0]))
-            }
+            EcfVerdict::Violations(violations) => Err(format!("ecf: {}", violations[0])),
         }
     }
 }
@@ -216,17 +215,32 @@ mod tests {
         };
         let (bank, _) = chain.deploy(&owner, bank_logic).unwrap();
         chain
-            .call_contract(&victim, bank.address, 2, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &victim,
+                bank.address,
+                2,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         let (attacker, _) = chain
             .deploy(&attacker_eoa, Arc::new(Attacker::new(bank.address)))
             .unwrap();
         chain.fund_account(attacker.address, 10);
         chain
-            .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+            .call_contract(
+                &attacker_eoa,
+                attacker.address,
+                2,
+                abi::encode_call("deposit()", &[]),
+            )
             .unwrap();
         let receipt = chain
-            .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("withdraw()", &[]))
+            .call_contract(
+                &attacker_eoa,
+                attacker.address,
+                0,
+                abi::encode_call("withdraw()", &[]),
+            )
             .unwrap();
         assert!(receipt.status.is_success());
         (receipt.trace, bank.address)
@@ -261,7 +275,12 @@ mod tests {
         let user = chain.funded_keypair(2, 10u128.pow(20));
         let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
         chain
-            .call_contract(&user, bank.address, 100, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &user,
+                bank.address,
+                100,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         let receipt = chain
             .call_contract(&user, bank.address, 0, abi::encode_call("withdraw()", &[]))
@@ -277,7 +296,12 @@ mod tests {
         let user = chain.funded_keypair(2, 10u128.pow(20));
         let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
         chain
-            .call_contract(&user, bank.address, 100, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &user,
+                bank.address,
+                100,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         let tool = EcfTool::new(bank.address);
 
@@ -317,7 +341,12 @@ mod tests {
         let user = chain.funded_keypair(2, 10u128.pow(20));
         let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).unwrap();
         chain
-            .call_contract(&user, bank.address, 100, abi::encode_call("addBalance()", &[]))
+            .call_contract(
+                &user,
+                bank.address,
+                100,
+                abi::encode_call("addBalance()", &[]),
+            )
             .unwrap();
         let balance_before = chain.state().balance(bank.address);
 

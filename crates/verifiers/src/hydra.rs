@@ -8,7 +8,7 @@
 //! case without introducing additional on-chain cost."
 
 use smacs_chain::Chain;
-use smacs_primitives::Address;
+use smacs_primitives::{Address, Bytes};
 use smacs_token::TokenRequest;
 use smacs_ts::ValidationTool;
 use std::fmt;
@@ -17,7 +17,7 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HydraVerdict {
     /// All heads produced the identical output.
-    Uniform(Vec<u8>),
+    Uniform(Bytes),
     /// Output divergence between two heads.
     Divergent {
         /// Index of the first head in the configured list.
@@ -77,7 +77,7 @@ impl HydraTool {
     /// Hydra-backed TS is an order of magnitude slower per request than
     /// the single-simulation ECF tool).
     pub fn evaluate(&self, testnet: &mut Chain, sender: Address, calldata: &[u8]) -> HydraVerdict {
-        let mut outputs: Vec<Vec<u8>> = Vec::with_capacity(self.heads.len());
+        let mut outputs: Vec<Bytes> = Vec::with_capacity(self.heads.len());
         for (i, &head) in self.heads.iter().enumerate() {
             let mut head_net = testnet.fork();
             let (result, _gas, _trace, _) = head_net.dry_run(sender, head, 0, calldata.to_vec());
@@ -133,8 +133,14 @@ mod tests {
         let mut chain = Chain::default_chain();
         let owner = chain.funded_keypair(1, 10u128.pow(20));
         let mut heads = Vec::new();
-        for style in [HydraStyle::Direct, HydraStyle::ShiftAdd, HydraStyle::TwosComplement] {
-            let (d, _) = chain.deploy(&owner, Arc::new(AdderHead::new(style))).unwrap();
+        for style in [
+            HydraStyle::Direct,
+            HydraStyle::ShiftAdd,
+            HydraStyle::TwosComplement,
+        ] {
+            let (d, _) = chain
+                .deploy(&owner, Arc::new(AdderHead::new(style)))
+                .unwrap();
             heads.push(d.address);
         }
         if include_buggy {
@@ -151,7 +157,10 @@ mod tests {
         let tool = HydraTool::new(heads);
         for x in [0u64, 1, 7, 1_000_000] {
             let verdict = tool.evaluate(&mut chain, sender, &AdderHead::add_payload(x));
-            assert!(matches!(verdict, HydraVerdict::Uniform(_)), "x={x}: {verdict}");
+            assert!(
+                matches!(verdict, HydraVerdict::Uniform(_)),
+                "x={x}: {verdict}"
+            );
         }
     }
 

@@ -34,12 +34,23 @@ fn main() {
         .deploy_shielded(&mut chain, Arc::new(ChainLink::terminal()), &params)
         .expect("deploy C");
     let (sc_b, _) = toolkits[1]
-        .deploy_shielded(&mut chain, Arc::new(ChainLink::forwarding_to(sc_c.address)), &params)
+        .deploy_shielded(
+            &mut chain,
+            Arc::new(ChainLink::forwarding_to(sc_c.address)),
+            &params,
+        )
         .expect("deploy B");
     let (sc_a, _) = toolkits[0]
-        .deploy_shielded(&mut chain, Arc::new(ChainLink::forwarding_to(sc_b.address)), &params)
+        .deploy_shielded(
+            &mut chain,
+            Arc::new(ChainLink::forwarding_to(sc_b.address)),
+            &params,
+        )
         .expect("deploy A");
-    println!("chain: SC_A {} → SC_B {} → SC_C {}", sc_a.address, sc_b.address, sc_c.address);
+    println!(
+        "chain: SC_A {} → SC_B {} → SC_C {}",
+        sc_a.address, sc_b.address, sc_c.address
+    );
 
     let services: Vec<TokenService> = toolkits
         .iter()
@@ -63,11 +74,20 @@ fn main() {
             (addr, ts.issue(&req, now).expect("token"))
         })
         .collect();
-    println!("client holds {} tokens: SC_A:tk_A ‖ SC_B:tk_B ‖ SC_C:tk_C", tokens.len());
+    println!(
+        "client holds {} tokens: SC_A:tk_A ‖ SC_B:tk_B ‖ SC_C:tk_C",
+        tokens.len()
+    );
 
     // One transaction walks the whole chain.
     let receipt = client
-        .call_with_tokens(&mut chain, sc_a.address, 0, &ChainLink::poke_payload(), &tokens)
+        .call_with_tokens(
+            &mut chain,
+            sc_a.address,
+            0,
+            &ChainLink::poke_payload(),
+            &tokens,
+        )
         .expect("submit");
     println!("chain walk: {:?}, gas {}", receipt.status, receipt.gas_used);
     println!(
@@ -77,7 +97,11 @@ fn main() {
         receipt.breakdown.section("bitmap")
     );
     assert!(receipt.status.is_success());
-    for (label, addr) in [("SC_A", sc_a.address), ("SC_B", sc_b.address), ("SC_C", sc_c.address)] {
+    for (label, addr) in [
+        ("SC_A", sc_a.address),
+        ("SC_B", sc_b.address),
+        ("SC_C", sc_c.address),
+    ] {
         println!("  {label} hops = {}", ChainLink::hops(&chain, addr));
         assert_eq!(ChainLink::hops(&chain, addr), smacs::primitives::U256::ONE);
     }
@@ -90,11 +114,23 @@ fn main() {
         .cloned()
         .collect();
     let receipt = client
-        .call_with_tokens(&mut chain, sc_a.address, 0, &ChainLink::poke_payload(), &partial)
+        .call_with_tokens(
+            &mut chain,
+            sc_a.address,
+            0,
+            &ChainLink::poke_payload(),
+            &partial,
+        )
         .expect("submit");
     println!("\nwithout SC_B's token: {:?}", receipt.status);
-    assert_eq!(receipt.revert_reason(), Some("SMACS: no token for this contract"));
-    assert_eq!(ChainLink::hops(&chain, sc_a.address), smacs::primitives::U256::ONE);
+    assert_eq!(
+        receipt.revert_reason(),
+        Some("SMACS: no token for this contract")
+    );
+    assert_eq!(
+        ChainLink::hops(&chain, sc_a.address),
+        smacs::primitives::U256::ONE
+    );
     println!("  SC_A's hop count unchanged — the whole chain is atomic");
 
     println!("call chain complete ✔");

@@ -21,7 +21,11 @@ fn main() {
     let mut testnet = Chain::default_chain();
     let owner = testnet.funded_keypair(1, 10u128.pow(24));
     let mut heads = Vec::new();
-    for style in [HydraStyle::Direct, HydraStyle::ShiftAdd, HydraStyle::TwosComplement] {
+    for style in [
+        HydraStyle::Direct,
+        HydraStyle::ShiftAdd,
+        HydraStyle::TwosComplement,
+    ] {
         let (d, _) = testnet
             .deploy(&owner, Arc::new(AdderHead::new(style)))
             .expect("deploy head");
@@ -44,13 +48,20 @@ fn main() {
     let (interpreted, _) = testnet
         .deploy(&owner, Arc::new(interpreted))
         .expect("deploy interpreted head");
-    println!("head deployed: Adder (Solidity-lite, interpreted) at {}", interpreted.address);
+    println!(
+        "head deployed: Adder (Solidity-lite, interpreted) at {}",
+        interpreted.address
+    );
     heads.push(interpreted.address);
 
     let (buggy, _) = testnet
         .deploy(&owner, Arc::new(BuggyAdderHead))
         .expect("deploy buggy head");
-    println!("head deployed: BuggyAdderHead at {} (bug triggers on add({}))", buggy.address, BuggyAdderHead::TRIGGER);
+    println!(
+        "head deployed: BuggyAdderHead at {} (bug triggers on add({}))",
+        buggy.address,
+        BuggyAdderHead::TRIGGER
+    );
     heads.push(buggy.address);
     let protected = heads[0];
 

@@ -15,9 +15,16 @@ use std::sync::Arc;
 fn main() {
     // --- sizing (§IV-C): lifetime × peak rate ---------------------------
     println!("bitmap sizing (token_lifetime × max_tx_per_second):");
-    for (rate, label) in [(35.0, "Ethereum peak (35 tx/s)"), (3.5, "busy dapp"), (0.35, "quiet dapp")] {
+    for (rate, label) in [
+        (35.0, "Ethereum peak (35 tx/s)"),
+        (3.5, "busy dapp"),
+        (0.35, "quiet dapp"),
+    ] {
         let bits = bitmap_bits_for(3_600, rate);
-        println!("  1 h lifetime at {label}: {bits} bits = {:.3} KB", bits as f64 / 8192.0);
+        println!(
+            "  1 h lifetime at {label}: {bits} bits = {:.3} KB",
+            bits as f64 / 8192.0
+        );
     }
 
     // --- live single-use semantics --------------------------------------
@@ -26,11 +33,15 @@ fn main() {
     let client = ClientWallet::new(chain.funded_keypair(2, 10u128.pow(24)));
     let toolkit = OwnerToolkit::new(owner, smacs::crypto::Keypair::from_seed(1_000));
     let (target, _) = toolkit
-        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &ShieldParams {
-            token_lifetime_secs: 3_600,
-            max_tx_per_second: 0.35,
-            disable_one_time: false,
-        })
+        .deploy_shielded(
+            &mut chain,
+            Arc::new(BenchTarget),
+            &ShieldParams {
+                token_lifetime_secs: 3_600,
+                max_tx_per_second: 0.35,
+                disable_one_time: false,
+            },
+        )
         .expect("deploy");
     let ts = TokenService::new(
         toolkit.ts_keypair().clone(),
@@ -49,12 +60,19 @@ fn main() {
     )
     .one_time();
     let token = ts.issue(&req, now).expect("token");
-    println!("\nissued one-time argument token with index {}", token.index);
+    println!(
+        "\nissued one-time argument token with index {}",
+        token.index
+    );
 
     let r = client
         .call_with_token(&mut chain, target.address, 0, &payload, token)
         .unwrap();
-    println!("first use:  {:?} (bitmap gas {})", r.status, r.breakdown.section("bitmap"));
+    println!(
+        "first use:  {:?} (bitmap gas {})",
+        r.status,
+        r.breakdown.section("bitmap")
+    );
     assert!(r.status.is_success());
 
     let r = client
@@ -71,9 +89,17 @@ fn main() {
     }
     println!("  used 0,1,4,5 → window [{}..{}]", bm.start(), bm.end());
     bm.try_use(9);
-    println!("  used 9       → window [{}..{}] (slide)", bm.start(), bm.end());
+    println!(
+        "  used 9       → window [{}..{}] (slide)",
+        bm.start(),
+        bm.end()
+    );
     bm.try_use(13);
-    println!("  used 13      → window [{}..{}] (slide)", bm.start(), bm.end());
+    println!(
+        "  used 13      → window [{}..{}] (slide)",
+        bm.start(),
+        bm.end()
+    );
     let miss = bm.try_use(2);
     println!("  token 2 now:   {miss:?} — a token miss; the holder re-applies to the TS");
     assert!(!miss.is_accepted());

@@ -26,11 +26,15 @@ fn main() {
 
     let toolkit = OwnerToolkit::new(owner, smacs::crypto::Keypair::from_seed(1_000));
     let (target, receipt) = toolkit
-        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &ShieldParams {
-            token_lifetime_secs: 3_600,
-            max_tx_per_second: 0.35,
-            disable_one_time: false,
-        })
+        .deploy_shielded(
+            &mut chain,
+            Arc::new(BenchTarget),
+            &ShieldParams {
+                token_lifetime_secs: 3_600,
+                max_tx_per_second: 0.35,
+                disable_one_time: false,
+            },
+        )
         .expect("deployment");
     println!("deployed SMACS-enabled BenchTarget at {}", target.address);
     println!("  deployment gas: {}", receipt.gas_used);
@@ -49,9 +53,13 @@ fn main() {
 
     // --- 3. Alice: request a method token, call the contract -----------
     let now = chain.pending_env().timestamp;
-    let request = TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG);
+    let request =
+        TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG);
     let token = ts.issue(&request, now).expect("alice is whitelisted");
-    println!("alice got a {} token (expires {})", token.ttype, token.expire);
+    println!(
+        "alice got a {} token (expires {})",
+        token.ttype, token.expire
+    );
 
     let payload = BenchTarget::ping_payload(20, 22);
     let receipt = alice
@@ -66,9 +74,13 @@ fn main() {
     assert!(receipt.status.is_success());
 
     // --- 4. Mallory: denied off-chain, and on-chain --------------------
-    let request = TokenRequest::method_token(target.address, mallory.address(), BenchTarget::PING_SIG);
+    let request =
+        TokenRequest::method_token(target.address, mallory.address(), BenchTarget::PING_SIG);
     let denied = ts.issue(&request, now);
-    println!("mallory's token request: {:?}", denied.err().map(|e| e.to_string()));
+    println!(
+        "mallory's token request: {:?}",
+        denied.err().map(|e| e.to_string())
+    );
 
     // Mallory intercepts alice's token and tries to use it herself: the
     // signature binds tx.origin, so the contract rejects it.
@@ -76,7 +88,10 @@ fn main() {
         .call_with_token(&mut chain, target.address, 0, &payload, token)
         .expect("submit");
     println!("mallory with a stolen token: {:?}", receipt.status);
-    assert_eq!(receipt.revert_reason(), Some("SMACS: invalid token signature"));
+    assert_eq!(
+        receipt.revert_reason(),
+        Some("SMACS: invalid token signature")
+    );
 
     println!("quickstart complete ✔");
 }

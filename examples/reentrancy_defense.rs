@@ -31,14 +31,24 @@ fn main() {
 
     let (bank, _) = chain.deploy(&owner, Arc::new(Bank)).expect("deploy bank");
     chain
-        .call_contract(&victim, bank.address, 1_000, abi::encode_call("addBalance()", &[]))
+        .call_contract(
+            &victim,
+            bank.address,
+            1_000,
+            abi::encode_call("addBalance()", &[]),
+        )
         .expect("victim deposit");
     let (attacker, _) = chain
         .deploy(&attacker_eoa, Arc::new(Attacker::new(bank.address)))
         .expect("deploy attacker");
     chain.fund_account(attacker.address, 10);
     chain
-        .call_contract(&attacker_eoa, attacker.address, 2, abi::encode_call("deposit()", &[]))
+        .call_contract(
+            &attacker_eoa,
+            attacker.address,
+            2,
+            abi::encode_call("deposit()", &[]),
+        )
         .expect("attacker deposit");
 
     // Fork the pre-attack world: this is the state the TS's testnet mirrors.
@@ -46,17 +56,27 @@ fn main() {
 
     let before = chain.state().balance(attacker.address);
     let receipt = chain
-        .call_contract(&attacker_eoa, attacker.address, 0, abi::encode_call("withdraw()", &[]))
+        .call_contract(
+            &attacker_eoa,
+            attacker.address,
+            0,
+            abi::encode_call("withdraw()", &[]),
+        )
         .expect("attack tx");
     let gained = chain.state().balance(attacker.address) - before;
     println!("[1] unprotected Bank: attack {:?}", receipt.status);
-    println!("    attacker deposited 2 wei, extracted {gained} wei (re-entrancy confirmed: {})",
-        receipt.trace.has_reentrancy(bank.address));
+    println!(
+        "    attacker deposited 2 wei, extracted {gained} wei (re-entrancy confirmed: {})",
+        receipt.trace.has_reentrancy(bank.address)
+    );
     assert!(gained > 2);
 
     // ---- Act 2: the ECF checker sees it --------------------------------
     let verdict = check_trace_ecf(&receipt.trace, bank.address);
-    println!("[2] ECF checker on the attack trace: ECF = {}", verdict.is_ecf());
+    println!(
+        "[2] ECF checker on the attack trace: ECF = {}",
+        verdict.is_ecf()
+    );
     assert!(!verdict.is_ecf());
 
     // An honest withdrawal simulates clean through the TS-side tool.
@@ -75,7 +95,10 @@ fn main() {
         abi::encode_call("withdraw()", &[]),
     );
     let issued = ecf_ts.issue(&honest_req, chain.pending_env().timestamp);
-    println!("    honest withdraw simulates ECF-clean, token issued: {}", issued.is_ok());
+    println!(
+        "    honest withdraw simulates ECF-clean, token issued: {}",
+        issued.is_ok()
+    );
     assert!(issued.is_ok());
 
     // ---- Act 3: SMACS-protected bank + one-time tokens -----------------
@@ -85,11 +108,15 @@ fn main() {
     let attacker_eoa = chain.funded_keypair(3, 10u128.pow(24));
     let toolkit = OwnerToolkit::new(owner, smacs::crypto::Keypair::from_seed(1_000));
     let (bank, _) = toolkit
-        .deploy_shielded(&mut chain, Arc::new(Bank), &ShieldParams {
-            token_lifetime_secs: 3_600,
-            max_tx_per_second: 0.35,
-            disable_one_time: false,
-        })
+        .deploy_shielded(
+            &mut chain,
+            Arc::new(Bank),
+            &ShieldParams {
+                token_lifetime_secs: 3_600,
+                max_tx_per_second: 0.35,
+                disable_one_time: false,
+            },
+        )
         .expect("deploy shielded bank");
     let ts = TokenService::new(
         toolkit.ts_keypair().clone(),
@@ -138,7 +165,10 @@ fn main() {
     // The adaptive attacker: forwards token arrays inward and stashes the
     // withdraw token to replay it from its fallback.
     let (attacker, _) = chain
-        .deploy(&attacker_eoa, Arc::new(SmacsAwareAttacker::new(bank.address)))
+        .deploy(
+            &attacker_eoa,
+            Arc::new(SmacsAwareAttacker::new(bank.address)),
+        )
         .expect("deploy attacker");
     chain.fund_account(attacker.address, 10);
     // The attacker deposits through its contract (needs a token for
@@ -181,8 +211,15 @@ fn main() {
     let tx = smacs::chain::Transaction::call(nonce, attacker.address, 0, strike_data);
     let r = chain.submit(tx.sign(&attacker_eoa)).unwrap();
     println!("    attack through Attacker contract: {:?}", r.status);
-    println!("    bank balance unchanged: {} → {}", bank_before, chain.state().balance(bank.address));
-    assert!(!r.status.is_success(), "one-time token must kill the re-entrant frame");
+    println!(
+        "    bank balance unchanged: {} → {}",
+        bank_before,
+        chain.state().balance(bank.address)
+    );
+    assert!(
+        !r.status.is_success(),
+        "one-time token must kill the re-entrant frame"
+    );
     assert_eq!(chain.state().balance(bank.address), bank_before);
 
     println!("re-entrancy defense complete ✔");

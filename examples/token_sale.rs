@@ -41,7 +41,10 @@ fn main() {
             .expect("whitelist tx");
         whitelist_gas += r.gas_used;
     }
-    println!("on-chain whitelist: {USERS} users, {whitelist_gas} gas (${:.2} at 1 gwei)", gas_to_usd(whitelist_gas));
+    println!(
+        "on-chain whitelist: {USERS} users, {whitelist_gas} gas (${:.2} at 1 gwei)",
+        gas_to_usd(whitelist_gas)
+    );
     let per_user = whitelist_gas as f64 / USERS as f64;
     println!(
         "  extrapolated to Bluzelle's 7473 users at 40 gwei: {:.2} ETH (paper: 9.345 ETH)",
@@ -50,18 +53,27 @@ fn main() {
 
     // A whitelisted buyer purchases.
     let r = chain
-        .call_contract(&buyers[0].keypair(), baseline.address, 5_000, OnChainWhitelistSale::buy_payload())
+        .call_contract(
+            buyers[0].keypair(),
+            baseline.address,
+            5_000,
+            OnChainWhitelistSale::buy_payload(),
+        )
         .expect("buy");
     assert!(r.status.is_success());
 
     // ---------- design B: SMACS (whitelist lives in the TS) ------------
     let toolkit = OwnerToolkit::new(owner, smacs::crypto::Keypair::from_seed(2_000));
     let (sale, _) = toolkit
-        .deploy_shielded(&mut chain, Arc::new(SmacsSale), &ShieldParams {
-            token_lifetime_secs: 3_600,
-            max_tx_per_second: 0.35,
-            disable_one_time: false,
-        })
+        .deploy_shielded(
+            &mut chain,
+            Arc::new(SmacsSale),
+            &ShieldParams {
+                token_lifetime_secs: 3_600,
+                max_tx_per_second: 0.35,
+                disable_one_time: false,
+            },
+        )
         .expect("deploy smacs sale");
 
     let mut rules = RuleBook::deny_all();
@@ -70,7 +82,11 @@ fn main() {
         senders.insert(buyer.address().to_hex()); // free: no transaction
     }
     rules.rules_mut(TokenType::Method).sender = Some(senders);
-    let ts = TokenService::new(toolkit.ts_keypair().clone(), rules, TokenServiceConfig::default());
+    let ts = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        rules,
+        TokenServiceConfig::default(),
+    );
     println!("\nSMACS whitelist: {USERS} users registered in the TS for 0 gas");
 
     // Every buyer purchases with a method token.
@@ -80,7 +96,13 @@ fn main() {
         let req = TokenRequest::method_token(sale.address, buyer.address(), "buy()");
         let token = ts.issue(&req, now).expect("whitelisted buyer");
         let r = buyer
-            .call_with_token(&mut chain, sale.address, 5_000, &SmacsSale::buy_payload(), token)
+            .call_with_token(
+                &mut chain,
+                sale.address,
+                5_000,
+                &SmacsSale::buy_payload(),
+                token,
+            )
             .expect("buy");
         assert!(r.status.is_success(), "{:?}", r.status);
         buy_gas += r.gas_used;
@@ -108,7 +130,12 @@ fn main() {
 
     // Also works the other way: the baseline's unsold check still works.
     let unknown = Address::from_low_u64(0xFFFF);
-    let r = chain.dry_run(unknown, baseline.address, 5_000, OnChainWhitelistSale::buy_payload());
+    let r = chain.dry_run(
+        unknown,
+        baseline.address,
+        5_000,
+        OnChainWhitelistSale::buy_payload(),
+    );
     assert!(r.0.is_err());
     println!("\ntoken sale comparison complete ✔");
 }

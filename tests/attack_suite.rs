@@ -78,7 +78,10 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
 
     // Attacker contract deposits 2 wei through a forwarded token.
     let (attacker, _) = chain
-        .deploy(&attacker_eoa, Arc::new(SmacsAwareAttacker::new(bank.address)))
+        .deploy(
+            &attacker_eoa,
+            Arc::new(SmacsAwareAttacker::new(bank.address)),
+        )
         .unwrap();
     chain.fund_account(attacker.address, 10);
     let req = TokenRequest::argument_token(
@@ -96,7 +99,11 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
     );
     let nonce = chain.state().nonce(attacker_eoa.address());
     let tx = smacs::chain::Transaction::call(nonce, attacker.address, 2, deposit_data);
-    assert!(chain.submit(tx.sign(&attacker_eoa)).unwrap().status.is_success());
+    assert!(chain
+        .submit(tx.sign(&attacker_eoa))
+        .unwrap()
+        .status
+        .is_success());
 
     // The strike with a one-time withdraw token: the replayed inner frame
     // finds its index spent → full revert, bank untouched.
@@ -110,11 +117,7 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
     )
     .one_time();
     let token = ts.issue(&req, now).unwrap();
-    let strike_data = smacs::core::client::build_call_data(
-        &withdraw_payload,
-        bank.address,
-        token,
-    );
+    let strike_data = smacs::core::client::build_call_data(&withdraw_payload, bank.address, token);
     // Route through the attacker contract (its withdraw() forwards).
     let strike_data = {
         let (_, tokens) = smacs::token::split_tokens(&strike_data).unwrap();

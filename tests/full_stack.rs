@@ -66,9 +66,9 @@ fn discovery_http_issuance_and_onchain_spend() {
     let request = FrontRequest::IssueToken {
         request: TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG),
     };
-    let body = serde_json::to_string(&request).unwrap();
+    let body = smacs_primitives::json::to_string(&request);
     let response = post_json(server.addr(), &body).unwrap();
-    let parsed: FrontResponse = serde_json::from_str(&response).unwrap();
+    let parsed: FrontResponse = smacs_primitives::json::from_str(&response).unwrap();
     let FrontResponse::Token { token_hex } = parsed else {
         panic!("expected a token, got {parsed:?}");
     };
@@ -86,14 +86,14 @@ fn discovery_http_issuance_and_onchain_spend() {
         owner_secret: "owner-secret".into(),
         rules: RuleBook::deny_all(),
     };
-    let response = post_json(server.addr(), &serde_json::to_string(&update).unwrap()).unwrap();
+    let response = post_json(server.addr(), &smacs_primitives::json::to_string(&update)).unwrap();
     assert!(matches!(
-        serde_json::from_str::<FrontResponse>(&response).unwrap(),
+        smacs_primitives::json::from_str::<FrontResponse>(&response).unwrap(),
         FrontResponse::RulesUpdated
     ));
     let response = post_json(server.addr(), &body).unwrap();
     assert!(matches!(
-        serde_json::from_str::<FrontResponse>(&response).unwrap(),
+        smacs_primitives::json::from_str::<FrontResponse>(&response).unwrap(),
         FrontResponse::Denied { .. }
     ));
 
