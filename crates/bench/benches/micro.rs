@@ -10,7 +10,7 @@ use smacs_core::client::build_call_data;
 use smacs_crypto::{keccak256, recover_address, Keypair};
 use smacs_primitives::Address;
 use smacs_token::{TokenRequest, TokenType};
-use smacs_ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs_ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::time::Duration;
 
 fn bench_crypto(c: &mut Criterion) {
@@ -74,10 +74,14 @@ fn bench_issuance(c: &mut Criterion) {
     let mut group = c.benchmark_group("issuance");
     let client = Keypair::from_seed(2).address();
     let contract = Address::from_low_u64(0xC0);
-    let ts = TokenService::new(
-        Keypair::from_seed(3),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
+    let ts = InProcessClient::new(
+        TokenService::new(
+            Keypair::from_seed(3),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        ),
+        "bench-owner",
+        0,
     );
     for (label, req) in [
         ("super", TokenRequest::super_token(contract, client)),
@@ -96,8 +100,26 @@ fn bench_issuance(c: &mut Criterion) {
             ),
         ),
     ] {
-        group.bench_function(label, |b| b.iter(|| ts.issue(&req, 0).unwrap()));
+        group.bench_function(label, |b| b.iter(|| ts.issue(&req).unwrap()));
     }
+    group.finish();
+}
+
+fn bench_ts_issue_batch(c: &mut Criterion) {
+    use smacs_bench::perf::WireScenario;
+
+    // The acceptance comparison: 64 tokens per v2 batch envelope on a
+    // keep-alive connection vs 64 sequential v1 single-issue round trips
+    // (fresh connection each). Both paths hit the same HTTP server.
+    const BATCH: usize = 64;
+    let mut group = c.benchmark_group("ts_issue_batch");
+    group.sample_size(10);
+    let scenario = WireScenario::new(BATCH);
+    scenario.client.ping().expect("server alive");
+    group.bench_function("http_batch_64", |b| b.iter(|| scenario.run_batch()));
+    group.bench_function("http_v1_sequential_64", |b| {
+        b.iter(|| scenario.run_v1_sequential())
+    });
     group.finish();
 }
 
@@ -204,7 +226,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_crypto, bench_bitmap, bench_rules, bench_issuance, bench_verify_path,
-        bench_state, bench_call_chain
+    targets = bench_crypto, bench_bitmap, bench_rules, bench_issuance, bench_ts_issue_batch,
+        bench_verify_path, bench_state, bench_call_chain
 }
 criterion_main!(benches);

@@ -1,5 +1,10 @@
 //! Run every experiment in sequence — the one-shot EXPERIMENTS.md feed —
-//! then emit a machine-readable perf summary to `BENCH_results.json`.
+//! then emit a machine-readable perf summary to `BENCH_results.json` and
+//! append a timestamped entry to `BENCH_history.jsonl` (one JSON object
+//! per line, so regressions can be traced across runs instead of being
+//! overwritten).
+use smacs_primitives::json::Json;
+
 fn main() {
     println!("== Table II ==");
     print!(
@@ -45,9 +50,48 @@ fn main() {
     for row in &rows {
         println!("{:<48} {:>14.0} ns/op", row.name, row.ns);
     }
-    let json = smacs_bench::perf::sweep_to_json(SLOTS, &rows).render_pretty();
-    match std::fs::write("BENCH_results.json", &json) {
+
+    println!("\n== TS wire throughput (v2 batch vs sequential v1) ==");
+    let wire = smacs_bench::perf::ts_wire_throughput(64, 3);
+    println!(
+        "batch of {}: {:>10.0} tokens/s   sequential v1: {:>10.0} tokens/s   speedup {:.2}x",
+        wire.batch_size,
+        wire.batch_tokens_per_sec,
+        wire.v1_sequential_tokens_per_sec,
+        wire.speedup()
+    );
+
+    let mut summary = smacs_bench::perf::sweep_to_json(SLOTS, &rows);
+    if let Json::Obj(members) = &mut summary {
+        members.push((
+            "ts_issue_batch".into(),
+            smacs_bench::perf::wire_throughput_to_json(&wire),
+        ));
+    }
+    match std::fs::write("BENCH_results.json", summary.render_pretty()) {
         Ok(()) => println!("\nwrote BENCH_results.json"),
         Err(e) => eprintln!("\ncould not write BENCH_results.json: {e}"),
+    }
+
+    // Append-only history: `{"unix_secs": …, "results": {…}}` per run.
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = Json::Obj(vec![
+        ("unix_secs".into(), Json::Int(unix_secs as i128)),
+        ("results".into(), summary),
+    ]);
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_history.jsonl")
+        .and_then(|mut f| {
+            use std::io::Write;
+            writeln!(f, "{}", entry.render())
+        });
+    match appended {
+        Ok(()) => println!("appended BENCH_history.jsonl"),
+        Err(e) => eprintln!("could not append BENCH_history.jsonl: {e}"),
     }
 }

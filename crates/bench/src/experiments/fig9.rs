@@ -12,7 +12,7 @@
 use smacs_crypto::Keypair;
 use smacs_primitives::Address;
 use smacs_token::{TokenRequest, TokenType};
-use smacs_ts::{ListPolicy, RuleBook, TokenService, TokenServiceConfig};
+use smacs_ts::{InProcessClient, ListPolicy, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::time::Instant;
 
 /// One measured point.
@@ -96,10 +96,14 @@ fn request_for(
 pub fn measure(max_exponent: u32) -> Vec<Series> {
     let client = Keypair::from_seed(77).address();
     let contract = Address::from_low_u64(0xC0);
-    let ts = TokenService::new(
-        Keypair::from_seed(9_000),
-        fig6_rules(client, 1_000),
-        TokenServiceConfig::default(),
+    let ts = InProcessClient::new(
+        TokenService::new(
+            Keypair::from_seed(9_000),
+            fig6_rules(client, 1_000),
+            TokenServiceConfig::default(),
+        ),
+        "fig9-owner",
+        0,
     );
     let configs: [(&'static str, TokenType, bool); 4] = [
         ("Super", TokenType::Super, false),
@@ -116,7 +120,8 @@ pub fn measure(max_exponent: u32) -> Vec<Series> {
                     let n = 10usize.pow(i);
                     let start = Instant::now();
                     for k in 0..n {
-                        let token = ts.issue(&req, k as u64).expect("issuance");
+                        ts.set_time(k as u64);
+                        let token = ts.issue(&req).expect("issuance");
                         std::hint::black_box(token);
                     }
                     let elapsed = start.elapsed().as_secs_f64();

@@ -12,7 +12,7 @@ use smacs_chain::Chain;
 use smacs_contracts::{AdderHead, Bank, HydraStyle};
 use smacs_crypto::Keypair;
 use smacs_token::TokenRequest;
-use smacs_ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs_ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use smacs_verifiers::{EcfTool, HydraTool};
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,6 +55,7 @@ pub fn measure_hydra(n: usize) -> ToolResult {
     )
     .with_testnet(chain.fork())
     .with_tool(Arc::new(HydraTool::new(heads)));
+    let ts = InProcessClient::new(ts, "tools-owner", 0);
 
     let client = owner.address();
     let start = Instant::now();
@@ -66,7 +67,8 @@ pub fn measure_hydra(n: usize) -> ToolResult {
             vec![],
             AdderHead::add_payload(k as u64),
         );
-        ts.issue(&req, k as u64).expect("hydra issuance");
+        ts.set_time(k as u64);
+        ts.issue(&req).expect("hydra issuance");
     }
     let elapsed = start.elapsed().as_secs_f64();
     ToolResult {
@@ -100,6 +102,7 @@ pub fn measure_ecf(n: usize) -> ToolResult {
     )
     .with_testnet(chain.fork())
     .with_tool(Arc::new(EcfTool::new(bank.address)));
+    let ts = InProcessClient::new(ts, "tools-owner", 0);
 
     let client = user.address();
     let start = Instant::now();
@@ -111,7 +114,8 @@ pub fn measure_ecf(n: usize) -> ToolResult {
             vec![],
             abi::encode_call("withdraw()", &[]),
         );
-        ts.issue(&req, k as u64).expect("ecf issuance");
+        ts.set_time(k as u64);
+        ts.issue(&req).expect("ecf issuance");
     }
     let elapsed = start.elapsed().as_secs_f64();
     ToolResult {

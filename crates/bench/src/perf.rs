@@ -1,20 +1,26 @@
-//! Perf probes for the journaled-state / zero-copy work: snapshot+revert
-//! against a large world, O(1) forking, and deep token call chains.
+//! Perf probes for the journaled-state / zero-copy work — snapshot+revert
+//! against a large world, O(1) forking, deep token call chains — plus the
+//! TS wire-throughput comparison (v2 batch issuance vs sequential v1
+//! round trips).
 //!
-//! Each probe is a plain function returning nanoseconds per operation so it
-//! can back three consumers: the criterion micro-benchmarks
-//! (`benches/micro.rs`), the machine-readable `BENCH_results.json` summary
-//! emitted by `all_experiments`, and the asymptotic regression test in
-//! `tests/shapes.rs`.
+//! Each probe is a plain function returning numbers so it can back three
+//! consumers: the criterion micro-benchmarks (`benches/micro.rs`), the
+//! machine-readable `BENCH_results.json` summary emitted by
+//! `all_experiments`, and the regression tests in `tests/shapes.rs`.
 
 use crate::setup::World;
 use smacs_chain::state::WorldState;
-use smacs_contracts::ChainLink;
+use smacs_contracts::{BenchTarget, ChainLink};
 use smacs_core::client::build_chain_call_data;
+use smacs_crypto::Keypair;
 use smacs_primitives::json::Json;
 use smacs_primitives::{Address, H256, U256};
-use smacs_token::{Token, TokenType};
+use smacs_token::{Token, TokenRequest, TokenType};
+use smacs_ts::front::{FrontEnd, FrontRequest, FrontResponse};
+use smacs_ts::http::{post_json, HttpClient, HttpServer};
+use smacs_ts::{RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 type AccountMap = HashMap<Address, u128>;
@@ -192,6 +198,143 @@ pub fn call_chain_ns(depth: usize, iters: u32) -> f64 {
     time_per_iter(iters, || scenario.run_once())
 }
 
+// ---- TS wire throughput: v2 batch vs sequential v1 ----
+
+/// A running HTTP Token Service plus the request set for throughput
+/// probes.
+pub struct WireScenario {
+    server: HttpServer,
+    /// The v2 keep-alive client.
+    pub client: HttpClient,
+    /// The issuance requests (distinct senders, same contract/method).
+    pub requests: Vec<TokenRequest>,
+}
+
+impl WireScenario {
+    /// Start a permissive TS over loopback HTTP and prepare `batch_size`
+    /// method-token requests.
+    pub fn new(batch_size: usize) -> WireScenario {
+        let service = TokenService::new(
+            Keypair::from_seed(12_000),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        );
+        let server = HttpServer::start(Arc::new(FrontEnd::new(service, "bench-owner", 0)))
+            .expect("loopback server");
+        let client = HttpClient::connect(server.addr());
+        let contract = Address::from_low_u64(0xC0);
+        let requests = (0..batch_size)
+            .map(|i| {
+                TokenRequest::method_token(
+                    contract,
+                    Address::from_low_u64(1_000 + i as u64),
+                    BenchTarget::PING_SIG,
+                )
+            })
+            .collect();
+        WireScenario {
+            server,
+            client,
+            requests,
+        }
+    }
+
+    /// One v2 batch round trip; panics unless every token minted.
+    pub fn run_batch(&self) {
+        let results = self
+            .client
+            .issue_batch(&self.requests)
+            .expect("batch envelope");
+        assert!(results.iter().all(|r| r.is_ok()), "batch issuance failed");
+    }
+
+    /// The v1 baseline: one single-issue round trip per request, each on a
+    /// fresh connection (v1 was one-request-per-connection by design).
+    pub fn run_v1_sequential(&self) {
+        for request in &self.requests {
+            let body = smacs_primitives::json::to_string(&FrontRequest::IssueToken {
+                request: request.clone(),
+            });
+            let response = post_json(self.server.addr(), &body).expect("v1 round trip");
+            let parsed: FrontResponse =
+                smacs_primitives::json::from_str(&response).expect("v1 response");
+            assert!(
+                matches!(parsed, FrontResponse::Token { .. }),
+                "v1 issuance failed: {parsed:?}"
+            );
+        }
+    }
+}
+
+/// The wire-throughput comparison behind the `ts_issue_batch` bench.
+pub struct WireThroughput {
+    /// Tokens per round trip in the batch path.
+    pub batch_size: usize,
+    /// Tokens/sec via one v2 `issue_batch` envelope per `batch_size`
+    /// tokens over a keep-alive connection.
+    pub batch_tokens_per_sec: f64,
+    /// Tokens/sec via `batch_size` sequential v1 single-issue round trips
+    /// (fresh connection each, as v1 clients worked).
+    pub v1_sequential_tokens_per_sec: f64,
+}
+
+impl WireThroughput {
+    /// Batch speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.batch_tokens_per_sec / self.v1_sequential_tokens_per_sec.max(1e-9)
+    }
+}
+
+/// Measure batched-vs-sequential issuance throughput over real loopback
+/// HTTP: `rounds` passes of `batch_size` tokens down each path.
+pub fn ts_wire_throughput(batch_size: usize, rounds: u32) -> WireThroughput {
+    let scenario = WireScenario::new(batch_size);
+    // Warm both paths (connection setup, lazy signer tables).
+    scenario.client.ping().expect("server alive");
+    scenario
+        .client
+        .issue(&scenario.requests[0])
+        .expect("warm issue");
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        scenario.run_batch();
+    }
+    let batch_tps = (batch_size as u32 * rounds) as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        scenario.run_v1_sequential();
+    }
+    let v1_tps = (batch_size as u32 * rounds) as f64 / start.elapsed().as_secs_f64();
+
+    WireThroughput {
+        batch_size,
+        batch_tokens_per_sec: batch_tps,
+        v1_sequential_tokens_per_sec: v1_tps,
+    }
+}
+
+/// Render the wire-throughput comparison as a JSON object for
+/// `BENCH_results.json`.
+pub fn wire_throughput_to_json(wire: &WireThroughput) -> Json {
+    Json::Obj(vec![
+        ("batch_size".into(), Json::Int(wire.batch_size as i128)),
+        (
+            "batch_tokens_per_sec".into(),
+            Json::Int(wire.batch_tokens_per_sec as i128),
+        ),
+        (
+            "v1_sequential_tokens_per_sec".into(),
+            Json::Int(wire.v1_sequential_tokens_per_sec as i128),
+        ),
+        (
+            "batch_speedup_x100".into(),
+            Json::Int((wire.speedup() * 100.0) as i128),
+        ),
+    ])
+}
+
 /// One labeled measurement in the machine-readable summary.
 pub struct PerfRow {
     /// Metric name.
@@ -268,6 +411,15 @@ mod tests {
     fn chain_scenario_traverses_all_links() {
         let mut scenario = ChainScenario::new(3);
         scenario.run_once();
+    }
+
+    #[test]
+    fn wire_throughput_probe_mints_on_both_paths() {
+        let wire = ts_wire_throughput(4, 1);
+        assert!(wire.batch_tokens_per_sec > 0.0);
+        assert!(wire.v1_sequential_tokens_per_sec > 0.0);
+        let json = wire_throughput_to_json(&wire);
+        assert!(json.get("batch_speedup_x100").is_some());
     }
 
     #[test]

@@ -7,17 +7,18 @@ use smacs_core::client::ClientWallet;
 use smacs_core::owner::{OwnerToolkit, ShieldParams};
 use smacs_primitives::Address;
 use smacs_token::{Token, TokenRequest, TokenType};
-use smacs_ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs_ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 
-/// A ready-to-measure world: chain, owner toolkit, TS, one shielded
-/// [`BenchTarget`], and a funded client.
+/// A ready-to-measure world: chain, owner toolkit, TS API client, one
+/// shielded [`BenchTarget`], and a funded client.
 pub struct World {
     /// The simulated chain.
     pub chain: Chain,
     /// Owner + TS keys.
     pub toolkit: OwnerToolkit,
-    /// The Token Service (permissive rules unless reconfigured).
-    pub ts: TokenService,
+    /// The Token Service behind the [`TsApi`] surface (permissive rules
+    /// unless reconfigured via `api.service()`).
+    pub api: InProcessClient,
     /// Address of the shielded benchmark target.
     pub target: Address,
     /// A funded client wallet.
@@ -54,10 +55,11 @@ impl World {
             RuleBook::permissive(),
             TokenServiceConfig::default(),
         );
+        let api = InProcessClient::new(ts, "bench-owner", chain.pending_env().timestamp);
         World {
             chain,
             toolkit,
-            ts,
+            api,
             target: target.address,
             client: ClientWallet::new(client_kp),
         }
@@ -116,7 +118,8 @@ impl World {
         if one_time {
             req = req.one_time();
         }
-        self.ts.issue(&req, self.now()).expect("issuance")
+        self.api.set_time(self.now());
+        self.api.issue(&req).expect("issuance")
     }
 }
 

@@ -74,11 +74,60 @@ impl Transaction {
         let signed = SignedTransaction {
             tx: self,
             signature,
+            hash_cache: Mutex::new(None),
             sender_cache: Mutex::new(None),
         };
         *signed.sender_cache.lock().expect("fresh lock") =
             Some((signed.hash(), Some(keypair.address())));
         signed
+    }
+}
+
+/// Cheap identity of a signed transaction's contents: every scalar field
+/// by value, the calldata by buffer address. The fingerprint keeps its own
+/// handle on the [`Bytes`] buffer, which both guarantees the address stays
+/// valid for comparison and rules out ABA reuse: while a cached
+/// fingerprint is alive the allocator cannot hand the same address to a
+/// *different* buffer, so equal addresses imply the very same immutable
+/// contents. A replaced buffer merely misses the cache and recomputes.
+#[derive(Clone)]
+struct TxFingerprint {
+    nonce: u64,
+    gas_price: u128,
+    gas_limit: u64,
+    to: Option<Address>,
+    value: u128,
+    data: Bytes,
+    signature: Signature,
+}
+
+impl PartialEq for TxFingerprint {
+    fn eq(&self, other: &Self) -> bool {
+        self.nonce == other.nonce
+            && self.gas_price == other.gas_price
+            && self.gas_limit == other.gas_limit
+            && self.to == other.to
+            && self.value == other.value
+            && std::ptr::eq(
+                self.data.as_slice().as_ptr(),
+                other.data.as_slice().as_ptr(),
+            )
+            && self.data.len() == other.data.len()
+            && self.signature == other.signature
+    }
+}
+
+impl TxFingerprint {
+    fn of(signed: &SignedTransaction) -> TxFingerprint {
+        TxFingerprint {
+            nonce: signed.tx.nonce,
+            gas_price: signed.tx.gas_price,
+            gas_limit: signed.tx.gas_limit,
+            to: signed.tx.to,
+            value: signed.tx.value,
+            data: signed.tx.data.clone(),
+            signature: signed.signature,
+        }
     }
 }
 
@@ -88,6 +137,11 @@ pub struct SignedTransaction {
     pub tx: Transaction,
     /// 65-byte recoverable signature over [`Transaction::signing_digest`].
     pub signature: Signature,
+    /// Memoized transaction hash, keyed by a cheap field fingerprint so any
+    /// mutation of the body or signature invalidates it. `hash()` otherwise
+    /// re-RLP-encodes (an allocation plus a keccak) on every access — and
+    /// the sender cache below consults it on every `sender()` call.
+    hash_cache: Mutex<Option<(TxFingerprint, H256)>>,
     /// Memoized recovered sender, keyed by the transaction hash so any
     /// mutation of the body or signature invalidates it. `ecrecover` is by
     /// far the most expensive step of transaction intake; this runs it once
@@ -100,6 +154,7 @@ impl Clone for SignedTransaction {
         SignedTransaction {
             tx: self.tx.clone(),
             signature: self.signature,
+            hash_cache: Mutex::new(self.hash_cache.lock().expect("cache lock").clone()),
             sender_cache: Mutex::new(*self.sender_cache.lock().expect("cache lock")),
         }
     }
@@ -120,6 +175,7 @@ impl SignedTransaction {
         SignedTransaction {
             tx,
             signature,
+            hash_cache: Mutex::new(None),
             sender_cache: Mutex::new(None),
         }
     }
@@ -145,12 +201,25 @@ impl SignedTransaction {
     }
 
     /// The transaction hash (id): keccak over the RLP body plus signature.
+    ///
+    /// Memoized under a [`TxFingerprint`] of the fields, so repeated access
+    /// (every `sender()` call, receipts, logging) skips the RLP encode and
+    /// keccak while the transaction is unchanged.
     pub fn hash(&self) -> H256 {
+        let fingerprint = TxFingerprint::of(self);
+        let mut cache = self.hash_cache.lock().expect("cache lock");
+        if let Some((cached_fp, cached_hash)) = cache.as_ref() {
+            if *cached_fp == fingerprint {
+                return *cached_hash;
+            }
+        }
         let item = Item::List(vec![
             self.tx.rlp_body(),
             Item::Bytes(self.signature.to_bytes().to_vec()),
         ]);
-        keccak256(&rlp::encode(&item))
+        let hash = keccak256(&rlp::encode(&item));
+        *cache = Some((fingerprint, hash));
+        hash
     }
 }
 
@@ -229,6 +298,25 @@ mod tests {
             ..tx.clone()
         };
         assert_ne!(tx.signing_digest(), call.signing_digest());
+    }
+
+    #[test]
+    fn hash_cache_invalidates_on_any_mutation() {
+        let kp = Keypair::from_seed(105);
+        let mut signed = sample_tx(0).sign(&kp);
+        let warm = signed.hash();
+        assert_eq!(signed.hash(), warm);
+        // Scalar field mutation.
+        signed.tx.gas_limit += 1;
+        let after_gas = signed.hash();
+        assert_ne!(after_gas, warm);
+        // Calldata replacement (new buffer, new pointer).
+        signed.tx.data = Bytes::from(vec![9, 9, 9]);
+        let after_data = signed.hash();
+        assert_ne!(after_data, after_gas);
+        // Signature mutation.
+        signed.signature.s[0] ^= 1;
+        assert_ne!(signed.hash(), after_data);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   the runtime counterpart of the Fig. 4 source transformation;
 //! - the **client SDK** ([`client`]): build token-bearing calldata and
 //!   transactions, including multi-token arrays for call chains (§IV-D);
+//! - the **token fetcher** ([`fetcher`]): client-side token acquisition
+//!   over any [`smacs_ts::TsApi`] transport, with per-`(contract, type,
+//!   method)` caching and refresh-before-expiry so a busy client hits the
+//!   TS once per token lifetime rather than once per transaction;
 //! - the **owner SDK** ([`owner`]): TS key generation, bitmap sizing, and
 //!   one-call deployment of shielded contracts.
 //!
@@ -31,6 +35,7 @@
 pub mod bitmap;
 pub mod client;
 pub mod costs;
+pub mod fetcher;
 pub mod layout;
 pub mod owner;
 pub mod shield;
@@ -38,7 +43,8 @@ pub mod storage_bitmap;
 pub mod verify;
 
 pub use bitmap::{bitmap_bits_for, BitmapState};
-pub use client::{build_call_data, build_chain_call_data, ClientWallet};
+pub use client::{build_call_data, build_chain_call_data, ClientWallet, WalletError};
+pub use fetcher::TokenFetcher;
 pub use owner::{OwnerToolkit, ShieldParams};
 pub use shield::SmacsShield;
 pub use storage_bitmap::StorageBitmap;

@@ -431,6 +431,14 @@ pub trait ToJson {
 pub trait FromJson: Sized {
     /// Parse from a JSON value.
     fn from_json(json: &Json) -> Result<Self, JsonError>;
+
+    /// Parse the member `key` of object `obj`. The default requires the
+    /// member to be present; `Option<T>` overrides it so that an absent
+    /// member reads as `None` (matching what serde's `Option` derive
+    /// accepted). [`json_codec!`]-generated codecs go through this hook.
+    fn from_json_field(obj: &Json, key: &str) -> Result<Self, JsonError> {
+        Self::from_json(obj.want(key)?)
+    }
 }
 
 /// Serialize to a compact JSON string.
@@ -528,6 +536,13 @@ impl<T: FromJson> FromJson for Option<T> {
             other => Ok(Some(T::from_json(other)?)),
         }
     }
+
+    fn from_json_field(obj: &Json, key: &str) -> Result<Self, JsonError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => Ok(Some(T::from_json(v)?)),
+        }
+    }
 }
 
 impl<T: ToJson> ToJson for Vec<T> {
@@ -580,6 +595,67 @@ impl FromJson for BTreeSet<String> {
             })
             .collect()
     }
+}
+
+/// Derive-style codec generator: defines a plain struct and hand-rolls the
+/// [`ToJson`]/[`FromJson`] impls serde would have derived — one object
+/// member per field, named after the field.
+///
+/// Attributes (doc comments, `#[derive(...)]`) pass through to the struct;
+/// `Option<T>` fields tolerate absent members on parse (via
+/// [`FromJson::from_json_field`]) and render as `null` when `None`.
+///
+/// ```
+/// use smacs_primitives::json_codec;
+///
+/// json_codec! {
+///     /// A labelled point.
+///     #[derive(Clone, Debug, PartialEq)]
+///     pub struct Pin {
+///         /// Display label.
+///         pub label: String,
+///         pub x: i64,
+///         pub note: Option<String>,
+///     }
+/// }
+///
+/// let pin = Pin { label: "a".into(), x: 3, note: None };
+/// let text = smacs_primitives::json::to_string(&pin);
+/// let back: Pin = smacs_primitives::json::from_str(&text).unwrap();
+/// assert_eq!(back, pin);
+/// // Absent Option members parse as None.
+/// let sparse: Pin = smacs_primitives::json::from_str(r#"{"label":"b","x":1}"#).unwrap();
+/// assert_eq!(sparse.note, None);
+/// ```
+#[macro_export]
+macro_rules! json_codec {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident {
+        $($(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty),* $(,)?
+    }) => {
+        $(#[$meta])*
+        $vis struct $name {
+            $($(#[$fmeta])* $fvis $field: $ty,)*
+        }
+
+        impl $crate::json::ToJson for $name {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).into(), $crate::json::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+
+        impl $crate::json::FromJson for $name {
+            fn from_json(json: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                Ok($name {
+                    $($field: <$ty as $crate::json::FromJson>::from_json_field(
+                        json,
+                        stringify!($field),
+                    )?,)*
+                })
+            }
+        }
+    };
 }
 
 impl ToJson for crate::Address {
@@ -688,6 +764,32 @@ mod tests {
     fn preserves_key_order() {
         let v = Json::parse(r#"{"z": 1, "a": 2}"#).unwrap();
         assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn json_codec_macro_round_trips_and_tolerates_absent_options() {
+        crate::json_codec! {
+            #[derive(Clone, Debug, PartialEq)]
+            struct Sample {
+                name: String,
+                count: u32,
+                tag: Option<String>,
+                items: Vec<u64>,
+            }
+        }
+        let full = Sample {
+            name: "x".into(),
+            count: 7,
+            tag: Some("t".into()),
+            items: vec![1, 2],
+        };
+        let text = super::to_string(&full);
+        assert_eq!(super::from_str::<Sample>(&text).unwrap(), full);
+        // Absent option → None; absent required field → error naming it.
+        let sparse: Sample = super::from_str(r#"{"name":"y","count":1,"items":[]}"#).unwrap();
+        assert_eq!(sparse.tag, None);
+        let missing = super::from_str::<Sample>(r#"{"name":"z"}"#).unwrap_err();
+        assert!(missing.0.contains("count"), "{missing}");
     }
 
     #[test]

@@ -20,13 +20,15 @@ use std::fmt;
 
 use crate::types::TokenType;
 
-/// A named argument binding in an argument-token request.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ArgBinding {
-    /// Argument name (`argName`).
-    pub name: String,
-    /// Argument value, rendered canonically (`argValue`).
-    pub value: String,
+smacs_primitives::json_codec! {
+    /// A named argument binding in an argument-token request.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    pub struct ArgBinding {
+        /// Argument name (`argName`).
+        pub name: String,
+        /// Argument value, rendered canonically (`argValue`).
+        pub value: String,
+    }
 }
 
 /// A client's token request (Fig. 2).
@@ -233,24 +235,6 @@ impl TokenRequest {
             args,
             calldata,
             one_time,
-        })
-    }
-}
-
-impl ToJson for ArgBinding {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("name".into(), Json::Str(self.name.clone())),
-            ("value".into(), Json::Str(self.value.clone())),
-        ])
-    }
-}
-
-impl FromJson for ArgBinding {
-    fn from_json(json: &Json) -> Result<Self, JsonError> {
-        Ok(ArgBinding {
-            name: String::from_json(json.want("name")?)?,
-            value: String::from_json(json.want("value")?)?,
         })
     }
 }

@@ -1,19 +1,73 @@
-//! The JSON front-end protocol: what flows over the TS's web interface.
+//! The JSON front-end: what flows over the TS's web interface.
 //!
 //! Owners and clients "interact with the TS through an HTTPS-enabled web
-//! interface" (§IV). The protocol has two operations:
+//! interface" (§IV). Two protocol generations coexist:
 //!
-//! - `POST /token` — a client submits a [`smacs_token::TokenRequest`]; the
-//!   TS answers with a hex-encoded 86-byte token or a structured rejection;
-//! - `POST /rules` — the owner replaces the rule book (authenticated by an
-//!   owner bearer secret in this prototype; production would use TLS client
-//!   auth).
+//! - **v2** (current): versioned `{"v": 2, "op": …, "body": …}` envelopes
+//!   with machine-readable error codes and batch issuance — the full
+//!   grammar lives in [`crate::api`]. All five [`crate::api::TsApi`] ops
+//!   dispatch through [`FrontEnd::handle_api`].
+//! - **v1** (legacy): the unversioned `{"op": "issue_token", …}` /
+//!   `{"op": "set_rules", …}` / `{"op": "ping"}` envelopes this prototype
+//!   launched with. [`FrontEnd::handle_json`] recognizes the missing `v`
+//!   field and answers in the original [`FrontResponse`] shape, so old
+//!   clients keep working unchanged.
+//!
+//! Both generations funnel into the same [`FrontEnd::handle_api`] — the
+//! single code path the in-process client exercises too.
 
+use parking_lot::RwLock;
 use smacs_primitives::json::{FromJson, Json, JsonError, ToJson};
+use smacs_primitives::Address;
 use smacs_token::{Token, TokenRequest};
 
+use crate::api::{
+    ApiError, BatchItem, BatchRequestBody, BatchResponseBody, DiscoverBody, DiscoverResponseBody,
+    ErrorCode, IssueBody, RequestEnvelope, ResponseEnvelope, SetRulesBody, WireError, MAX_BATCH,
+    PROTOCOL_VERSION,
+};
+use crate::discovery::{ContractMetadata, ServiceDirectory};
 use crate::rules::RuleBook;
 use crate::service::TokenService;
+
+/// A structured v2 API request — the transport-independent form both
+/// [`crate::api::InProcessClient`] and the HTTP server dispatch.
+#[derive(Clone, Debug)]
+pub enum ApiRequest {
+    /// Client: request one token.
+    Issue(TokenRequest),
+    /// Client: request up to [`MAX_BATCH`] tokens in one round trip.
+    IssueBatch(Vec<TokenRequest>),
+    /// Owner: replace the rule book.
+    SetRules {
+        /// Owner authentication secret.
+        owner_secret: String,
+        /// The new rules.
+        rules: RuleBook,
+    },
+    /// Anyone: look up published contract metadata (§VII-B discovery).
+    Discover {
+        /// The contract of interest.
+        contract: Address,
+    },
+    /// Anyone: liveness probe.
+    Ping,
+}
+
+/// A successful v2 API response.
+#[derive(Clone, Debug)]
+pub enum ApiOk {
+    /// One minted token.
+    Token(Token),
+    /// Per-request batch outcomes, in request order.
+    Batch(Vec<Result<Token, ApiError>>),
+    /// Rules replaced.
+    RulesSet,
+    /// Discovery result (`None`: contract unknown to this TS).
+    Discovered(Option<ContractMetadata>),
+    /// Pong.
+    Pong,
+}
 
 /// A front-end request envelope.
 #[derive(Clone, Debug)]
@@ -141,12 +195,14 @@ impl FromJson for FrontResponse {
     }
 }
 
-/// The front end: a service plus its owner secret.
+/// The front end: a service, its owner secret, the TS-local clock, and the
+/// discovery metadata this TS publishes.
 pub struct FrontEnd {
     service: TokenService,
     owner_secret: String,
-    /// TS-local clock (seconds); tests and experiments advance it manually.
+    /// TS-local clock (seconds); tests and experiments drive it manually.
     now: std::sync::atomic::AtomicU64,
+    directory: RwLock<ServiceDirectory>,
 }
 
 impl FrontEnd {
@@ -156,6 +212,7 @@ impl FrontEnd {
             service,
             owner_secret: owner_secret.into(),
             now: std::sync::atomic::AtomicU64::new(now),
+            directory: RwLock::new(ServiceDirectory::new()),
         }
     }
 
@@ -170,49 +227,196 @@ impl FrontEnd {
             .fetch_add(secs, std::sync::atomic::Ordering::SeqCst);
     }
 
-    /// Handle a structured request.
+    /// Set the TS-local clock.
+    pub fn set_time(&self, now: u64) {
+        self.now.store(now, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The TS-local clock.
+    pub fn time(&self) -> u64 {
+        self.now.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Publish discovery metadata for a contract this TS protects; served
+    /// by the `discover` op.
+    pub fn publish(&self, contract: Address, metadata: ContractMetadata) {
+        self.directory.write().publish(contract, metadata);
+    }
+
+    /// Handle a structured v2 request — the one dispatch every transport
+    /// funnels into.
+    pub fn handle_api(&self, request: ApiRequest) -> Result<ApiOk, ApiError> {
+        match request {
+            ApiRequest::Issue(request) => self
+                .service
+                .issue(&request, self.time())
+                .map(ApiOk::Token)
+                .map_err(ApiError::from),
+            ApiRequest::IssueBatch(requests) => {
+                if requests.len() > MAX_BATCH {
+                    return Err(ApiError::new(
+                        ErrorCode::BadEnvelope,
+                        format!("batch of {} exceeds limit {MAX_BATCH}", requests.len()),
+                    ));
+                }
+                Ok(ApiOk::Batch(
+                    self.service
+                        .issue_batch(&requests, self.time())
+                        .into_iter()
+                        .map(|r| r.map_err(ApiError::from))
+                        .collect(),
+                ))
+            }
+            ApiRequest::SetRules {
+                owner_secret,
+                rules,
+            } => {
+                if owner_secret != self.owner_secret {
+                    return Err(ApiError::new(ErrorCode::Unauthorized, "bad owner secret"));
+                }
+                self.service.set_rules(rules);
+                Ok(ApiOk::RulesSet)
+            }
+            ApiRequest::Discover { contract } => Ok(ApiOk::Discovered(
+                self.directory.read().metadata(contract).cloned(),
+            )),
+            ApiRequest::Ping => Ok(ApiOk::Pong),
+        }
+    }
+
+    /// Handle a structured v1 request — a shim over [`FrontEnd::handle_api`]
+    /// that restates the outcome in the legacy response vocabulary.
     pub fn handle(&self, request: FrontRequest) -> FrontResponse {
         match request {
             FrontRequest::IssueToken { request } => {
-                let now = self.now.load(std::sync::atomic::Ordering::SeqCst);
-                match self.service.issue(&request, now) {
-                    Ok(token) => FrontResponse::Token {
-                        token_hex: hex_encode(&token),
+                match self.handle_api(ApiRequest::Issue(request)) {
+                    Ok(ApiOk::Token(token)) => FrontResponse::Token {
+                        token_hex: encode_token_hex(&token),
                     },
-                    Err(e) => FrontResponse::Denied {
-                        reason: e.to_string(),
+                    Ok(other) => FrontResponse::Error {
+                        message: format!("mismatched response {other:?}"),
                     },
+                    Err(e) => FrontResponse::Denied { reason: e.message },
                 }
             }
             FrontRequest::SetRules {
                 owner_secret,
                 rules,
-            } => {
-                if owner_secret != self.owner_secret {
-                    return FrontResponse::Error {
-                        message: "bad owner secret".into(),
-                    };
-                }
-                self.service.set_rules(rules);
-                FrontResponse::RulesUpdated
-            }
+            } => match self.handle_api(ApiRequest::SetRules {
+                owner_secret,
+                rules,
+            }) {
+                Ok(_) => FrontResponse::RulesUpdated,
+                Err(e) => FrontResponse::Error { message: e.message },
+            },
             FrontRequest::Ping => FrontResponse::Pong,
         }
     }
 
-    /// Handle a raw JSON request line (the wire form of [`FrontEnd::handle`]).
+    /// Handle one raw JSON request body, dispatching on protocol version:
+    /// a `"v"` member marks a v2 envelope; anything else takes the v1
+    /// legacy path (including its free-text error responses).
     pub fn handle_json(&self, body: &str) -> String {
-        let response = match smacs_primitives::json::from_str::<FrontRequest>(body) {
-            Ok(req) => self.handle(req),
-            Err(e) => FrontResponse::Error {
+        match Json::parse(body) {
+            Ok(json) if json.get("v").is_some() => self.handle_v2_json(&json).render(),
+            Ok(json) => {
+                let response = match FrontRequest::from_json(&json) {
+                    Ok(req) => self.handle(req),
+                    Err(e) => FrontResponse::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                smacs_primitives::json::to_string(&response)
+            }
+            Err(e) => smacs_primitives::json::to_string(&FrontResponse::Error {
                 message: format!("bad request: {e}"),
-            },
-        };
-        smacs_primitives::json::to_string(&response)
+            }),
+        }
+    }
+
+    /// Decode a v2 envelope, dispatch it, and encode the response envelope.
+    fn handle_v2_json(&self, json: &Json) -> Json {
+        let result = decode_v2_request(json).and_then(|req| self.handle_api(req));
+        encode_v2_response(&result)
     }
 }
 
-fn hex_encode(token: &Token) -> String {
+/// Parse a v2 envelope into an [`ApiRequest`].
+fn decode_v2_request(json: &Json) -> Result<ApiRequest, ApiError> {
+    let envelope = RequestEnvelope::from_json(json)
+        .map_err(|e| ApiError::new(ErrorCode::BadEnvelope, format!("bad envelope: {e}")))?;
+    if envelope.v != PROTOCOL_VERSION {
+        return Err(ApiError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("unsupported protocol version {}", envelope.v),
+        ));
+    }
+    let body = envelope.body.unwrap_or(Json::Null);
+    let bad_body = |e: JsonError| ApiError::new(ErrorCode::BadEnvelope, format!("bad body: {e}"));
+    match envelope.op.as_str() {
+        "issue" => Ok(ApiRequest::Issue(
+            TokenRequest::from_json(&body).map_err(bad_body)?,
+        )),
+        "issue_batch" => Ok(ApiRequest::IssueBatch(
+            BatchRequestBody::from_json(&body)
+                .map_err(bad_body)?
+                .requests,
+        )),
+        "set_rules" => {
+            let body = SetRulesBody::from_json(&body).map_err(bad_body)?;
+            Ok(ApiRequest::SetRules {
+                owner_secret: body.owner_secret,
+                rules: body.rules,
+            })
+        }
+        "discover" => Ok(ApiRequest::Discover {
+            contract: DiscoverBody::from_json(&body).map_err(bad_body)?.contract,
+        }),
+        "ping" => Ok(ApiRequest::Ping),
+        other => Err(ApiError::new(
+            ErrorCode::BadEnvelope,
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+/// Encode an API outcome as a v2 response envelope.
+fn encode_v2_response(result: &Result<ApiOk, ApiError>) -> Json {
+    let envelope = match result {
+        Ok(ok) => ResponseEnvelope {
+            v: PROTOCOL_VERSION,
+            ok: true,
+            body: Some(match ok {
+                ApiOk::Token(token) => IssueBody {
+                    token_hex: encode_token_hex(token),
+                }
+                .to_json(),
+                ApiOk::Batch(results) => BatchResponseBody {
+                    results: results.iter().map(BatchItem::from_result).collect(),
+                }
+                .to_json(),
+                ApiOk::RulesSet => Json::Obj(vec![]),
+                ApiOk::Discovered(metadata) => DiscoverResponseBody {
+                    metadata: metadata.clone(),
+                }
+                .to_json(),
+                ApiOk::Pong => Json::Obj(vec![("pong".into(), Json::Bool(true))]),
+            }),
+            error: None,
+        },
+        Err(e) => ResponseEnvelope {
+            v: PROTOCOL_VERSION,
+            ok: false,
+            body: None,
+            error: Some(WireError::from(e)),
+        },
+    };
+    envelope.to_json()
+}
+
+/// Hex-encode a token's 86-byte wire image (the `token_hex` fields of both
+/// protocol generations).
+pub fn encode_token_hex(token: &Token) -> String {
     let bytes = token.to_bytes();
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {

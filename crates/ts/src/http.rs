@@ -1,11 +1,21 @@
-//! A minimal threaded HTTP/1.1 server exposing the [`crate::front`]
-//! protocol over TCP — the prototype's stand-in for the paper's
+//! A minimal threaded HTTP/1.1 server and client for the [`crate::front`]
+//! protocols over TCP — the prototype's stand-in for the paper's
 //! "HTTPS-enabled web interface".
 //!
-//! One `POST /` request per connection, JSON body in, JSON body out. Built
-//! on `std::net` only; adequate for loopback benchmarking and integration
+//! The server speaks **keep-alive** HTTP/1.1: a connection serves any
+//! number of `POST` requests until the client closes it (or sends
+//! `Connection: close`), so batch clients aren't throttled by per-request
+//! connection setup. The accept loop **blocks** in `accept()` — no polling
+//! sleep — and is unblocked at shutdown by a self-connection. Built on
+//! `std::net` only; adequate for loopback benchmarking and integration
 //! tests, not hardened for the open internet (the paper's prototype ran
 //! Node.js on localhost, same scope).
+//!
+//! [`HttpClient`] is the wire implementation of [`TsApi`]: protocol-v2
+//! envelopes over one persistent connection, with a single transparent
+//! reconnect when a kept-alive connection has gone stale. The v1-era
+//! one-shot helper [`post_json`] remains for legacy single-request
+//! clients (and the back-compat tests).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -13,7 +23,21 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::front::FrontEnd;
+use smacs_primitives::json::{self, FromJson, Json, ToJson};
+use smacs_primitives::Address;
+use smacs_token::{Token, TokenRequest};
+
+use crate::api::{
+    ApiError, BatchRequestBody, BatchResponseBody, DiscoverBody, DiscoverResponseBody, ErrorCode,
+    IssueBody, RequestEnvelope, ResponseEnvelope, SetRulesBody, TsApi, PROTOCOL_VERSION,
+};
+use crate::discovery::ContractMetadata;
+use crate::front::{decode_token_hex, FrontEnd};
+use crate::rules::RuleBook;
+
+/// Request bodies above this size are refused (HTTP 413). Generous: a
+/// full 256-request argument-token batch with kilobyte calldata fits.
+const MAX_BODY_BYTES: usize = 8 << 20;
 
 /// A running HTTP front-end server.
 pub struct HttpServer {
@@ -29,20 +53,30 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = shutdown.clone();
-        listener.set_nonblocking(true)?;
         let handle = std::thread::spawn(move || {
-            while !shutdown_flag.load(Ordering::SeqCst) {
+            // Blocking accept: zero idle CPU, zero accept-latency jitter.
+            // `HttpServer::shutdown` raises the flag and then connects to
+            // this listener, so the accept below returns and sees the flag.
+            loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if shutdown_flag.load(Ordering::SeqCst) {
+                            break;
+                        }
                         let front = front.clone();
                         std::thread::spawn(move || {
                             let _ = serve_connection(stream, &front);
                         });
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    Err(_) => {
+                        if shutdown_flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient accept failure (EMFILE etc.): back off
+                        // briefly so a persistent error (fd exhaustion)
+                        // cannot pin a core in a tight retry loop.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
                     }
-                    Err(_) => break,
                 }
             }
         });
@@ -63,84 +97,333 @@ impl HttpServer {
         format!("http://{}", self.addr)
     }
 
-    /// Stop accepting connections and join the accept loop.
-    pub fn shutdown(mut self) {
+    fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call; a failed connect means the listener is
+        // already gone, which is fine.
+        let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+    }
+
+    /// Stop accepting connections and join the accept loop. Connections
+    /// already being served drain on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop();
     }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        self.stop();
+    }
+}
+
+/// Headers both ends care about: body length (`None` when absent *or*
+/// unparseable — callers must reject rather than guess, or the keep-alive
+/// stream desynchronizes) and connection intent.
+struct Headers {
+    content_length: Option<usize>,
+    close: bool,
+}
+
+/// Read header lines up to the blank separator. One parser for the server
+/// and the client so the two ends can never disagree on framing.
+fn read_headers(reader: &mut BufReader<TcpStream>) -> std::io::Result<Headers> {
+    let mut headers = Headers {
+        content_length: None,
+        close: false,
+    };
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let line = line.trim_end().to_ascii_lowercase();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if let Some(value) = line.strip_prefix("content-length:") {
+            headers.content_length = value.trim().parse().ok();
+        }
+        if let Some(value) = line.strip_prefix("connection:") {
+            headers.close = value.trim() == "close";
         }
     }
 }
 
+/// Serve one connection: any number of `POST` requests until EOF or an
+/// explicit `Connection: close`.
 fn serve_connection(mut stream: TcpStream, front: &FrontEnd) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
-    // Request line.
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let _path = parts.next().unwrap_or("/");
-
-    // Headers → content length.
-    let mut content_length = 0usize;
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
+        // Request line; 0 bytes = client closed the connection.
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            return Ok(());
         }
-        if let Some(value) = line
-            .to_ascii_lowercase()
-            .strip_prefix("content-length:")
-            .map(str::trim)
-            .map(str::to_string)
-        {
-            content_length = value.parse().unwrap_or(0);
-        }
-    }
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let _path = parts.next().unwrap_or("/");
 
-    if method != "POST" {
-        return write_response(
-            &mut stream,
-            405,
-            r#"{"status":"error","message":"POST only"}"#,
-        );
+        let headers = read_headers(&mut reader)?;
+        let client_close = headers.close;
+
+        if method != "POST" {
+            return write_response(
+                &mut stream,
+                405,
+                true,
+                r#"{"status":"error","message":"POST only"}"#,
+            );
+        }
+        // A POST without a parseable Content-Length cannot be framed:
+        // refuse and close rather than guess (guessing would leave body
+        // bytes in the stream and desynchronize later keep-alive
+        // requests).
+        let Some(content_length) = headers.content_length else {
+            return write_response(
+                &mut stream,
+                400,
+                true,
+                r#"{"status":"error","message":"missing or invalid Content-Length"}"#,
+            );
+        };
+        // Oversized bodies are refused with the connection closed, for the
+        // same framing reason.
+        if content_length > MAX_BODY_BYTES {
+            return write_response(
+                &mut stream,
+                413,
+                true,
+                r#"{"status":"error","message":"body too large"}"#,
+            );
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        let body = String::from_utf8_lossy(&body);
+        let response = front.handle_json(&body);
+        write_response(&mut stream, 200, client_close, &response)?;
+        if client_close {
+            return Ok(());
+        }
     }
-    let mut body = vec![0u8; content_length.min(1 << 20)];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8_lossy(&body);
-    let response = front.handle_json(&body);
-    write_response(&mut stream, 200, &response)
 }
 
-fn write_response(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
-    let reason = if code == 200 {
-        "OK"
-    } else {
-        "Method Not Allowed"
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    close: bool,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        413 => "Payload Too Large",
+        _ => "Method Not Allowed",
     };
+    let connection = if close { "close" } else { "keep-alive" };
     write!(
         stream,
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
 }
 
-/// A tiny blocking client for the server above — used by tests, benches,
-/// and example binaries.
+/// Read one HTTP response (status line, headers, content-length body) off
+/// `reader`, returning the body.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut status = String::new();
+    if reader.read_line(&mut status)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
+    // An unframeable response poisons the whole persistent connection, so
+    // surface it as an io::Error — round_trip drops the connection on any
+    // io::Error, forcing a clean reconnect.
+    let Some(content_length) = read_headers(reader)?.content_length else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response missing a parseable Content-Length",
+        ));
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(String::from_utf8_lossy(&body).into_owned())
+}
+
+/// The wire implementation of [`TsApi`]: protocol-v2 envelopes over one
+/// keep-alive HTTP connection.
+///
+/// The connection is lazy (opened on first use) and persistent; if a
+/// kept-alive connection has gone stale (server restart, idle close), one
+/// transparent reconnect is attempted before the error surfaces as
+/// [`ErrorCode::Transport`].
+pub struct HttpClient {
+    addr: SocketAddr,
+    conn: parking_lot::Mutex<Option<BufReader<TcpStream>>>,
+}
+
+impl HttpClient {
+    /// A client for the server at `addr`. No I/O happens until the first
+    /// call.
+    pub fn connect(addr: SocketAddr) -> HttpClient {
+        HttpClient {
+            addr,
+            conn: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// A client from a discovery URL (`http://ip:port`, as published in
+    /// [`ContractMetadata::token_service_url`]).
+    pub fn from_url(url: &str) -> Option<HttpClient> {
+        let addr = url.strip_prefix("http://")?.parse().ok()?;
+        Some(HttpClient::connect(addr))
+    }
+
+    /// The server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn round_trip_once(
+        &self,
+        conn: &mut Option<BufReader<TcpStream>>,
+        body: &str,
+    ) -> std::io::Result<String> {
+        if conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            *conn = Some(BufReader::new(stream));
+        }
+        let reader = conn.as_mut().expect("connection just ensured");
+        let stream = reader.get_mut();
+        write!(
+            stream,
+            "POST / HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        stream.flush()?;
+        read_response(reader)
+    }
+
+    /// One keep-alive round trip. A stale kept-alive connection is retried
+    /// on a fresh one only for `idempotent` operations: a lost *response*
+    /// is indistinguishable from a lost *request*, and replaying an
+    /// issuance could mint twice (burning one-time counter indexes). A
+    /// failed non-idempotent call resets the connection and surfaces
+    /// [`ErrorCode::Transport`]; the caller decides whether to re-send.
+    fn round_trip(&self, body: &str, idempotent: bool) -> Result<String, ApiError> {
+        let mut conn = self.conn.lock();
+        let had_connection = conn.is_some();
+        match self.round_trip_once(&mut conn, body) {
+            Ok(response) => Ok(response),
+            Err(first) => {
+                *conn = None;
+                if !had_connection || !idempotent {
+                    // Fresh connection already failed (retry won't help),
+                    // or replay is unsafe for this op.
+                    return Err(ApiError::transport(first));
+                }
+                self.round_trip_once(&mut conn, body).map_err(|e| {
+                    *conn = None;
+                    ApiError::transport(e)
+                })
+            }
+        }
+    }
+
+    /// Send one v2 op and return the success body (or the decoded error).
+    fn call(&self, op: &str, body: Option<Json>) -> Result<Json, ApiError> {
+        let envelope = RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            op: op.into(),
+            body,
+        };
+        // Replaying `set_rules` re-applies the same whole-book replacement;
+        // `discover`/`ping` are reads. Issuance is the non-idempotent pair.
+        let idempotent = matches!(op, "ping" | "discover" | "set_rules");
+        let text = self.round_trip(&json::to_string(&envelope), idempotent)?;
+        let response = ResponseEnvelope::from_json(
+            &Json::parse(&text)
+                .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad response: {e}")))?,
+        )
+        .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad response envelope: {e}")))?;
+        if response.ok {
+            Ok(response.body.unwrap_or(Json::Null))
+        } else {
+            Err(response
+                .error
+                .map(ApiError::from)
+                .unwrap_or_else(|| ApiError::new(ErrorCode::Internal, "error without detail")))
+        }
+    }
+}
+
+impl TsApi for HttpClient {
+    fn issue(&self, request: &TokenRequest) -> Result<Token, ApiError> {
+        let body = IssueBody::from_json(&self.call("issue", Some(request.to_json()))?)
+            .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad issue body: {e}")))?;
+        decode_token_hex(&body.token_hex)
+            .ok_or_else(|| ApiError::new(ErrorCode::Internal, "undecodable token_hex"))
+    }
+
+    fn issue_batch(
+        &self,
+        requests: &[TokenRequest],
+    ) -> Result<Vec<Result<Token, ApiError>>, ApiError> {
+        let body = BatchRequestBody {
+            requests: requests.to_vec(),
+        };
+        let response =
+            BatchResponseBody::from_json(&self.call("issue_batch", Some(body.to_json()))?)
+                .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad batch body: {e}")))?;
+        Ok(response
+            .results
+            .into_iter()
+            .map(|item| item.into_result())
+            .collect())
+    }
+
+    fn set_rules(&self, owner_secret: &str, rules: RuleBook) -> Result<(), ApiError> {
+        let body = SetRulesBody {
+            owner_secret: owner_secret.into(),
+            rules,
+        };
+        self.call("set_rules", Some(body.to_json())).map(|_| ())
+    }
+
+    fn discover(&self, contract: Address) -> Result<Option<ContractMetadata>, ApiError> {
+        let body = DiscoverResponseBody::from_json(
+            &self.call("discover", Some(DiscoverBody { contract }.to_json()))?,
+        )
+        .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad discover body: {e}")))?;
+        Ok(body.metadata)
+    }
+
+    fn ping(&self) -> Result<(), ApiError> {
+        self.call("ping", None).map(|_| ())
+    }
+}
+
+/// A tiny blocking one-shot client (v1 era): one `POST /` per connection,
+/// `Connection: close`. Kept for legacy clients and the back-compat tests.
 pub fn post_json(addr: SocketAddr, body: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
@@ -178,11 +461,15 @@ mod tests {
         HttpServer::start(Arc::new(FrontEnd::new(service, "secret", 0))).unwrap()
     }
 
+    fn request(low: u64) -> TokenRequest {
+        TokenRequest::super_token(Address::from_low_u64(1), Address::from_low_u64(low))
+    }
+
     #[test]
-    fn token_issuance_over_http() {
+    fn token_issuance_over_http_v1() {
         let server = running_server();
         let request = FrontRequest::IssueToken {
-            request: TokenRequest::super_token(Address::from_low_u64(1), Address::from_low_u64(2)),
+            request: request(2),
         };
         let body = smacs_primitives::json::to_string(&request);
         let response = post_json(server.addr(), &body).unwrap();
@@ -195,24 +482,45 @@ mod tests {
     }
 
     #[test]
+    fn token_issuance_over_http_v2_client() {
+        let server = running_server();
+        let client = HttpClient::connect(server.addr());
+        client.ping().unwrap();
+        let token = client.issue(&request(2)).unwrap();
+        assert_eq!(token.expire, 3_600);
+        // Batch over the same kept-alive connection.
+        let results = client.issue_batch(&[request(3), request(4)]).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_client_surfaces_transport_errors_after_shutdown() {
+        let server = running_server();
+        let established = HttpClient::connect(server.addr());
+        established.ping().unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // Established keep-alive connections drain gracefully: the serving
+        // thread outlives the accept loop.
+        established.ping().unwrap();
+        // But new connections are refused and must surface as a transport
+        // error, not a hang.
+        let fresh = HttpClient::connect(addr);
+        let err = fresh.issue(&request(2)).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Transport);
+    }
+
+    #[test]
     fn concurrent_clients() {
         let server = running_server();
         let addr = server.addr();
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 std::thread::spawn(move || {
-                    let request = FrontRequest::IssueToken {
-                        request: TokenRequest::super_token(
-                            Address::from_low_u64(1),
-                            Address::from_low_u64(100 + i),
-                        ),
-                    };
-                    let body = smacs_primitives::json::to_string(&request);
-                    let response = post_json(addr, &body).unwrap();
-                    matches!(
-                        smacs_primitives::json::from_str::<FrontResponse>(&response).unwrap(),
-                        FrontResponse::Token { .. }
-                    )
+                    let client = HttpClient::connect(addr);
+                    client.issue(&request(100 + i)).is_ok()
                 })
             })
             .collect();
@@ -233,5 +541,17 @@ mod tests {
             .unwrap();
         assert!(response.starts_with("HTTP/1.1 405"));
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_the_accept_loop_promptly() {
+        let server = running_server();
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -4,8 +4,16 @@
 //! and issuing access control tokens accordingly". It consists of the three
 //! modules Fig. 1 draws:
 //!
-//! - the **front end** ([`front`] for the JSON protocol, [`http`] for the
-//!   threaded TCP/HTTP server) through which owners and clients interact;
+//! - the **client-facing API** ([`api`]): the transport-agnostic [`TsApi`]
+//!   trait (`issue`, `issue_batch`, `set_rules`, `discover`, `ping`) with
+//!   an [`InProcessClient`] for co-located callers and an
+//!   [`http::HttpClient`] speaking the versioned wire protocol v2 over a
+//!   keep-alive connection — batch issuance amortizes per-request wire
+//!   overhead, and error codes mirror [`IssueError`] without leaking rule
+//!   detail (§VII-A d);
+//! - the **front end** ([`front`] for the JSON protocols — v2 envelopes
+//!   plus the legacy v1 shapes — and [`http`] for the threaded TCP/HTTP
+//!   server) through which owners and clients interact;
 //! - the **access granting** module ([`service`]) that checks rule
 //!   compliance ([`rules`] — Fig. 6's white/blacklists, dynamically
 //!   updatable by the owner without touching the deployed contract) and
@@ -23,6 +31,7 @@
 //! [`store`] persists rules and the signing key to disk (the prototype's
 //! node-localStorage analog).
 
+pub mod api;
 pub mod discovery;
 pub mod front;
 pub mod http;
@@ -32,7 +41,9 @@ pub mod service;
 pub mod store;
 pub mod validation;
 
+pub use api::{ApiError, ErrorCode, InProcessClient, TsApi, MAX_BATCH, PROTOCOL_VERSION};
 pub use discovery::ServiceDirectory;
+pub use http::{HttpClient, HttpServer};
 pub use replica::CounterCluster;
 pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
 pub use service::{IssueError, TokenService, TokenServiceConfig};

@@ -200,6 +200,20 @@ impl TokenService {
         })
     }
 
+    /// Handle a batch of token requests at TS-local time `now`, returning
+    /// per-request outcomes in order (partial-failure semantics: one
+    /// denial never poisons its neighbours). This is the server half of
+    /// the v2 `issue_batch` op — the signing cost is unchanged, but the
+    /// per-request transport, parsing, and dispatch overhead is paid once
+    /// per batch instead of once per token.
+    pub fn issue_batch(
+        &self,
+        requests: &[TokenRequest],
+        now: u64,
+    ) -> Vec<Result<Token, IssueError>> {
+        requests.iter().map(|req| self.issue(req, now)).collect()
+    }
+
     fn next_index(&self) -> Result<u64, IssueError> {
         match &self.index_source {
             IndexSource::Local(counter) => Ok(counter.fetch_add(1, Ordering::SeqCst)),

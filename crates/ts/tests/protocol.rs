@@ -1,0 +1,352 @@
+//! Front-end protocol coverage: v1↔v2 coexistence, malformed-envelope
+//! rejection, batch partial-failure semantics, and keep-alive connection
+//! reuse.
+
+use smacs_crypto::Keypair;
+use smacs_primitives::json::{FromJson, Json, ToJson};
+use smacs_primitives::Address;
+use smacs_token::{TokenRequest, TokenType};
+use smacs_ts::front::{decode_token_hex, FrontEnd, FrontRequest, FrontResponse};
+use smacs_ts::http::{post_json, HttpClient, HttpServer};
+use smacs_ts::{
+    ErrorCode, ListPolicy, RuleBook, TokenService, TokenServiceConfig, TsApi, MAX_BATCH,
+    PROTOCOL_VERSION,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn front() -> Arc<FrontEnd> {
+    Arc::new(FrontEnd::new(
+        TokenService::new(
+            Keypair::from_seed(42),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        1_000,
+    ))
+}
+
+fn request(low: u64) -> TokenRequest {
+    TokenRequest::super_token(Address::from_low_u64(0xC0), Address::from_low_u64(low))
+}
+
+fn v2(op: &str, body: Json) -> String {
+    Json::Obj(vec![
+        ("v".into(), Json::Int(PROTOCOL_VERSION as i128)),
+        ("op".into(), Json::Str(op.into())),
+        ("body".into(), body),
+    ])
+    .render()
+}
+
+fn parse(response: &str) -> Json {
+    Json::parse(response).expect("valid response JSON")
+}
+
+fn error_code(response: &Json) -> &str {
+    response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error code")
+}
+
+// ---- v1 ↔ v2 round trips ----
+
+#[test]
+fn same_front_end_answers_both_protocol_generations() {
+    let front = front();
+
+    // v1: unversioned envelope, v1 response vocabulary.
+    let v1_body = smacs_primitives::json::to_string(&FrontRequest::IssueToken {
+        request: request(1),
+    });
+    let v1_response: FrontResponse =
+        smacs_primitives::json::from_str(&front.handle_json(&v1_body)).unwrap();
+    let FrontResponse::Token { token_hex } = v1_response else {
+        panic!("v1 expected token, got {v1_response:?}");
+    };
+    let v1_token = decode_token_hex(&token_hex).unwrap();
+
+    // v2: versioned envelope, enveloped response.
+    let v2_response = parse(&front.handle_json(&v2("issue", request(1).to_json())));
+    assert_eq!(v2_response.get("v").and_then(Json::as_int), Some(2));
+    assert_eq!(v2_response.get("ok").and_then(Json::as_bool), Some(true));
+    let token_hex = v2_response
+        .get("body")
+        .and_then(|b| b.get("token_hex"))
+        .and_then(Json::as_str)
+        .unwrap();
+    let v2_token = decode_token_hex(token_hex).unwrap();
+
+    // Same service, same clock, same request → identical tokens.
+    assert_eq!(v1_token, v2_token);
+}
+
+#[test]
+fn v1_and_v2_report_the_same_denial_with_different_vocabulary() {
+    let front = front();
+    front.service().set_rules(RuleBook::deny_all());
+
+    let v1_body = smacs_primitives::json::to_string(&FrontRequest::IssueToken {
+        request: request(1),
+    });
+    let v1: FrontResponse = smacs_primitives::json::from_str(&front.handle_json(&v1_body)).unwrap();
+    let FrontResponse::Denied { reason } = v1 else {
+        panic!("expected v1 denial, got {v1:?}");
+    };
+
+    let v2_response = parse(&front.handle_json(&v2("issue", request(1).to_json())));
+    assert_eq!(v2_response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_code(&v2_response), "rule_violation");
+    let message = v2_response
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap();
+    // The coarse human-readable reason is shared between generations, and
+    // leaks no rule contents (§VII-A d).
+    assert_eq!(message, reason);
+    assert!(!message.contains("0x"), "leaked rule detail: {message}");
+}
+
+// ---- malformed envelopes ----
+
+#[test]
+fn malformed_envelopes_are_rejected_with_machine_readable_codes() {
+    let front = front();
+
+    // Unsupported version.
+    let response = parse(&front.handle_json(r#"{"v":3,"op":"ping"}"#));
+    assert_eq!(error_code(&response), "unsupported_version");
+
+    // Unknown op.
+    let response = parse(&front.handle_json(r#"{"v":2,"op":"mint_money"}"#));
+    assert_eq!(error_code(&response), "bad_envelope");
+
+    // Missing op entirely.
+    let response = parse(&front.handle_json(r#"{"v":2}"#));
+    assert_eq!(error_code(&response), "bad_envelope");
+
+    // Body of the wrong shape for the op.
+    let response = parse(&front.handle_json(r#"{"v":2,"op":"issue","body":{"nope":1}}"#));
+    assert_eq!(error_code(&response), "bad_envelope");
+
+    // Wrong type for the version member.
+    let response = parse(&front.handle_json(r#"{"v":"two","op":"ping"}"#));
+    assert_eq!(error_code(&response), "bad_envelope");
+
+    // Oversized batch.
+    let requests: Vec<Json> = (0..MAX_BATCH + 1)
+        .map(|i| request(i as u64).to_json())
+        .collect();
+    let body = Json::Obj(vec![("requests".into(), Json::Arr(requests))]);
+    let response = parse(&front.handle_json(&v2("issue_batch", body)));
+    assert_eq!(error_code(&response), "bad_envelope");
+
+    // Invalid-but-parseable requests are *not* envelope errors: they run
+    // the normal issuance checks.
+    let mut bad = request(1);
+    bad.ttype = TokenType::Method; // method token without a methodId
+    let response = parse(&front.handle_json(&v2("issue", bad.to_json())));
+    assert_eq!(error_code(&response), "invalid_request");
+
+    // Unparseable JSON still answers in the legacy (v1) error shape —
+    // there is no way to tell which generation the client speaks.
+    let response: FrontResponse =
+        smacs_primitives::json::from_str(&front.handle_json("{not json")).unwrap();
+    assert!(matches!(response, FrontResponse::Error { .. }));
+}
+
+// ---- batch partial failure ----
+
+#[test]
+fn batch_partial_failure_keeps_per_item_outcomes_in_order() {
+    let front = front();
+    // Whitelist exactly one sender for super tokens.
+    let mut rules = RuleBook::deny_all();
+    let mut senders = ListPolicy::deny_all();
+    senders.insert(Address::from_low_u64(1).to_hex());
+    rules.rules_mut(TokenType::Super).sender = Some(senders);
+    front.service().set_rules(rules);
+
+    let body = Json::Obj(vec![(
+        "requests".into(),
+        Json::Arr(vec![
+            request(1).to_json(), // allowed
+            request(2).to_json(), // denied by rules
+            request(1).to_json(), // allowed again
+        ]),
+    )]);
+    let response = parse(&front.handle_json(&v2("issue_batch", body)));
+    // Partial failure is still an ok envelope.
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let results = response
+        .get("body")
+        .and_then(|b| b.get("results"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(results[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        results[1]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("rule_violation")
+    );
+    assert_eq!(results[2].get("ok").and_then(Json::as_bool), Some(true));
+    assert!(results[0].get("token_hex").and_then(Json::as_str).is_some());
+}
+
+#[test]
+fn batch_partial_failure_over_the_http_client() {
+    let server = HttpServer::start(front()).unwrap();
+    let client = HttpClient::connect(server.addr());
+    let mut bad = request(2);
+    bad.args.push(smacs_token::request::ArgBinding {
+        name: "x".into(),
+        value: "1".into(),
+    });
+    let results = client.issue_batch(&[request(1), bad, request(3)]).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert_eq!(
+        results[1].as_ref().unwrap_err().code,
+        ErrorCode::InvalidRequest
+    );
+    assert!(results[2].is_ok());
+    server.shutdown();
+}
+
+// ---- keep-alive ----
+
+#[test]
+fn one_connection_serves_many_requests() {
+    let server = HttpServer::start(front()).unwrap();
+    let addr = server.addr();
+
+    // Raw socket: three requests down the same connection, three distinct
+    // responses back, server keeps the connection open throughout.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for i in 0..3u64 {
+        let body = v2("issue", request(10 + i).to_json());
+        write!(
+            stream,
+            "POST / HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        stream.flush().unwrap();
+
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        let mut content_length = 0usize;
+        let mut keep_alive = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_ascii_lowercase();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+            if line == "connection: keep-alive" {
+                keep_alive = true;
+            }
+        }
+        assert!(keep_alive, "server must advertise keep-alive");
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        let response = Json::parse(&String::from_utf8(body).unwrap()).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    drop(stream);
+
+    // The HttpClient reuses its connection the same way: issue repeatedly
+    // and confirm the local port never changes.
+    let client = HttpClient::connect(addr);
+    client.ping().unwrap();
+    for i in 0..4 {
+        client.issue(&request(20 + i)).unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn post_without_content_length_is_rejected_with_400_and_close() {
+    // Guessing a length would desynchronize the keep-alive stream, so the
+    // server must refuse to frame such a request and hang up.
+    let server = HttpServer::start(front()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(stream, "POST / HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.to_ascii_lowercase().contains("connection: close"));
+    server.shutdown();
+}
+
+#[test]
+fn v1_close_semantics_still_honored_per_request() {
+    // post_json sends `Connection: close`; the server must answer and hang
+    // up, and a second call must open a fresh connection successfully.
+    let server = HttpServer::start(front()).unwrap();
+    for i in 0..3 {
+        let body = smacs_primitives::json::to_string(&FrontRequest::IssueToken {
+            request: request(30 + i),
+        });
+        let response = post_json(server.addr(), &body).unwrap();
+        let parsed: FrontResponse = smacs_primitives::json::from_str(&response).unwrap();
+        assert!(matches!(parsed, FrontResponse::Token { .. }), "{parsed:?}");
+    }
+    server.shutdown();
+}
+
+// ---- envelope codec round trips ----
+
+#[test]
+fn envelope_types_round_trip_through_their_codecs() {
+    use smacs_ts::api::{RequestEnvelope, ResponseEnvelope, WireError};
+
+    let req = RequestEnvelope {
+        v: PROTOCOL_VERSION,
+        op: "issue".into(),
+        body: Some(request(1).to_json()),
+    };
+    let text = smacs_primitives::json::to_string(&req);
+    assert_eq!(
+        RequestEnvelope::from_json(&Json::parse(&text).unwrap()).unwrap(),
+        req
+    );
+
+    let resp = ResponseEnvelope {
+        v: PROTOCOL_VERSION,
+        ok: false,
+        body: None,
+        error: Some(WireError {
+            code: "rule_violation".into(),
+            message: "denied".into(),
+        }),
+    };
+    let text = smacs_primitives::json::to_string(&resp);
+    assert_eq!(
+        ResponseEnvelope::from_json(&Json::parse(&text).unwrap()).unwrap(),
+        resp
+    );
+
+    // `body` may be omitted entirely on the wire (ping).
+    let sparse = RequestEnvelope::from_json(&Json::parse(r#"{"v":2,"op":"ping"}"#).unwrap());
+    assert_eq!(sparse.unwrap().body, None);
+}

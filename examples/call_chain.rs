@@ -10,7 +10,7 @@ use smacs::core::client::ClientWallet;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::primitives::Address;
 use smacs::token::{Token, TokenRequest};
-use smacs::ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::sync::Arc;
 
 fn main() {
@@ -52,26 +52,30 @@ fn main() {
         sc_a.address, sc_b.address, sc_c.address
     );
 
-    let services: Vec<TokenService> = toolkits
+    let now = chain.pending_env().timestamp;
+    let services: Vec<InProcessClient> = toolkits
         .iter()
         .map(|tk| {
-            TokenService::new(
-                tk.ts_keypair().clone(),
-                RuleBook::permissive(),
-                TokenServiceConfig::default(),
+            InProcessClient::new(
+                TokenService::new(
+                    tk.ts_keypair().clone(),
+                    RuleBook::permissive(),
+                    TokenServiceConfig::default(),
+                ),
+                "owner-secret",
+                now,
             )
         })
         .collect();
 
     // The client obtains one method token per contract from its TS.
-    let now = chain.pending_env().timestamp;
     let contracts = [sc_a.address, sc_b.address, sc_c.address];
     let tokens: Vec<(Address, Token)> = contracts
         .iter()
         .zip(&services)
         .map(|(&addr, ts)| {
             let req = TokenRequest::method_token(addr, client.address(), ChainLink::POKE_SIG);
-            (addr, ts.issue(&req, now).expect("token"))
+            (addr, ts.issue(&req).expect("token"))
         })
         .collect();
     println!(

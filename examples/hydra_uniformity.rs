@@ -12,7 +12,7 @@ use smacs::chain::Chain;
 use smacs::contracts::{AdderHead, BuggyAdderHead, HydraStyle};
 use smacs::lang::{interp::Value, InterpretedContract};
 use smacs::token::TokenRequest;
-use smacs::ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use smacs::verifiers::HydraTool;
 use std::sync::Arc;
 
@@ -65,13 +65,17 @@ fn main() {
     heads.push(buggy.address);
     let protected = heads[0];
 
-    let ts = TokenService::new(
-        smacs::crypto::Keypair::from_seed(4_000),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
-    )
-    .with_testnet(testnet.fork())
-    .with_tool(Arc::new(HydraTool::new(heads)));
+    let ts = InProcessClient::new(
+        TokenService::new(
+            smacs::crypto::Keypair::from_seed(4_000),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        )
+        .with_testnet(testnet.fork())
+        .with_tool(Arc::new(HydraTool::new(heads))),
+        "owner-secret",
+        0,
+    );
 
     // Benign payloads: all four heads agree; tokens flow.
     let client = owner.address();
@@ -83,7 +87,7 @@ fn main() {
             vec![],
             AdderHead::add_payload(x),
         );
-        let result = ts.issue(&req, 0);
+        let result = ts.issue(&req);
         println!("add({x}): token issued = {}", result.is_ok());
         assert!(result.is_ok());
     }
@@ -96,7 +100,7 @@ fn main() {
         vec![],
         AdderHead::add_payload(BuggyAdderHead::TRIGGER),
     );
-    let result = ts.issue(&req, 0);
+    let result = ts.issue(&req);
     match &result {
         Err(e) => println!("add({}): DENIED — {e}", BuggyAdderHead::TRIGGER),
         Ok(_) => panic!("divergent payload must not get a token"),

@@ -9,7 +9,7 @@ use smacs::core::bitmap::{bitmap_bits_for, BitmapState};
 use smacs::core::client::ClientWallet;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::token::TokenRequest;
-use smacs::ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::sync::Arc;
 
 fn main() {
@@ -43,14 +43,17 @@ fn main() {
             },
         )
         .expect("deploy");
-    let ts = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
+    let ts = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        chain.pending_env().timestamp,
     );
 
     let payload = BenchTarget::ping_payload(1, 2);
-    let now = chain.pending_env().timestamp;
     let req = TokenRequest::argument_token(
         target.address,
         client.address(),
@@ -59,7 +62,7 @@ fn main() {
         payload.clone(),
     )
     .one_time();
-    let token = ts.issue(&req, now).expect("token");
+    let token = ts.issue(&req).expect("token");
     println!(
         "\nissued one-time argument token with index {}",
         token.index

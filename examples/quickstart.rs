@@ -12,9 +12,10 @@
 use smacs::chain::Chain;
 use smacs::contracts::BenchTarget;
 use smacs::core::client::ClientWallet;
+use smacs::core::fetcher::TokenFetcher;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::token::{TokenRequest, TokenType};
-use smacs::ts::{ListPolicy, RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, ListPolicy, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::sync::Arc;
 
 fn main() {
@@ -44,18 +45,25 @@ fn main() {
     let mut whitelist = ListPolicy::deny_all();
     whitelist.insert(alice.address().to_hex());
     rules.rules_mut(TokenType::Method).sender = Some(whitelist);
-    let ts = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        rules,
-        TokenServiceConfig::default(),
+    let now = chain.pending_env().timestamp;
+    let ts = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            rules,
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        now,
     );
-    println!("TS online; pk_TS = {}", ts.ts_address());
+    println!("TS online; pk_TS = {}", ts.service().ts_address());
 
     // --- 3. Alice: request a method token, call the contract -----------
-    let now = chain.pending_env().timestamp;
+    // Tokens flow through the transport-agnostic TsApi; the TokenFetcher
+    // caches them per (contract, type, method) so repeat calls skip the TS.
+    let fetcher = TokenFetcher::new(std::sync::Arc::new(ts.clone()));
     let request =
         TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG);
-    let token = ts.issue(&request, now).expect("alice is whitelisted");
+    let token = fetcher.fetch(&request, now).expect("alice is whitelisted");
     println!(
         "alice got a {} token (expires {})",
         token.ttype, token.expire
@@ -76,10 +84,10 @@ fn main() {
     // --- 4. Mallory: denied off-chain, and on-chain --------------------
     let request =
         TokenRequest::method_token(target.address, mallory.address(), BenchTarget::PING_SIG);
-    let denied = ts.issue(&request, now);
+    let denied = ts.issue(&request);
     println!(
         "mallory's token request: {:?}",
-        denied.err().map(|e| e.to_string())
+        denied.err().map(|e| format!("{} ({})", e.message, e.code))
     );
 
     // Mallory intercepts alice's token and tries to use it herself: the

@@ -18,7 +18,7 @@ use smacs::contracts::{Attacker, Bank, SmacsAwareAttacker};
 use smacs::core::client::ClientWallet;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::token::TokenRequest;
-use smacs::ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use smacs::verifiers::{check_trace_ecf, EcfTool};
 use std::sync::Arc;
 
@@ -80,13 +80,17 @@ fn main() {
     assert!(!verdict.is_ecf());
 
     // An honest withdrawal simulates clean through the TS-side tool.
-    let ecf_ts = TokenService::new(
-        smacs::crypto::Keypair::from_seed(500),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
-    )
-    .with_testnet(pre_attack)
-    .with_tool(Arc::new(EcfTool::new(bank.address)));
+    let ecf_ts = InProcessClient::new(
+        TokenService::new(
+            smacs::crypto::Keypair::from_seed(500),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        )
+        .with_testnet(pre_attack)
+        .with_tool(Arc::new(EcfTool::new(bank.address))),
+        "owner-secret",
+        chain.pending_env().timestamp,
+    );
     let honest_req = TokenRequest::argument_token(
         bank.address,
         victim.address(),
@@ -94,7 +98,7 @@ fn main() {
         vec![],
         abi::encode_call("withdraw()", &[]),
     );
-    let issued = ecf_ts.issue(&honest_req, chain.pending_env().timestamp);
+    let issued = ecf_ts.issue(&honest_req);
     println!(
         "    honest withdraw simulates ECF-clean, token issued: {}",
         issued.is_ok()
@@ -118,17 +122,21 @@ fn main() {
             },
         )
         .expect("deploy shielded bank");
-    let ts = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
-    );
     let now = chain.pending_env().timestamp;
+    let ts = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        now,
+    );
 
     // Honest flow works: deposit + one-time withdraw token.
     let deposit_payload = abi::encode_call("addBalance()", &[]);
     let req = TokenRequest::method_token(bank.address, honest.address(), "addBalance()");
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     let r = honest
         .call_with_token(&mut chain, bank.address, 700, &deposit_payload, token)
         .unwrap();
@@ -143,7 +151,7 @@ fn main() {
         withdraw_payload.clone(),
     )
     .one_time();
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     let r = honest
         .call_with_token(&mut chain, bank.address, 0, &withdraw_payload, token)
         .unwrap();
@@ -157,7 +165,7 @@ fn main() {
     // attacker's fallback — the whole attack transaction dies.
     let honest2 = ClientWallet::new(chain.funded_keypair(4, 10u128.pow(24)));
     let req = TokenRequest::method_token(bank.address, honest2.address(), "addBalance()");
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     honest2
         .call_with_token(&mut chain, bank.address, 1_000, &deposit_payload, token)
         .unwrap();
@@ -180,7 +188,7 @@ fn main() {
         vec![],
         deposit_payload.clone(),
     );
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     let deposit_data = smacs::core::client::build_call_data(
         &abi::encode_call("deposit()", &[]),
         bank.address,
@@ -200,7 +208,7 @@ fn main() {
         withdraw_payload.clone(),
     )
     .one_time();
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     let strike_data = smacs::core::client::build_call_data(
         &abi::encode_call("withdraw()", &[]),
         bank.address,

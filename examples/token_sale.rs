@@ -13,7 +13,7 @@ use smacs::core::client::ClientWallet;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::primitives::Address;
 use smacs::token::{TokenRequest, TokenType};
-use smacs::ts::{ListPolicy, RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, ListPolicy, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::sync::Arc;
 
 const USERS: usize = 200; // scaled-down cohort; costs extrapolate linearly
@@ -82,19 +82,28 @@ fn main() {
         senders.insert(buyer.address().to_hex()); // free: no transaction
     }
     rules.rules_mut(TokenType::Method).sender = Some(senders);
-    let ts = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        rules,
-        TokenServiceConfig::default(),
+    let now = chain.pending_env().timestamp;
+    let ts = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            rules,
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        now,
     );
     println!("\nSMACS whitelist: {USERS} users registered in the TS for 0 gas");
 
-    // Every buyer purchases with a method token.
-    let now = chain.pending_env().timestamp;
+    // Every buyer purchases with a method token — issued in one batched
+    // round trip (the v2 `issue_batch` op) instead of {USERS} single ones.
+    let requests: Vec<TokenRequest> = buyers
+        .iter()
+        .map(|buyer| TokenRequest::method_token(sale.address, buyer.address(), "buy()"))
+        .collect();
+    let tokens = ts.issue_batch(&requests).expect("batch envelope");
     let mut buy_gas = 0u64;
-    for buyer in &buyers {
-        let req = TokenRequest::method_token(sale.address, buyer.address(), "buy()");
-        let token = ts.issue(&req, now).expect("whitelisted buyer");
+    for (buyer, token) in buyers.iter().zip(tokens) {
+        let token = token.expect("whitelisted buyer");
         let r = buyer
             .call_with_token(
                 &mut chain,
@@ -115,17 +124,17 @@ fn main() {
     // A non-whitelisted account cannot even get a token.
     let outsider = ClientWallet::new(chain.funded_keypair(9_999, 10u128.pow(24)));
     let req = TokenRequest::method_token(sale.address, outsider.address(), "buy()");
-    assert!(ts.issue(&req, now).is_err());
+    assert!(ts.issue(&req).is_err());
     println!("  outsider denied at the TS — no gas spent at all");
 
     // Dynamic update: revoke buyer 0 at runtime, no contract change.
-    ts.update_rules(|book| {
+    ts.service().update_rules(|book| {
         if let Some(policy) = &mut book.rules_mut(TokenType::Method).sender {
             policy.remove(&buyers[0].address().to_hex());
         }
     });
     let req = TokenRequest::method_token(sale.address, buyers[0].address(), "buy()");
-    assert!(ts.issue(&req, now).is_err());
+    assert!(ts.issue(&req).is_err());
     println!("  buyer revoked at runtime for 0 gas (baseline: another on-chain tx)");
 
     // Also works the other way: the baseline's unsold check still works.

@@ -9,7 +9,7 @@ use smacs::core::client::ClientWallet;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::crypto::Keypair;
 use smacs::token::{Token, TokenRequest, TokenType};
-use smacs::ts::{RuleBook, TokenService, TokenServiceConfig};
+use smacs::ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
 use std::sync::Arc;
 
 fn small_shield() -> ShieldParams {
@@ -22,7 +22,7 @@ fn small_shield() -> ShieldParams {
 
 struct World {
     chain: Chain,
-    ts: TokenService,
+    api: InProcessClient,
     client: ClientWallet,
     target: smacs::primitives::Address,
 }
@@ -35,14 +35,18 @@ fn world(seed: u64) -> World {
     let (target, _) = toolkit
         .deploy_shielded(&mut chain, Arc::new(BenchTarget), &small_shield())
         .unwrap();
-    let ts = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
+    let api = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        chain.pending_env().timestamp,
     );
     World {
         chain,
-        ts,
+        api,
         client,
         target: target.address,
     }
@@ -61,17 +65,21 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
     let (bank, _) = toolkit
         .deploy_shielded(&mut chain, Arc::new(Bank), &small_shield())
         .unwrap();
-    let ts = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
-    );
     let now = chain.pending_env().timestamp;
+    let ts = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        ),
+        "owner-secret",
+        now,
+    );
 
     // Victim deposits.
     let deposit_payload = abi::encode_call("addBalance()", &[]);
     let req = TokenRequest::method_token(bank.address, victim.address(), "addBalance()");
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     victim
         .call_with_token(&mut chain, bank.address, 1_000, &deposit_payload, token)
         .unwrap();
@@ -91,7 +99,7 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
         vec![],
         deposit_payload.clone(),
     );
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     let deposit_data = smacs::core::client::build_call_data(
         &abi::encode_call("deposit()", &[]),
         bank.address,
@@ -116,7 +124,7 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
         withdraw_payload.clone(),
     )
     .one_time();
-    let token = ts.issue(&req, now).unwrap();
+    let token = ts.issue(&req).unwrap();
     let strike_data = smacs::core::client::build_call_data(&withdraw_payload, bank.address, token);
     // Route through the attacker contract (its withdraw() forwards).
     let strike_data = {
@@ -138,10 +146,9 @@ fn adaptive_reentrancy_attacker_blocked_by_one_time_tokens() {
 #[test]
 fn chain_level_replay_protection() {
     let mut w = world(10);
-    let now = w.chain.pending_env().timestamp;
     let payload = BenchTarget::ping_payload(5, 5);
     let req = TokenRequest::super_token(w.target, w.client.address());
-    let token = w.ts.issue(&req, now).unwrap();
+    let token = w.api.issue(&req).unwrap();
     let data = smacs::core::client::build_call_data(&payload, w.target, token);
     let nonce = w.chain.state().nonce(w.client.address());
     let tx = smacs::chain::Transaction::call(nonce, w.target, 0, data);
@@ -160,7 +167,6 @@ proptest! {
     #[test]
     fn prop_mutated_tokens_always_rejected(byte_idx in 0usize..Token::SIZE, bit in 0u8..8) {
         let mut w = world(20);
-        let now = w.chain.pending_env().timestamp;
         let payload = BenchTarget::ping_payload(2, 2);
         let req = TokenRequest::argument_token(
             w.target,
@@ -169,7 +175,7 @@ proptest! {
             vec![],
             payload.clone(),
         );
-        let token = w.ts.issue(&req, now).unwrap();
+        let token = w.api.issue(&req).unwrap();
 
         let mut wire = token.to_bytes();
         wire[byte_idx] ^= 1 << bit;
@@ -200,7 +206,6 @@ proptest! {
     #[test]
     fn prop_context_swaps_rejected(which in 0usize..4) {
         let mut w = world(30);
-        let now = w.chain.pending_env().timestamp;
         let payload = BenchTarget::ping_payload(7, 8);
         let req = TokenRequest::argument_token(
             w.target,
@@ -209,7 +214,7 @@ proptest! {
             vec![],
             payload.clone(),
         );
-        let token = w.ts.issue(&req, now).unwrap();
+        let token = w.api.issue(&req).unwrap();
 
         let receipt = match which {
             0 => {

@@ -5,14 +5,16 @@
 use smacs::chain::Chain;
 use smacs::contracts::BenchTarget;
 use smacs::core::client::ClientWallet;
+use smacs::core::fetcher::TokenFetcher;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::crypto::Keypair;
 use smacs::token::{TokenRequest, TokenType};
 use smacs::ts::discovery::ContractMetadata;
 use smacs::ts::front::{decode_token_hex, FrontEnd, FrontRequest, FrontResponse};
-use smacs::ts::http::{post_json, HttpServer};
+use smacs::ts::http::{post_json, HttpClient, HttpServer};
 use smacs::ts::{
-    CounterCluster, ListPolicy, RuleBook, ServiceDirectory, TokenService, TokenServiceConfig,
+    CounterCluster, ErrorCode, InProcessClient, ListPolicy, RuleBook, TokenService,
+    TokenServiceConfig, TsApi,
 };
 use std::sync::Arc;
 
@@ -25,7 +27,9 @@ fn small_shield() -> ShieldParams {
 }
 
 /// The whole §III-C lifecycle over the real wire protocol: discover the TS
-/// through contract metadata, fetch a token over HTTP, spend it on-chain.
+/// through contract metadata, fetch tokens over HTTP through the `TsApi`
+/// surface (cached by a `TokenFetcher`), spend them on-chain, and rotate
+/// rules — all against the same keep-alive connection.
 #[test]
 fn discovery_http_issuance_and_onchain_spend() {
     // Owner side.
@@ -47,11 +51,12 @@ fn discovery_http_issuance_and_onchain_spend() {
         TokenServiceConfig::default(),
     );
     let now = chain.pending_env().timestamp;
-    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "owner-secret", now))).unwrap();
+    let front = Arc::new(FrontEnd::new(service, "owner-secret", now));
+    let server = HttpServer::start(front.clone()).unwrap();
 
-    // Service discovery: the contract metadata names the TS URL (§VII-B).
-    let mut directory = ServiceDirectory::new();
-    directory.publish(
+    // Service discovery (§VII-B): the TS itself publishes the contract
+    // metadata, and the client reads it over the wire via `discover`.
+    front.publish(
         target.address,
         ContractMetadata {
             name: "BenchTarget".into(),
@@ -59,10 +64,70 @@ fn discovery_http_issuance_and_onchain_spend() {
             token_service_url: Some(server.url()),
         },
     );
-    let url = directory.ts_url(target.address).expect("TS discoverable");
-    assert_eq!(url, server.url());
+    let api = HttpClient::connect(server.addr());
+    let metadata = api
+        .discover(target.address)
+        .unwrap()
+        .expect("TS discoverable");
+    assert_eq!(metadata.token_service_url, Some(server.url()));
+    // The published URL round-trips into a working client.
+    let api = HttpClient::from_url(metadata.token_service_url.as_deref().unwrap()).unwrap();
 
-    // Client side: fetch a token over HTTP.
+    // Client side: fetch a token over HTTP through the caching fetcher.
+    let api: Arc<dyn TsApi> = Arc::new(api);
+    let fetcher = TokenFetcher::new(api.clone());
+    let request =
+        TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG);
+    let token = fetcher.fetch(&request, now).expect("alice whitelisted");
+
+    // Spend it on-chain.
+    let payload = BenchTarget::ping_payload(19, 23);
+    let receipt = alice
+        .call_with_token(&mut chain, target.address, 0, &payload, token)
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.status);
+
+    // A second call is served from the client-side cache — same token, no
+    // extra round trip.
+    let again = fetcher.fetch(&request, now).unwrap();
+    assert_eq!(again, token);
+    assert_eq!(fetcher.stats(), (1, 1));
+
+    // Owner rotates the rules over the same API: alice is revoked.
+    assert_eq!(
+        api.set_rules("wrong-secret", RuleBook::deny_all())
+            .unwrap_err()
+            .code,
+        ErrorCode::Unauthorized
+    );
+    api.set_rules("owner-secret", RuleBook::deny_all()).unwrap();
+    let err = api.issue(&request).unwrap_err();
+    assert_eq!(err.code, ErrorCode::RuleViolation);
+
+    server.shutdown();
+}
+
+/// Back-compat: a v1-format `POST /token`-era request (unversioned
+/// envelope, one request per connection) is still accepted end-to-end —
+/// the token it returns spends on-chain.
+#[test]
+fn v1_post_token_request_still_accepted() {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let alice = ClientWallet::new(chain.funded_keypair(2, 10u128.pow(24)));
+    let toolkit = OwnerToolkit::new(owner, Keypair::from_seed(5_002));
+    let (target, _) = toolkit
+        .deploy_shielded(&mut chain, Arc::new(BenchTarget), &small_shield())
+        .unwrap();
+    let service = TokenService::new(
+        toolkit.ts_keypair().clone(),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    let now = chain.pending_env().timestamp;
+    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "owner-secret", now))).unwrap();
+
+    // The v1 wire shape, byte-for-byte what the seed's clients sent.
     let request = FrontRequest::IssueToken {
         request: TokenRequest::method_token(target.address, alice.address(), BenchTarget::PING_SIG),
     };
@@ -74,14 +139,13 @@ fn discovery_http_issuance_and_onchain_spend() {
     };
     let token = decode_token_hex(&token_hex).expect("valid wire token");
 
-    // Spend it on-chain.
     let payload = BenchTarget::ping_payload(19, 23);
     let receipt = alice
         .call_with_token(&mut chain, target.address, 0, &payload, token)
         .unwrap();
     assert!(receipt.status.is_success(), "{:?}", receipt.status);
 
-    // Owner rotates the rules over HTTP: alice is revoked.
+    // v1 rule rotation still answers in the v1 vocabulary.
     let update = FrontRequest::SetRules {
         owner_secret: "owner-secret".into(),
         rules: RuleBook::deny_all(),
@@ -113,15 +177,18 @@ fn replicated_counter_backed_one_time_tokens() {
         .unwrap();
 
     let cluster = CounterCluster::new(3);
-    let service = TokenService::new(
-        toolkit.ts_keypair().clone(),
-        RuleBook::permissive(),
-        TokenServiceConfig::default(),
-    )
-    .with_replicated_counter(cluster.clone());
+    let service = InProcessClient::new(
+        TokenService::new(
+            toolkit.ts_keypair().clone(),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        )
+        .with_replicated_counter(cluster.clone()),
+        "owner-secret",
+        chain.pending_env().timestamp,
+    );
 
     let payload = BenchTarget::ping_payload(1, 1);
-    let now = chain.pending_env().timestamp;
     let request = TokenRequest::argument_token(
         target.address,
         alice.address(),
@@ -134,11 +201,11 @@ fn replicated_counter_backed_one_time_tokens() {
     // Two tokens before the leader dies, two after: indexes stay unique,
     // all four spend exactly once.
     let mut tokens = Vec::new();
-    tokens.push(service.issue(&request, now).unwrap());
-    tokens.push(service.issue(&request, now).unwrap());
+    tokens.push(service.issue(&request).unwrap());
+    tokens.push(service.issue(&request).unwrap());
     cluster.kill(0);
-    tokens.push(service.issue(&request, now).unwrap());
-    tokens.push(service.issue(&request, now).unwrap());
+    tokens.push(service.issue(&request).unwrap());
+    tokens.push(service.issue(&request).unwrap());
 
     let mut seen = std::collections::HashSet::new();
     for token in &tokens {
@@ -158,7 +225,10 @@ fn replicated_counter_backed_one_time_tokens() {
 
     // Quorum loss fails closed.
     cluster.kill(1);
-    assert!(service.issue(&request, now).is_err());
+    assert_eq!(
+        service.issue(&request).unwrap_err().code,
+        ErrorCode::CounterUnavailable
+    );
 }
 
 /// The Fig. 4 pipeline: a legacy Solidity source transforms into a
