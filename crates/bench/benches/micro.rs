@@ -123,6 +123,46 @@ fn bench_ts_issue_batch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ts_concurrent_issuance(c: &mut Criterion) {
+    use smacs_primitives::WorkerPool;
+
+    // Tokens/sec vs signing-pool size: batch-of-256 in-process issuance
+    // through pools of 1/2/4/8 workers. Workers beyond the core count add
+    // nothing (and a 1-core box pins every variant to the sequential
+    // baseline) — the absolute numbers say what the hardware allows.
+    const BATCH: usize = 256;
+    let mut group = c.benchmark_group("ts_concurrent_issuance");
+    group.sample_size(10);
+    let contract = Address::from_low_u64(0xC0);
+    let requests: Vec<TokenRequest> = (0..BATCH)
+        .map(|i| {
+            TokenRequest::method_token(
+                contract,
+                Address::from_low_u64(40_000 + i as u64),
+                BenchTarget::PING_SIG,
+            )
+        })
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers, 4096);
+        let ts = TokenService::new(
+            Keypair::from_seed(3),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        )
+        .with_pool(pool.clone());
+        group.bench_function(format!("batch_256_pool_{workers}"), |b| {
+            b.iter(|| {
+                let results = ts.issue_batch(&requests, 0);
+                debug_assert!(results.iter().all(|r| r.is_ok()));
+                results.len()
+            })
+        });
+        pool.shutdown();
+    }
+    group.finish();
+}
+
 fn bench_verify_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("onchain_verify");
     group.sample_size(20);
@@ -227,6 +267,6 @@ criterion_group! {
     name = benches;
     config = quick();
     targets = bench_crypto, bench_bitmap, bench_rules, bench_issuance, bench_ts_issue_batch,
-        bench_verify_path, bench_state, bench_call_chain
+        bench_ts_concurrent_issuance, bench_verify_path, bench_state, bench_call_chain
 }
 criterion_main!(benches);

@@ -61,11 +61,51 @@ fn main() {
         wire.speedup()
     );
 
+    println!("\n== TS concurrent issuance (signing fan-out vs pool size) ==");
+    let scaling = smacs_bench::perf::concurrent_signing_scaling(256, &[1, 2, 4, 8], 3);
+    for point in &scaling {
+        println!(
+            "pool of {:>2}: {:>10.0} tokens/s",
+            point.workers, point.tokens_per_sec
+        );
+    }
+
+    println!("\n== TS concurrent issuance (HTTP, client threads 1→8) ==");
+    let http_scaling = smacs_bench::perf::http_issuance_scaling(&[1, 2, 4, 8], 32);
+    for point in &http_scaling {
+        println!(
+            "{:>2} clients: {:>10.0} tokens/s",
+            point.workers, point.tokens_per_sec
+        );
+    }
+
+    println!("\n== TS connection scaling (pooled server, 1k keep-alive) ==");
+    let conn_probe = smacs_bench::perf::connection_scaling_probe(1_000);
+    println!(
+        "{} connections held: pool {} workers, {} process threads (thread-per-connection model: {})",
+        conn_probe.connections,
+        conn_probe.pool_workers,
+        conn_probe.os_threads,
+        conn_probe.spawn_model_threads
+    );
+
     let mut summary = smacs_bench::perf::sweep_to_json(SLOTS, &rows);
     if let Json::Obj(members) = &mut summary {
         members.push((
             "ts_issue_batch".into(),
             smacs_bench::perf::wire_throughput_to_json(&wire),
+        ));
+        members.push((
+            "ts_concurrent_issuance".into(),
+            smacs_bench::perf::scaling_to_json(256, &scaling),
+        ));
+        members.push((
+            "ts_http_client_scaling".into(),
+            smacs_bench::perf::scaling_to_json(32, &http_scaling),
+        ));
+        members.push((
+            "connection_scaling".into(),
+            smacs_bench::perf::connection_scaling_to_json(&conn_probe),
         ));
     }
     match std::fs::write("BENCH_results.json", summary.render_pretty()) {

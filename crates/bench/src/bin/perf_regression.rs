@@ -1,0 +1,94 @@
+//! Warn-only perf regression gate for CI.
+//!
+//! Measures concurrent-issuance throughput (batch signing through the
+//! worker pool) right now and compares it against the most recent
+//! `BENCH_history.jsonl` entry that recorded the same probe. A drop past
+//! the tolerance prints a GitHub Actions `::warning::` annotation — it
+//! never fails the build, because shared CI runners are far too noisy for
+//! a hard gate; the annotation plus the appended history line give a
+//! human the trail to judge a real regression.
+//!
+//! Exit code is always 0.
+
+use smacs_primitives::json::Json;
+
+/// Regressions beyond this fraction of the previous run trigger the
+/// warning annotation.
+const TOLERANCE: f64 = 0.8;
+
+fn best_tokens_per_sec(results: &Json) -> Option<f64> {
+    let points = results
+        .get("ts_concurrent_issuance")?
+        .get("points")?
+        .as_arr()?;
+    points
+        .iter()
+        .filter_map(|p| p.get("tokens_per_sec")?.as_int())
+        .map(|v| v as f64)
+        .fold(None, |best: Option<f64>, v| {
+            Some(best.map_or(v, |b| b.max(v)))
+        })
+}
+
+/// The newest history entry recorded on a machine like this one.
+/// Entries stamp `available_parallelism`; comparing a laptop's numbers
+/// against a CI runner's (or vice versa) would make the warning fire —
+/// or stay silent — for hardware reasons, so mismatched entries are
+/// skipped entirely.
+fn last_recorded(history_path: &str, parallelism: usize) -> Option<f64> {
+    let history = std::fs::read_to_string(history_path).ok()?;
+    history
+        .lines()
+        .rev()
+        .filter_map(|line| Json::parse(line).ok())
+        .find_map(|entry| {
+            let scaling = entry.get("results")?.get("ts_concurrent_issuance")?;
+            let recorded_on = scaling.get("available_parallelism")?.as_int()?;
+            if recorded_on != parallelism as i128 {
+                return None;
+            }
+            best_tokens_per_sec(entry.get("results")?)
+        })
+}
+
+fn main() {
+    let history_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_history.jsonl".into());
+
+    // A quick sweep: the widest pool this machine supports, small batch,
+    // few rounds — CI smoke, not the full acceptance run.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let points = smacs_bench::perf::concurrent_signing_scaling(64, &[workers], 3);
+    let current = points
+        .iter()
+        .map(|p| p.tokens_per_sec)
+        .fold(0.0f64, f64::max);
+    println!("concurrent issuance now: {current:.0} tokens/s (pool of {workers})");
+
+    match last_recorded(&history_path, workers) {
+        None => {
+            println!(
+                "no prior ts_concurrent_issuance entry from a {workers}-thread machine in {history_path}; nothing to compare"
+            );
+        }
+        Some(previous) => {
+            println!("last recorded: {previous:.0} tokens/s");
+            if current < previous * TOLERANCE {
+                // GitHub Actions annotation; harmless plain text elsewhere.
+                println!(
+                    "::warning title=concurrent-issuance throughput regression::{current:.0} tokens/s vs {previous:.0} recorded ({:.0}% of baseline, tolerance {:.0}%)",
+                    current / previous * 100.0,
+                    TOLERANCE * 100.0
+                );
+            } else {
+                println!(
+                    "within tolerance ({:.0}% of baseline)",
+                    current / previous * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Perf probes for the journaled-state / zero-copy work — snapshot+revert
 //! against a large world, O(1) forking, deep token call chains — plus the
 //! TS wire-throughput comparison (v2 batch issuance vs sequential v1
-//! round trips).
+//! round trips) and the concurrent-issuance probes (batch-signing
+//! throughput vs worker-pool size, HTTP throughput vs client threads, and
+//! the pooled server's thread cost under many keep-alive connections).
 //!
 //! Each probe is a plain function returning numbers so it can back three
 //! consumers: the criterion micro-benchmarks (`benches/micro.rs`), the
@@ -335,6 +337,268 @@ pub fn wire_throughput_to_json(wire: &WireThroughput) -> Json {
     ])
 }
 
+// ---- concurrent issuance: signing fan-out scaling + connection scaling ----
+
+use smacs_primitives::WorkerPool;
+
+/// Throughput at one parallelism degree.
+pub struct ScalePoint {
+    /// Worker threads in the signing pool (1 = the sequential baseline).
+    pub workers: usize,
+    /// Tokens minted per second.
+    pub tokens_per_sec: f64,
+}
+
+/// Tokens/sec for batch issuance as the signing pool grows — the
+/// acceptance sweep behind `ts_concurrent_issuance`. Each point uses a
+/// dedicated pool of exactly `workers` threads; on an N-core box the
+/// curve should rise near-linearly until `workers ≈ N` (on a 1-core box
+/// every point collapses to the sequential baseline — the recorded
+/// numbers say which machine they came from via `available_parallelism`).
+pub fn concurrent_signing_scaling(
+    batch: usize,
+    workers_axis: &[usize],
+    rounds: u32,
+) -> Vec<ScalePoint> {
+    let contract = Address::from_low_u64(0xC0);
+    let requests: Vec<TokenRequest> = (0..batch)
+        .map(|i| {
+            TokenRequest::method_token(
+                contract,
+                Address::from_low_u64(20_000 + i as u64),
+                BenchTarget::PING_SIG,
+            )
+        })
+        .collect();
+    workers_axis
+        .iter()
+        .map(|&workers| {
+            let pool = WorkerPool::new(workers, 4096);
+            let service = TokenService::new(
+                Keypair::from_seed(13_000),
+                RuleBook::permissive(),
+                TokenServiceConfig::default(),
+            )
+            .with_pool(pool.clone());
+            // Warm: signer tables, pool threads, allocator.
+            assert!(service.issue_batch(&requests, 0).iter().all(|r| r.is_ok()));
+            let start = Instant::now();
+            for _ in 0..rounds {
+                let results = service.issue_batch(&requests, 0);
+                debug_assert!(results.iter().all(|r| r.is_ok()));
+            }
+            let tokens_per_sec =
+                (batch as u32 * rounds) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            pool.shutdown();
+            ScalePoint {
+                workers,
+                tokens_per_sec,
+            }
+        })
+        .collect()
+}
+
+/// Tokens/sec over real loopback HTTP as concurrent client threads grow
+/// (each thread drives its own keep-alive connection with single-issue
+/// requests against one pooled server).
+pub fn http_issuance_scaling(client_axis: &[usize], requests_per_client: usize) -> Vec<ScalePoint> {
+    let service = TokenService::new(
+        Keypair::from_seed(14_000),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "bench-owner", 0)))
+        .expect("loopback server");
+    let addr = server.addr();
+    // Warm the server (signer tables).
+    HttpClient::connect(addr)
+        .issue(&TokenRequest::super_token(
+            Address::from_low_u64(0xC0),
+            Address::from_low_u64(1),
+        ))
+        .expect("warm issue");
+    let points = client_axis
+        .iter()
+        .map(|&clients| {
+            let start = Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        let client = HttpClient::connect(addr);
+                        let contract = Address::from_low_u64(0xC0);
+                        for i in 0..requests_per_client {
+                            let req = TokenRequest::method_token(
+                                contract,
+                                Address::from_low_u64(30_000 + (t * 10_000 + i) as u64),
+                                BenchTarget::PING_SIG,
+                            );
+                            client.issue(&req).expect("issue over http");
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("client thread");
+            }
+            let tokens_per_sec =
+                (clients * requests_per_client) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            ScalePoint {
+                workers: clients,
+                tokens_per_sec,
+            }
+        })
+        .collect();
+    server.shutdown();
+    points
+}
+
+/// What holding many concurrent keep-alive connections costs in threads:
+/// the pooled server vs what the pre-pool thread-per-connection model
+/// would have spawned.
+pub struct ConnectionScaling {
+    /// Concurrent keep-alive connections held (each served at least one
+    /// request).
+    pub connections: usize,
+    /// Worker threads in the server's pool.
+    pub pool_workers: usize,
+    /// OS threads in this process while holding all connections
+    /// (`/proc/self/status`; 0 when unavailable). Includes the test/bench
+    /// harness's own threads — the point is that it does *not* grow with
+    /// `connections`.
+    pub os_threads: usize,
+    /// What a thread-per-connection server would hold for the same load:
+    /// one thread per open connection (plus its accept loop).
+    pub spawn_model_threads: usize,
+}
+
+fn process_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The soft `RLIMIT_NOFILE` ceiling, from `/proc/self/limits` (no libc
+/// available); `None` off Linux or if the row is missing/unlimited.
+fn open_file_soft_limit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let row = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    // Layout: "Max open files   <soft>   <hard>   files"
+    row.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Hold `connections` live keep-alive connections against one pooled
+/// server (pinging each so every connection has really been served) and
+/// report the process thread count.
+///
+/// Each connection costs two fds in this process (client socket +
+/// accepted server socket), so the count is clamped to fit the soft
+/// `ulimit -n` with headroom — on a stock 1024-fd box the 1k probe would
+/// otherwise wedge in `EMFILE` instead of measuring anything. The
+/// returned `connections` field reports what was actually held.
+pub fn connection_scaling_probe(connections: usize) -> ConnectionScaling {
+    let connections = match open_file_soft_limit() {
+        // 2 fds per connection + slack for stdio/listener/harness.
+        Some(limit) => connections.min(limit.saturating_sub(128) / 2).max(1),
+        None => connections,
+    };
+    let service = TokenService::new(
+        Keypair::from_seed(15_000),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "bench-owner", 0)))
+        .expect("loopback server");
+    let pool_workers = server.pool().threads();
+    let clients: Vec<HttpClient> = (0..connections)
+        .map(|_| HttpClient::connect(server.addr()))
+        .collect();
+    for client in &clients {
+        client.ping().expect("every connection gets served");
+    }
+    let os_threads = process_thread_count();
+    let result = ConnectionScaling {
+        connections,
+        pool_workers,
+        os_threads,
+        spawn_model_threads: connections + 1,
+    };
+    drop(clients);
+    server.shutdown();
+    result
+}
+
+/// ns per `ecrecover` (digest + signature → address) — the per-request
+/// verify cost the wNAF ladder attacks.
+pub fn ecdsa_recover_ns(iters: u32) -> f64 {
+    let kp = Keypair::from_seed(42);
+    let digest = smacs_crypto::keccak256(b"perf recover probe");
+    let sig = kp.sign_digest(&digest);
+    assert_eq!(
+        smacs_crypto::recover_address(&digest, &sig),
+        Some(kp.address())
+    );
+    time_per_iter(iters, || {
+        std::hint::black_box(smacs_crypto::recover_address(&digest, &sig));
+    })
+}
+
+/// Render the signing-scaling sweep (plus the 1→4 speedup the acceptance
+/// gate tracks) as JSON.
+pub fn scaling_to_json(batch: usize, points: &[ScalePoint]) -> Json {
+    let mut members: Vec<(String, Json)> = vec![
+        ("batch_size".into(), Json::Int(batch as i128)),
+        (
+            "available_parallelism".into(),
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as i128)
+                    .unwrap_or(1),
+            ),
+        ),
+        (
+            "points".into(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("workers".into(), Json::Int(p.workers as i128)),
+                            ("tokens_per_sec".into(), Json::Int(p.tokens_per_sec as i128)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    let at = |w: usize| points.iter().find(|p| p.workers == w);
+    if let (Some(one), Some(four)) = (at(1), at(4)) {
+        members.push((
+            "speedup_1_to_4_x100".into(),
+            Json::Int((four.tokens_per_sec / one.tokens_per_sec.max(1e-9) * 100.0) as i128),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// Render the connection probe as JSON.
+pub fn connection_scaling_to_json(probe: &ConnectionScaling) -> Json {
+    Json::Obj(vec![
+        ("connections".into(), Json::Int(probe.connections as i128)),
+        ("pool_workers".into(), Json::Int(probe.pool_workers as i128)),
+        ("os_threads".into(), Json::Int(probe.os_threads as i128)),
+        (
+            "spawn_model_threads".into(),
+            Json::Int(probe.spawn_model_threads as i128),
+        ),
+    ])
+}
+
 /// One labeled measurement in the machine-readable summary.
 pub struct PerfRow {
     /// Metric name.
@@ -371,6 +635,10 @@ pub fn standard_sweep(slots: u64) -> Vec<PerfRow> {
         PerfRow {
             name: "call_chain_depth16_ns",
             ns: call_chain_ns(16, 10),
+        },
+        PerfRow {
+            name: "ecdsa_recover_ns",
+            ns: ecdsa_recover_ns(50),
         },
     ]
 }
@@ -425,9 +693,37 @@ mod tests {
     #[test]
     fn sweep_emits_all_metrics() {
         let rows = standard_sweep(500); // small world: keep the test fast
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         let json = sweep_to_json(500, &rows);
         assert!(json.get("snapshot_speedup_vs_clone").is_some());
         assert!(json.get("call_chain_depth16_ns").is_some());
+        assert!(json.get("ecdsa_recover_ns").is_some());
+    }
+
+    #[test]
+    fn signing_scaling_probe_mints_and_reports() {
+        let points = concurrent_signing_scaling(16, &[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.tokens_per_sec > 0.0));
+        let json = scaling_to_json(16, &points);
+        assert!(json.get("points").is_some());
+        assert!(json.get("available_parallelism").is_some());
+    }
+
+    #[test]
+    fn connection_probe_counts_threads_not_connections() {
+        let probe = connection_scaling_probe(32);
+        assert_eq!(probe.connections, 32);
+        assert_eq!(probe.spawn_model_threads, 33);
+        // The pooled server's thread cost must not scale with the
+        // connection count (32 idle connections, a handful of workers).
+        assert!(
+            probe.pool_workers < probe.connections,
+            "pool {} vs connections {}",
+            probe.pool_workers,
+            probe.connections
+        );
+        let json = connection_scaling_to_json(&probe);
+        assert!(json.get("os_threads").is_some());
     }
 }

@@ -404,8 +404,54 @@ impl Point {
         }
     }
 
-    /// Scalar multiplication (double-and-add, MSB first).
+    /// Scalar multiplication for an arbitrary base point, via a width-5
+    /// wNAF ladder over precomputed odd multiples (`P, 3P, …, 15P`,
+    /// batch-normalized to affine with one inversion).
+    ///
+    /// Versus the old double-and-add this trades ~128 general Jacobian
+    /// additions for ~43 mixed additions plus a tiny precompute — the
+    /// dominant cost of `recover` (on-chain `ecrecover` simulation and
+    /// the TS's request-signature checks), cutting it by roughly half.
     pub fn mul(&self, scalar: &U256L) -> Point {
+        if is_zero(scalar) || self.is_infinity() {
+            return Point::INFINITY;
+        }
+        // Odd multiples 1P, 3P, …, 15P. On secp256k1 (prime order,
+        // cofactor 1) none of these can be infinity for a finite on-curve
+        // base; the guard below keeps garbage inputs on the slow path
+        // rather than corrupting the batch normalization.
+        let two = self.double();
+        let mut jac = [Point::INFINITY; 8];
+        let mut cur = *self;
+        for slot in &mut jac {
+            if cur.is_infinity() || two.is_infinity() {
+                return self.mul_binary(scalar);
+            }
+            *slot = cur;
+            cur = cur.add(&two);
+        }
+        let table = batch_to_affine(&jac);
+
+        let (digits, len) = wnaf5(scalar);
+        let mut acc = Point::INFINITY;
+        for i in (0..len).rev() {
+            acc = acc.double();
+            let d = digits[i];
+            if d != 0 {
+                let mut entry = table[(d.unsigned_abs() as usize - 1) / 2];
+                if d < 0 {
+                    entry.y = sub_mod(&ZERO, &entry.y, &P);
+                }
+                acc = acc.add_affine(&entry);
+            }
+        }
+        acc
+    }
+
+    /// The plain double-and-add ladder (MSB first) — fallback for
+    /// degenerate bases and the reference the wNAF path is tested
+    /// against.
+    fn mul_binary(&self, scalar: &U256L) -> Point {
         let mut acc = Point::INFINITY;
         for i in (0..256).rev() {
             acc = acc.double();
@@ -445,6 +491,70 @@ impl Point {
             x: x3,
             y: y3,
             z: z3,
+        }
+    }
+}
+
+// ---- wNAF recoding ----
+
+/// Decompose a 256-bit scalar into width-5 NAF digits, least significant
+/// first: each digit is odd with `|d| ≤ 15` (or zero), and any two
+/// non-zero digits are at least 5 positions apart, so a 256-bit scalar
+/// averages ~43 point additions instead of ~128.
+///
+/// Returns the digit buffer and its length (≤ 257: borrowing into the
+/// top window can carry one position past the input width).
+fn wnaf5(scalar: &U256L) -> ([i8; 257], usize) {
+    // A fifth limb absorbs the transient carry past 2^256.
+    let mut k = [scalar[0], scalar[1], scalar[2], scalar[3], 0u64];
+    let mut digits = [0i8; 257];
+    let mut len = 0;
+    while k.iter().any(|&limb| limb != 0) {
+        if k[0] & 1 == 1 {
+            let t = (k[0] & 31) as i8; // odd, 1..=31
+            let d = if t >= 16 { t - 32 } else { t };
+            digits[len] = d;
+            if d >= 0 {
+                sub_small(&mut k, d as u64);
+            } else {
+                add_small(&mut k, (-d) as u64);
+            }
+        }
+        shr1(&mut k);
+        len += 1;
+    }
+    (digits, len)
+}
+
+fn sub_small(k: &mut [u64; 5], v: u64) {
+    let (d, mut borrow) = k[0].overflowing_sub(v);
+    k[0] = d;
+    let mut i = 1;
+    while borrow && i < 5 {
+        let (d, b) = k[i].overflowing_sub(1);
+        k[i] = d;
+        borrow = b;
+        i += 1;
+    }
+}
+
+fn add_small(k: &mut [u64; 5], v: u64) {
+    let (s, mut carry) = k[0].overflowing_add(v);
+    k[0] = s;
+    let mut i = 1;
+    while carry && i < 5 {
+        let (s, c) = k[i].overflowing_add(1);
+        k[i] = s;
+        carry = c;
+        i += 1;
+    }
+}
+
+fn shr1(k: &mut [u64; 5]) {
+    for i in 0..5 {
+        k[i] >>= 1;
+        if i + 1 < 5 {
+            k[i] |= (k[i + 1] & 1) << 63;
         }
     }
 }
@@ -702,6 +812,83 @@ mod tests {
         }
         assert!(mul_g(&N).is_infinity());
         assert!(mul_g(&ZERO).is_infinity());
+    }
+
+    #[test]
+    fn wnaf_digits_reconstruct_the_scalar() {
+        for scalar in [
+            ONE,
+            [31, 0, 0, 0],
+            [0xFFFF_FFFF_FFFF_FFFF, 0, 0, 0],
+            [0xDEAD_BEEF_0BAD_CAFE, 0x1234, 0xFFFF_0000_FFFF_0000, 1],
+            [u64::MAX; 4],
+            N,
+        ] {
+            let (digits, len) = wnaf5(&scalar);
+            assert!(len <= 257);
+            // Non-zero digits are odd, |d| ≤ 15, and ≥ 5 apart.
+            let mut last_nonzero: Option<usize> = None;
+            for (i, &d) in digits[..len].iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                assert!(d % 2 != 0 && d.abs() <= 15, "digit {d} at {i}");
+                if let Some(prev) = last_nonzero {
+                    assert!(i - prev >= 5, "digits at {prev} and {i} too close");
+                }
+                last_nonzero = Some(i);
+            }
+            // Σ dᵢ·2ⁱ == scalar (evaluated in 320-bit arithmetic).
+            let mut acc = [0u64; 5];
+            for (i, &d) in digits[..len].iter().enumerate().rev() {
+                // acc = acc*2 + d
+                let mut carry = 0u64;
+                for limb in acc.iter_mut() {
+                    let high = *limb >> 63;
+                    *limb = (*limb << 1) | carry;
+                    carry = high;
+                }
+                let _ = i;
+                if d >= 0 {
+                    add_small(&mut acc, d as u64);
+                } else {
+                    sub_small(&mut acc, (-d) as u64);
+                }
+            }
+            assert_eq!(&acc[..4], &scalar[..], "reconstruction mismatch");
+            assert_eq!(acc[4], 0);
+        }
+    }
+
+    #[test]
+    fn wnaf_mul_matches_binary_ladder() {
+        let bases = [
+            Point::generator(),
+            Point::generator().double(),
+            Point::generator().mul_binary(&[0xABCD, 7, 0, 0]),
+        ];
+        let n_minus_1 = sub_raw(&N, &ONE).0;
+        for base in bases {
+            for scalar in [
+                ONE,
+                [2, 0, 0, 0],
+                [15, 0, 0, 0],
+                [16, 0, 0, 0],
+                [17, 0, 0, 0],
+                [0xDEAD_BEEF_0BAD_CAFE, 0x1234, 0, 1],
+                [u64::MAX, u64::MAX, u64::MAX, 0x7FFF_FFFF_FFFF_FFFF],
+                n_minus_1,
+            ] {
+                assert_eq!(
+                    base.mul(&scalar).to_affine(),
+                    base.mul_binary(&scalar).to_affine(),
+                    "scalar {scalar:x?}"
+                );
+            }
+            assert!(base.mul(&N).is_infinity());
+            assert!(base.mul(&ZERO).is_infinity());
+        }
+        assert!(Point::INFINITY.mul(&[5, 0, 0, 0]).is_infinity());
     }
 
     #[test]

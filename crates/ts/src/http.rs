@@ -1,30 +1,54 @@
-//! A minimal threaded HTTP/1.1 server and client for the [`crate::front`]
+//! A pooled HTTP/1.1 server and keep-alive client for the [`crate::front`]
 //! protocols over TCP — the prototype's stand-in for the paper's
 //! "HTTPS-enabled web interface".
 //!
-//! The server speaks **keep-alive** HTTP/1.1: a connection serves any
-//! number of `POST` requests until the client closes it (or sends
-//! `Connection: close`), so batch clients aren't throttled by per-request
-//! connection setup. The accept loop **blocks** in `accept()` — no polling
-//! sleep — and is unblocked at shutdown by a self-connection. Built on
-//! `std::net` only; adequate for loopback benchmarking and integration
-//! tests, not hardened for the open internet (the paper's prototype ran
-//! Node.js on localhost, same scope).
+//! # Threading model
+//!
+//! The server runs a **fixed worker pool** ([`smacs_primitives::pool`])
+//! instead of a thread per connection, so concurrent keep-alive clients
+//! cost `O(workers)` threads rather than `O(connections)`:
+//!
+//! - the **accept loop** (one thread) blocks in `accept()` — no polling
+//!   sleep — and submits each new connection to the pool's bounded job
+//!   queue; when the queue is full it answers a fast `503` with a v2
+//!   `internal` error instead of growing without bound;
+//! - **pool workers** serve a connection's requests back-to-back while
+//!   data keeps arriving (a short [`HttpServerConfig::keepalive_grace`]
+//!   covers the client's turnaround), then *park* the idle connection and
+//!   move on — a worker is only ever occupied by a connection that is
+//!   actually talking;
+//! - the **poller** (one thread) sweeps parked connections with
+//!   non-blocking peeks every [`HttpServerConfig::poll_interval`],
+//!   resubmitting the ones with pending data and reaping the ones that
+//!   closed or outlived [`HttpServerConfig::idle_timeout`].
+//!
+//! Batch issuance fans its signing across the same pool (see
+//! [`crate::service::TokenService::issue_batch`]); pass a shared pool via
+//! [`HttpServerConfig::pool`] to run connections and signing on one set of
+//! workers — the fan-out's caller-participation makes that safe even when
+//! every worker is busy.
+//!
+//! [`HttpServer::shutdown`] stops accepting, closes parked (idle)
+//! connections, lets in-flight requests finish, and joins every thread.
 //!
 //! [`HttpClient`] is the wire implementation of [`TsApi`]: protocol-v2
-//! envelopes over one persistent connection, with a single transparent
-//! reconnect when a kept-alive connection has gone stale. The v1-era
-//! one-shot helper [`post_json`] remains for legacy single-request
-//! clients (and the back-compat tests).
+//! envelopes over one persistent connection. Before reusing a pooled
+//! connection it probes for staleness (server restart, idle-timeout
+//! close) and transparently reconnects once, so non-idempotent calls
+//! never burn a round on a connection the server already abandoned; a
+//! failure *after* the request was sent is only retried for idempotent
+//! ops. The v1-era one-shot helper [`post_json`] remains for legacy
+//! single-request clients (and the back-compat tests).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use smacs_primitives::json::{self, FromJson, Json, ToJson};
-use smacs_primitives::Address;
+use smacs_primitives::{Address, WorkerPool};
 use smacs_token::{Token, TokenRequest};
 
 use crate::api::{
@@ -39,51 +63,156 @@ use crate::rules::RuleBook;
 /// full 256-request argument-token batch with kilobyte calldata fits.
 const MAX_BODY_BYTES: usize = 8 << 20;
 
+/// Ceiling on requests one worker serves on a single connection before
+/// parking it anyway — keeps one firehose client from starving the queue.
+const TURN_QUOTA: usize = 128;
+
+/// Socket timeout for reading a request once its first byte arrived and
+/// for writing responses; a peer that stalls longer loses the connection
+/// (bounds how long a worker can be pinned by one slow client).
+const REQUEST_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The body answered when the accept queue is full: a protocol-v2 error
+/// envelope a [`HttpClient`] decodes into [`ErrorCode::Internal`].
+const OVERLOADED_BODY: &str =
+    r#"{"v":2,"ok":false,"error":{"code":"internal","message":"server overloaded"}}"#;
+
+/// Tuning knobs for [`HttpServer::start_with`].
+#[derive(Clone)]
+pub struct HttpServerConfig {
+    /// Connection/signing worker threads. Defaults to
+    /// `2 × available_parallelism` (min 2): connection turns block on
+    /// socket I/O, so running more workers than cores keeps the CPU busy.
+    /// Ignored when [`HttpServerConfig::pool`] supplies a pool.
+    pub workers: usize,
+    /// Bound on the pool's pending-job queue (the accept queue). Overflow
+    /// is answered with a fast 503 instead of unbounded memory growth.
+    /// Ignored when [`HttpServerConfig::pool`] supplies a pool.
+    pub queue_capacity: usize,
+    /// How often the poller sweeps parked connections for pending data.
+    pub poll_interval: Duration,
+    /// How long a worker waits for the next pipelined request before
+    /// parking a connection. Loopback turnarounds are microseconds, so a
+    /// short grace keeps hot connections on their worker.
+    pub keepalive_grace: Duration,
+    /// Parked connections idle longer than this are closed (`None`: kept
+    /// forever, the pre-pool behaviour).
+    pub idle_timeout: Option<Duration>,
+    /// Share an existing pool (e.g. the one the wrapped `TokenService`
+    /// fans batch signing across) instead of creating a server-owned one.
+    /// A shared pool is *not* shut down when the server stops.
+    pub pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        HttpServerConfig {
+            workers: (2 * cores).max(2),
+            queue_capacity: 1024,
+            poll_interval: Duration::from_millis(1),
+            keepalive_grace: Duration::from_millis(1),
+            idle_timeout: None,
+            pool: None,
+        }
+    }
+}
+
+/// One keep-alive connection: the buffered reader owns the stream (writes
+/// go through `reader.get_mut()`), so buffered-but-unserved pipelined
+/// bytes travel with the connection when it parks.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(REQUEST_IO_TIMEOUT))?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn stream(&mut self) -> &mut TcpStream {
+        self.reader.get_mut()
+    }
+}
+
+/// A parked (idle, kept-alive) connection awaiting its next request.
+struct Parked {
+    conn: Conn,
+    since: Instant,
+}
+
+/// State shared by the accept loop, the poller, and connection jobs.
+struct ServerShared {
+    front: Arc<FrontEnd>,
+    pool: Arc<WorkerPool>,
+    parked: Mutex<Vec<Parked>>,
+    parked_changed: Condvar,
+    shutdown: AtomicBool,
+    keepalive_grace: Duration,
+    poll_interval: Duration,
+    idle_timeout: Option<Duration>,
+}
+
 /// A running HTTP front-end server.
 pub struct HttpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    shared: Arc<ServerShared>,
+    owns_pool: bool,
+    accept_handle: Option<JoinHandle<()>>,
+    poller_handle: Option<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Start serving `front` on an OS-assigned loopback port.
+    /// Start serving `front` on an OS-assigned loopback port with default
+    /// pooling.
     pub fn start(front: Arc<FrontEnd>) -> std::io::Result<HttpServer> {
+        HttpServer::start_with(front, HttpServerConfig::default())
+    }
+
+    /// Start serving `front` with explicit pool/queue/poll tuning.
+    pub fn start_with(
+        front: Arc<FrontEnd>,
+        config: HttpServerConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = shutdown.clone();
-        let handle = std::thread::spawn(move || {
-            // Blocking accept: zero idle CPU, zero accept-latency jitter.
-            // `HttpServer::shutdown` raises the flag and then connects to
-            // this listener, so the accept below returns and sees the flag.
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if shutdown_flag.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let front = front.clone();
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &front);
-                        });
-                    }
-                    Err(_) => {
-                        if shutdown_flag.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        // Transient accept failure (EMFILE etc.): back off
-                        // briefly so a persistent error (fd exhaustion)
-                        // cannot pin a core in a tight retry loop.
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                    }
-                }
-            }
+        let owns_pool = config.pool.is_none();
+        let pool = config
+            .pool
+            .unwrap_or_else(|| WorkerPool::new(config.workers, config.queue_capacity));
+        let shared = Arc::new(ServerShared {
+            front,
+            pool,
+            parked: Mutex::new(Vec::new()),
+            parked_changed: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            keepalive_grace: config.keepalive_grace,
+            poll_interval: config.poll_interval,
+            idle_timeout: config.idle_timeout,
         });
+
+        let accept_shared = shared.clone();
+        let accept_handle = std::thread::Builder::new()
+            .name("smacs-http-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        let poller_shared = shared.clone();
+        let poller_handle = std::thread::Builder::new()
+            .name("smacs-http-poller".into())
+            .spawn(move || poller_loop(&poller_shared))?;
+
         Ok(HttpServer {
             addr,
-            shutdown,
-            handle: Some(handle),
+            shared,
+            owns_pool,
+            accept_handle: Some(accept_handle),
+            poller_handle: Some(poller_handle),
         })
     }
 
@@ -97,18 +226,40 @@ impl HttpServer {
         format!("http://{}", self.addr)
     }
 
+    /// The worker pool serving connections (shared with batch signing
+    /// when configured so).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.shared.pool
+    }
+
+    /// Connections currently parked idle (diagnostics for probes/tests).
+    pub fn parked_connections(&self) -> usize {
+        self.shared.parked.lock().expect("parked lock").len()
+    }
+
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept call; a failed connect means the listener is
         // already gone, which is fine.
         let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.handle.take() {
+        if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
+        }
+        self.shared.parked_changed.notify_all();
+        if let Some(handle) = self.poller_handle.take() {
+            let _ = handle.join();
+        }
+        if self.owns_pool {
+            // In-flight connection turns finish their current request and
+            // observe the shutdown flag; queued-but-unstarted ones are
+            // dropped (their connections close).
+            self.shared.pool.shutdown();
         }
     }
 
-    /// Stop accepting connections and join the accept loop. Connections
-    /// already being served drain on their own threads.
+    /// Graceful shutdown: stop accepting, close parked (idle) keep-alive
+    /// connections, finish in-flight requests, and join the accept loop,
+    /// the poller, and (when server-owned) the worker pool.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -117,6 +268,206 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = Conn::new(stream) else {
+                    continue;
+                };
+                submit_or_reject(shared, conn);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE etc.): back off briefly
+                // so a persistent error cannot pin a core in a tight retry
+                // loop.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Submit a connection turn to the pool; on a full queue, answer a fast
+/// 503 and close. The connection rides in a shared slot so it can be
+/// reclaimed for the rejection path (a consumed closure can't give it
+/// back).
+fn submit_or_reject(shared: &Arc<ServerShared>, conn: Conn) {
+    let slot = Arc::new(Mutex::new(Some(conn)));
+    let job_slot = slot.clone();
+    let job_shared = shared.clone();
+    let submitted = shared.pool.try_execute(move || {
+        let conn = job_slot.lock().expect("conn slot").take();
+        if let Some(conn) = conn {
+            serve_turn(&job_shared, conn);
+        }
+    });
+    if submitted.is_err() {
+        if let Some(mut conn) = slot.lock().expect("conn slot").take() {
+            let _ = write_response(conn.stream(), 503, true, OVERLOADED_BODY);
+        }
+    }
+}
+
+/// What a readiness probe on an idle connection found.
+enum Readiness {
+    /// Bytes are waiting to be read.
+    Ready,
+    /// Still connected, nothing pending.
+    Idle,
+    /// Peer closed (or the socket errored).
+    Closed,
+}
+
+/// Non-blocking peek: is there a request waiting on this connection?
+fn probe_readiness(conn: &mut Conn) -> Readiness {
+    if !conn.reader.buffer().is_empty() {
+        return Readiness::Ready;
+    }
+    let stream = conn.stream();
+    if stream.set_nonblocking(true).is_err() {
+        return Readiness::Closed;
+    }
+    let mut probe = [0u8; 1];
+    let readiness = match stream.peek(&mut probe) {
+        Ok(0) => Readiness::Closed,
+        Ok(_) => Readiness::Ready,
+        Err(e) if e.kind() == ErrorKind::WouldBlock => Readiness::Idle,
+        Err(_) => Readiness::Closed,
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return Readiness::Closed;
+    }
+    readiness
+}
+
+/// Blocking peek bounded by `grace`: catches the next pipelined request
+/// without a park/poll round trip when the client is actively talking.
+fn await_data(conn: &mut Conn, grace: Duration) -> Readiness {
+    if !conn.reader.buffer().is_empty() {
+        return Readiness::Ready;
+    }
+    let stream = conn.stream();
+    if stream
+        .set_read_timeout(Some(grace.max(Duration::from_micros(1))))
+        .is_err()
+    {
+        return Readiness::Closed;
+    }
+    let mut probe = [0u8; 1];
+    match stream.peek(&mut probe) {
+        Ok(0) => Readiness::Closed,
+        Ok(_) => Readiness::Ready,
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            Readiness::Idle
+        }
+        Err(_) => Readiness::Closed,
+    }
+}
+
+/// One pool job: serve requests on `conn` while data keeps arriving, then
+/// park it (or drop it on close/error/shutdown).
+fn serve_turn(shared: &Arc<ServerShared>, mut conn: Conn) {
+    for _ in 0..TURN_QUOTA {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // drop: shutdown closes keep-alive connections
+        }
+        match await_data(&mut conn, shared.keepalive_grace) {
+            Readiness::Ready => {}
+            Readiness::Idle => {
+                park(shared, conn);
+                return;
+            }
+            Readiness::Closed => return,
+        }
+        match serve_one_request(&mut conn, &shared.front) {
+            Ok(false) => continue,
+            Ok(true) | Err(_) => return, // explicit close or broken pipe
+        }
+    }
+    // Quota exhausted: park (the poller re-readies it within one sweep)
+    // so one firehose connection cannot starve everyone else.
+    park(shared, conn);
+}
+
+fn park(shared: &ServerShared, conn: Conn) {
+    let mut parked = shared.parked.lock().expect("parked lock");
+    parked.push(Parked {
+        conn,
+        since: Instant::now(),
+    });
+    drop(parked);
+    shared.parked_changed.notify_all();
+}
+
+/// The poller: promote parked connections with pending data back onto the
+/// pool, reap closed/expired ones, and otherwise sleep.
+fn poller_loop(shared: &Arc<ServerShared>) {
+    loop {
+        let batch = {
+            let mut parked = shared.parked.lock().expect("parked lock");
+            while parked.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                parked = shared.parked_changed.wait(parked).expect("parked lock");
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                parked.clear(); // close all idle connections
+                return;
+            }
+            std::mem::take(&mut *parked)
+        };
+
+        let mut keep = Vec::with_capacity(batch.len());
+        for mut entry in batch {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                continue; // drop
+            }
+            match probe_readiness(&mut entry.conn) {
+                Readiness::Ready => {
+                    // Hand back to the pool; if the queue is full the
+                    // connection just stays parked for the next sweep —
+                    // its data isn't going anywhere.
+                    let slot = Arc::new(Mutex::new(Some(entry.conn)));
+                    let job_slot = slot.clone();
+                    let job_shared = shared.clone();
+                    let submitted = shared.pool.try_execute(move || {
+                        let conn = job_slot.lock().expect("conn slot").take();
+                        if let Some(conn) = conn {
+                            serve_turn(&job_shared, conn);
+                        }
+                    });
+                    if submitted.is_err() {
+                        if let Some(conn) = slot.lock().expect("conn slot").take() {
+                            keep.push(Parked {
+                                conn,
+                                since: entry.since,
+                            });
+                        }
+                    }
+                }
+                Readiness::Idle => match shared.idle_timeout {
+                    Some(limit) if entry.since.elapsed() >= limit => {} // drop: expired
+                    _ => keep.push(entry),
+                },
+                Readiness::Closed => {} // drop
+            }
+        }
+
+        let any_parked = {
+            let mut parked = shared.parked.lock().expect("parked lock");
+            parked.extend(keep);
+            !parked.is_empty()
+        };
+        if any_parked {
+            std::thread::sleep(shared.poll_interval);
+        }
     }
 }
 
@@ -156,64 +507,64 @@ fn read_headers(reader: &mut BufReader<TcpStream>) -> std::io::Result<Headers> {
     }
 }
 
-/// Serve one connection: any number of `POST` requests until EOF or an
-/// explicit `Connection: close`.
-fn serve_connection(mut stream: TcpStream, front: &FrontEnd) -> std::io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+/// Serve exactly one `POST` request off `conn`. `Ok(close)` reports
+/// whether the connection must close afterwards; any `Err` poisons the
+/// stream (framing is unrecoverable) and the caller drops it.
+fn serve_one_request(conn: &mut Conn, front: &FrontEnd) -> std::io::Result<bool> {
+    // The first byte is known to be pending; the rest of the request gets
+    // a bounded window so a stalling client can't pin this worker.
+    conn.stream().set_read_timeout(Some(REQUEST_IO_TIMEOUT))?;
 
-    loop {
-        // Request line; 0 bytes = client closed the connection.
-        let mut request_line = String::new();
-        if reader.read_line(&mut request_line)? == 0 {
-            return Ok(());
-        }
-        let mut parts = request_line.split_whitespace();
-        let method = parts.next().unwrap_or("");
-        let _path = parts.next().unwrap_or("/");
-
-        let headers = read_headers(&mut reader)?;
-        let client_close = headers.close;
-
-        if method != "POST" {
-            return write_response(
-                &mut stream,
-                405,
-                true,
-                r#"{"status":"error","message":"POST only"}"#,
-            );
-        }
-        // A POST without a parseable Content-Length cannot be framed:
-        // refuse and close rather than guess (guessing would leave body
-        // bytes in the stream and desynchronize later keep-alive
-        // requests).
-        let Some(content_length) = headers.content_length else {
-            return write_response(
-                &mut stream,
-                400,
-                true,
-                r#"{"status":"error","message":"missing or invalid Content-Length"}"#,
-            );
-        };
-        // Oversized bodies are refused with the connection closed, for the
-        // same framing reason.
-        if content_length > MAX_BODY_BYTES {
-            return write_response(
-                &mut stream,
-                413,
-                true,
-                r#"{"status":"error","message":"body too large"}"#,
-            );
-        }
-        let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body)?;
-        let body = String::from_utf8_lossy(&body);
-        let response = front.handle_json(&body);
-        write_response(&mut stream, 200, client_close, &response)?;
-        if client_close {
-            return Ok(());
-        }
+    // Request line; 0 bytes = client closed the connection.
+    let mut request_line = String::new();
+    if conn.reader.read_line(&mut request_line)? == 0 {
+        return Ok(true);
     }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let _path = parts.next().unwrap_or("/");
+
+    let headers = read_headers(&mut conn.reader)?;
+    let client_close = headers.close;
+
+    if method != "POST" {
+        write_response(
+            conn.stream(),
+            405,
+            true,
+            r#"{"status":"error","message":"POST only"}"#,
+        )?;
+        return Ok(true);
+    }
+    // A POST without a parseable Content-Length cannot be framed: refuse
+    // and close rather than guess (guessing would leave body bytes in the
+    // stream and desynchronize later keep-alive requests).
+    let Some(content_length) = headers.content_length else {
+        write_response(
+            conn.stream(),
+            400,
+            true,
+            r#"{"status":"error","message":"missing or invalid Content-Length"}"#,
+        )?;
+        return Ok(true);
+    };
+    // Oversized bodies are refused with the connection closed, for the
+    // same framing reason.
+    if content_length > MAX_BODY_BYTES {
+        write_response(
+            conn.stream(),
+            413,
+            true,
+            r#"{"status":"error","message":"body too large"}"#,
+        )?;
+        return Ok(true);
+    }
+    let mut body = vec![0u8; content_length];
+    conn.reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body);
+    let response = front.handle_json(&body);
+    write_response(conn.stream(), 200, client_close, &response)?;
+    Ok(client_close)
 }
 
 fn write_response(
@@ -226,6 +577,7 @@ fn write_response(
         200 => "OK",
         400 => "Bad Request",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Method Not Allowed",
     };
     let connection = if close { "close" } else { "keep-alive" };
@@ -270,10 +622,13 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
 /// The wire implementation of [`TsApi`]: protocol-v2 envelopes over one
 /// keep-alive HTTP connection.
 ///
-/// The connection is lazy (opened on first use) and persistent; if a
-/// kept-alive connection has gone stale (server restart, idle close), one
-/// transparent reconnect is attempted before the error surfaces as
-/// [`ErrorCode::Transport`].
+/// The connection is lazy (opened on first use) and persistent. Before
+/// each reuse the client probes the pooled connection with a non-blocking
+/// peek: a connection the server has since closed (restart, idle timeout)
+/// is detected *before* the request is sent and replaced transparently —
+/// safe for every op, because nothing was transmitted yet. Failures after
+/// the request went out are retried on a fresh connection only for
+/// idempotent ops.
 pub struct HttpClient {
     addr: SocketAddr,
     conn: parking_lot::Mutex<Option<BufReader<TcpStream>>>,
@@ -323,14 +678,20 @@ impl HttpClient {
         read_response(reader)
     }
 
-    /// One keep-alive round trip. A stale kept-alive connection is retried
-    /// on a fresh one only for `idempotent` operations: a lost *response*
-    /// is indistinguishable from a lost *request*, and replaying an
-    /// issuance could mint twice (burning one-time counter indexes). A
-    /// failed non-idempotent call resets the connection and surfaces
-    /// [`ErrorCode::Transport`]; the caller decides whether to re-send.
+    /// One keep-alive round trip.
+    ///
+    /// A pooled connection is preflighted first: if the server already
+    /// closed it (restart, idle timeout) it is replaced before anything is
+    /// sent — a transparent reconnect that is safe for *all* ops. After
+    /// the request has been written, a failure is retried on a fresh
+    /// connection only for `idempotent` operations: a lost *response* is
+    /// indistinguishable from a lost *request*, and replaying an issuance
+    /// could mint twice (burning one-time counter indexes).
     fn round_trip(&self, body: &str, idempotent: bool) -> Result<String, ApiError> {
         let mut conn = self.conn.lock();
+        if conn.as_mut().is_some_and(connection_is_stale) {
+            *conn = None;
+        }
         let had_connection = conn.is_some();
         match self.round_trip_once(&mut conn, body) {
             Ok(response) => Ok(response),
@@ -374,6 +735,30 @@ impl HttpClient {
                 .unwrap_or_else(|| ApiError::new(ErrorCode::Internal, "error without detail")))
         }
     }
+}
+
+/// Whether a pooled client connection can no longer carry a request:
+/// orderly FIN or error from the peer, or (never expected) stray unread
+/// bytes that would desynchronize the response framing.
+fn connection_is_stale(reader: &mut BufReader<TcpStream>) -> bool {
+    if !reader.buffer().is_empty() {
+        return true; // leftover response bytes: framing is already lost
+    }
+    let stream = reader.get_mut();
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let stale = match stream.peek(&mut probe) {
+        Ok(0) => true, // server closed while we were idle
+        Ok(_) => true, // unsolicited data: desynchronized
+        Err(e) if e.kind() == ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    if stream.set_nonblocking(false).is_err() {
+        return true;
+    }
+    stale
 }
 
 impl TsApi for HttpClient {
@@ -452,13 +837,17 @@ mod tests {
     use smacs_primitives::Address;
     use smacs_token::TokenRequest;
 
-    fn running_server() -> HttpServer {
+    fn front() -> Arc<FrontEnd> {
         let service = TokenService::new(
             Keypair::from_seed(1),
             RuleBook::permissive(),
             TokenServiceConfig::default(),
         );
-        HttpServer::start(Arc::new(FrontEnd::new(service, "secret", 0))).unwrap()
+        Arc::new(FrontEnd::new(service, "secret", 0))
+    }
+
+    fn running_server() -> HttpServer {
+        HttpServer::start(front()).unwrap()
     }
 
     fn request(low: u64) -> TokenRequest {
@@ -502,14 +891,82 @@ mod tests {
         established.ping().unwrap();
         let addr = server.addr();
         server.shutdown();
-        // Established keep-alive connections drain gracefully: the serving
-        // thread outlives the accept loop.
-        established.ping().unwrap();
-        // But new connections are refused and must surface as a transport
-        // error, not a hang.
+        // Graceful shutdown closes parked keep-alive connections and the
+        // listener: both the established client (whose reconnect attempt
+        // finds the listener gone) and a fresh one must surface a
+        // transport error, not hang.
+        let err = established.ping().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Transport);
         let fresh = HttpClient::connect(addr);
         let err = fresh.issue(&request(2)).unwrap_err();
         assert_eq!(err.code, ErrorCode::Transport);
+    }
+
+    #[test]
+    fn client_transparently_reconnects_after_server_idle_timeout() {
+        // The server reaps connections idle > 40 ms; the client's pooled
+        // connection goes stale, and the next call — *including* the
+        // non-idempotent issue — must succeed via the preflight reconnect
+        // instead of surfacing a transport error.
+        let server = HttpServer::start_with(
+            front(),
+            HttpServerConfig {
+                idle_timeout: Some(Duration::from_millis(40)),
+                poll_interval: Duration::from_millis(5),
+                ..HttpServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = HttpClient::connect(server.addr());
+        client.ping().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            client.issue(&request(2)).is_ok(),
+            "stale pooled connection must be replaced transparently"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_accept_queue_answers_fast_503() {
+        // A zero-capacity... capacity-1 pool whose only worker is wedged
+        // by a connection we keep talking on, plus a full queue, forces
+        // the next accept onto the overload path.
+        let server = HttpServer::start_with(
+            front(),
+            HttpServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                // Park nothing: a huge grace keeps the worker pinned to
+                // the first connection while it stays open.
+                keepalive_grace: Duration::from_secs(5),
+                ..HttpServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Wedge the worker: open a connection and say nothing — the
+        // worker sits in its 5 s keep-alive grace.
+        let wedge = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // Fill the 1-slot queue.
+        let _queued = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // This one must be refused immediately with a decodable internal
+        // error, not left hanging.
+        let client = HttpClient::connect(server.addr());
+        let start = Instant::now();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(err.code, ErrorCode::Internal | ErrorCode::Transport),
+            "unexpected overload surface: {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "503 path must be fast, took {:?}",
+            start.elapsed()
+        );
+        drop(wedge);
+        server.shutdown();
     }
 
     #[test]
@@ -553,5 +1010,39 @@ mod tests {
             "shutdown took {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn idle_connections_park_instead_of_pinning_workers() {
+        let server = HttpServer::start_with(
+            front(),
+            HttpServerConfig {
+                workers: 2,
+                ..HttpServerConfig::default()
+            },
+        )
+        .unwrap();
+        // More idle keep-alive clients than workers: all must get served
+        // (so none is starved by a pinned worker) and then sit parked.
+        let clients: Vec<HttpClient> = (0..6).map(|_| HttpClient::connect(server.addr())).collect();
+        for client in &clients {
+            client.ping().unwrap();
+        }
+        // Give the grace periods a moment to lapse.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.parked_connections() < clients.len() {
+            assert!(
+                Instant::now() < deadline,
+                "only {} of {} connections parked",
+                server.parked_connections(),
+                clients.len()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Parked connections still answer when spoken to.
+        for client in &clients {
+            client.ping().unwrap();
+        }
+        server.shutdown();
     }
 }

@@ -30,6 +30,39 @@
 //! §VII-B service-discovery metadata (contract address → TS URL), and
 //! [`store`] persists rules and the signing key to disk (the prototype's
 //! node-localStorage analog).
+//!
+//! # Threading model
+//!
+//! The whole TS hot path scales with cores through one shared
+//! [`smacs_primitives::pool::WorkerPool`]:
+//!
+//! ```text
+//! accept loop ──▶ bounded job queue ──▶ worker pool (fixed N threads)
+//!                      │ full? fast 503         │
+//!                      │                        ├─ serve connection turn
+//! poller ◀── parked idle keep-alive conns ◀─────┘   (requests back-to-back,
+//!   └─ readiness sweep, re-submit / reap            then park when idle)
+//!
+//! issue_batch ──▶ scope_map fan-out: calling thread + idle workers sign
+//!                 in parallel, results in request order
+//! rules ────────▶ EpochCell<RuleBook>: issuers pin an immutable Arc
+//!                 snapshot per request (lock-free steady state);
+//!                 set_rules swaps the book atomically
+//! ```
+//!
+//! - **Connections** cost `O(workers)` threads, not `O(connections)`: a
+//!   worker serves a connection only while it is talking, then parks it
+//!   for the single poller thread to watch ([`http::HttpServerConfig`]
+//!   exposes `workers`, `queue_capacity`, `poll_interval`,
+//!   `keepalive_grace`, `idle_timeout`, and an optional shared `pool`).
+//! - **Batch signing** fans the ~90 µs per-token `k·G` across the pool
+//!   with caller participation (no pool-within-pool deadlock), preserving
+//!   per-item partial failure and request-order results; one-time indexes
+//!   stay atomic/replicated and globally unique.
+//! - **Rule reads never lock**: issuance validates against an epoch
+//!   snapshot ([`smacs_primitives::epoch::EpochCell`]), so a `set_rules`
+//!   burst cannot stall the issuance path, and signature work (`recover`,
+//!   `k·G`) always runs outside any lock.
 
 pub mod api;
 pub mod discovery;
@@ -43,7 +76,7 @@ pub mod validation;
 
 pub use api::{ApiError, ErrorCode, InProcessClient, TsApi, MAX_BATCH, PROTOCOL_VERSION};
 pub use discovery::ServiceDirectory;
-pub use http::{HttpClient, HttpServer};
+pub use http::{HttpClient, HttpServer, HttpServerConfig};
 pub use replica::CounterCluster;
 pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
 pub use service::{IssueError, TokenService, TokenServiceConfig};
