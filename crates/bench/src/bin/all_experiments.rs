@@ -79,6 +79,16 @@ fn main() {
         );
     }
 
+    println!("\n== TS failover (3 replicas, kill + recover one) ==");
+    let failover = smacs_bench::perf::ts_failover_throughput(128);
+    println!(
+        "steady: {:>10.0} tokens/s   one replica down: {:>10.0} tokens/s ({:.0}% of steady)   recovered: {:>10.0} tokens/s",
+        failover.steady_tokens_per_sec,
+        failover.degraded_tokens_per_sec,
+        failover.degraded_fraction_x100(),
+        failover.recovered_tokens_per_sec
+    );
+
     println!("\n== TS connection scaling (pooled server, 1k keep-alive) ==");
     let conn_probe = smacs_bench::perf::connection_scaling_probe(1_000);
     println!(
@@ -102,6 +112,10 @@ fn main() {
         members.push((
             "ts_http_client_scaling".into(),
             smacs_bench::perf::scaling_to_json(32, &http_scaling),
+        ));
+        members.push((
+            "ts_failover".into(),
+            smacs_bench::perf::failover_to_json(&failover),
         ));
         members.push((
             "connection_scaling".into(),

@@ -1,11 +1,21 @@
 //! Warn-only perf regression gate for CI.
 //!
-//! Measures concurrent-issuance throughput (batch signing through the
-//! worker pool) right now and compares it against the most recent
-//! `BENCH_history.jsonl` entry that recorded the same probe. A drop past
-//! the tolerance prints a GitHub Actions `::warning::` annotation — it
+//! Two layers, both advisory:
+//!
+//! 1. **Live probe** — measures concurrent-issuance throughput (batch
+//!    signing through the worker pool) right now and compares it against
+//!    the most recent `BENCH_history.jsonl` entry recorded on a machine
+//!    with the same parallelism.
+//! 2. **History diff** — walks *every* numeric metric in the last two
+//!    history entries and flags the ones that moved past tolerance, with
+//!    direction awareness: `*_ns` metrics regress by going *up*,
+//!    `*per_sec`/`*speedup*` metrics regress by going *down*. Neutral
+//!    facts (batch sizes, worker counts, thread counts, timestamps) are
+//!    skipped.
+//!
+//! A regression prints a GitHub Actions `::warning::` annotation — it
 //! never fails the build, because shared CI runners are far too noisy for
-//! a hard gate; the annotation plus the appended history line give a
+//! a hard gate; the annotations plus the appended history line give a
 //! human the trail to judge a real regression.
 //!
 //! Exit code is always 0.
@@ -13,8 +23,117 @@
 use smacs_primitives::json::Json;
 
 /// Regressions beyond this fraction of the previous run trigger the
-/// warning annotation.
+/// warning annotation (e.g. 0.8: anything slower than 80% of baseline).
 const TOLERANCE: f64 = 0.8;
+
+/// Which way a metric is allowed to drift.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// Latency-style: regression = value went up.
+    LowerIsBetter,
+    /// Throughput-style: regression = value went down.
+    HigherIsBetter,
+    /// Config/context value: never compared.
+    Neutral,
+}
+
+/// Classify a flattened metric path by its leaf key's naming convention.
+fn direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf.ends_with("_ns") {
+        Direction::LowerIsBetter
+    } else if leaf.contains("per_sec") || leaf.contains("speedup") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// Flatten every numeric leaf of a results object into `(dotted.path,
+/// value)` rows. Arrays index into the path (`points.2.tokens_per_sec`) so
+/// sweep points compare positionally.
+fn flatten(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match json {
+        Json::Obj(members) => {
+            for (key, value) in members {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten(value, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{prefix}.{i}"), out);
+            }
+        }
+        other => {
+            if let Some(v) = other.as_int() {
+                out.push((prefix.to_string(), v as f64));
+            }
+        }
+    }
+}
+
+/// The last two `results` objects in the history file, oldest first.
+fn last_two_results(history_path: &str) -> Option<(Json, Json)> {
+    let history = std::fs::read_to_string(history_path).ok()?;
+    let mut results: Vec<Json> = history
+        .lines()
+        .filter_map(|line| Json::parse(line).ok())
+        .filter_map(|entry| entry.get("results").cloned())
+        .collect();
+    let current = results.pop()?;
+    let previous = results.pop()?;
+    Some((previous, current))
+}
+
+/// Diff every comparable metric between the two newest history entries;
+/// returns the number of regressions flagged.
+fn diff_history(history_path: &str) -> usize {
+    let Some((previous, current)) = last_two_results(history_path) else {
+        println!("fewer than two entries in {history_path}; no history diff");
+        return 0;
+    };
+    let mut prev_rows = Vec::new();
+    let mut cur_rows = Vec::new();
+    flatten(&previous, "", &mut prev_rows);
+    flatten(&current, "", &mut cur_rows);
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (path, cur) in &cur_rows {
+        let dir = direction(path);
+        if dir == Direction::Neutral {
+            continue;
+        }
+        let Some((_, prev)) = prev_rows.iter().find(|(p, _)| p == path) else {
+            continue; // metric is new in this run
+        };
+        if *prev <= 0.0 || *cur <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        // Normalize both directions into "fraction of baseline goodness".
+        let fraction = match dir {
+            Direction::LowerIsBetter => *prev / *cur,
+            Direction::HigherIsBetter => *cur / *prev,
+            Direction::Neutral => unreachable!(),
+        };
+        if fraction < TOLERANCE {
+            regressions += 1;
+            println!(
+                "::warning title=perf regression ({path})::{cur:.0} vs {prev:.0} recorded ({:.0}% of baseline, tolerance {:.0}%)",
+                fraction * 100.0,
+                TOLERANCE * 100.0
+            );
+        }
+    }
+    println!("history diff: {compared} metrics compared, {regressions} past tolerance");
+    regressions
+}
 
 fn best_tokens_per_sec(results: &Json) -> Option<f64> {
     let points = results
@@ -91,4 +210,6 @@ fn main() {
             }
         }
     }
+
+    diff_history(&history_path);
 }

@@ -533,6 +533,117 @@ pub fn connection_scaling_probe(connections: usize) -> ConnectionScaling {
     result
 }
 
+// ---- replicated-TS failover throughput (§VII-B availability) ----
+
+use smacs_ts::{
+    BreakerConfig, FailoverClient, HttpClientConfig, ReplicaSet, ReplicaSetConfig, RetryPolicy,
+};
+use std::time::Duration;
+
+/// Issuance throughput through a replica set across a kill/recover cycle.
+pub struct FailoverThroughput {
+    /// Replicas in the set.
+    pub replicas: usize,
+    /// Tokens/sec with every replica live.
+    pub steady_tokens_per_sec: f64,
+    /// Tokens/sec with one replica killed (the failover client routes
+    /// around the corpse; its breaker sheds the dead endpoint after the
+    /// first few failures).
+    pub degraded_tokens_per_sec: f64,
+    /// Tokens/sec after the killed replica recovered on its old address.
+    pub recovered_tokens_per_sec: f64,
+}
+
+impl FailoverThroughput {
+    /// Degraded throughput as a fraction of steady (×100).
+    pub fn degraded_fraction_x100(&self) -> f64 {
+        self.degraded_tokens_per_sec / self.steady_tokens_per_sec.max(1e-9) * 100.0
+    }
+}
+
+fn failover_round(client: &FailoverClient, tokens: usize, base: u64) -> f64 {
+    let contract = Address::from_low_u64(0xC0);
+    let start = Instant::now();
+    for i in 0..tokens {
+        let req = TokenRequest::method_token(
+            contract,
+            Address::from_low_u64(base + i as u64),
+            BenchTarget::PING_SIG,
+        );
+        client.issue(&req).expect("failover issue");
+    }
+    tokens as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measure single-issue throughput through a 3-replica set before, during,
+/// and after killing one replica — the `ts_failover` bench. Uses expiry
+/// (idempotent) issuance so the degraded phase can fail over freely.
+pub fn ts_failover_throughput(tokens_per_phase: usize) -> FailoverThroughput {
+    let mut set = ReplicaSet::start(
+        Keypair::from_seed(16_000),
+        RuleBook::permissive(),
+        ReplicaSetConfig::default(),
+    )
+    .expect("replica set");
+    let client = FailoverClient::with_config(
+        set.addrs(),
+        HttpClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        },
+        RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            deadline: Duration::from_secs(10),
+        },
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(5),
+        },
+    );
+    client.ping().expect("set alive");
+
+    let steady = failover_round(&client, tokens_per_phase, 40_000);
+    set.kill(0);
+    let degraded = failover_round(&client, tokens_per_phase, 50_000);
+    set.recover(0).expect("replica recovery");
+    let recovered = failover_round(&client, tokens_per_phase, 60_000);
+
+    let result = FailoverThroughput {
+        replicas: set.len(),
+        steady_tokens_per_sec: steady,
+        degraded_tokens_per_sec: degraded,
+        recovered_tokens_per_sec: recovered,
+    };
+    set.shutdown();
+    result
+}
+
+/// Render the failover probe as JSON.
+pub fn failover_to_json(probe: &FailoverThroughput) -> Json {
+    Json::Obj(vec![
+        ("replicas".into(), Json::Int(probe.replicas as i128)),
+        (
+            "steady_tokens_per_sec".into(),
+            Json::Int(probe.steady_tokens_per_sec as i128),
+        ),
+        (
+            "degraded_tokens_per_sec".into(),
+            Json::Int(probe.degraded_tokens_per_sec as i128),
+        ),
+        (
+            "recovered_tokens_per_sec".into(),
+            Json::Int(probe.recovered_tokens_per_sec as i128),
+        ),
+        (
+            "degraded_fraction_x100".into(),
+            Json::Int(probe.degraded_fraction_x100() as i128),
+        ),
+    ])
+}
+
 /// ns per `ecrecover` (digest + signature → address) — the per-request
 /// verify cost the wNAF ladder attacks.
 pub fn ecdsa_recover_ns(iters: u32) -> f64 {
@@ -708,6 +819,17 @@ mod tests {
         let json = scaling_to_json(16, &points);
         assert!(json.get("points").is_some());
         assert!(json.get("available_parallelism").is_some());
+    }
+
+    #[test]
+    fn failover_probe_survives_a_kill_and_recovery() {
+        let probe = ts_failover_throughput(8);
+        assert_eq!(probe.replicas, 3);
+        assert!(probe.steady_tokens_per_sec > 0.0);
+        assert!(probe.degraded_tokens_per_sec > 0.0);
+        assert!(probe.recovered_tokens_per_sec > 0.0);
+        let json = failover_to_json(&probe);
+        assert!(json.get("degraded_fraction_x100").is_some());
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   usually one-time anyway).
 //!
 //! Both pass straight through to the API.
+//!
+//! The fetcher is endpoint-agnostic: wrap a `smacs_ts::FailoverClient`
+//! (built from the replica directory in discovery metadata) and the cache
+//! sits in front of a whole replica set — every replica signs with the
+//! same `sk_TS`, so a token minted by any of them verifies identically and
+//! caches safely regardless of which replica answered.
 
 use parking_lot::Mutex;
 use smacs_primitives::Address;

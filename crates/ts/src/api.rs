@@ -548,6 +548,7 @@ mod tests {
                 name: "Vault".into(),
                 compiler: "smacs 0.1".into(),
                 token_service_url: Some("http://127.0.0.1:1".into()),
+                replica_urls: Vec::new(),
             },
         );
         assert_eq!(api.discover(contract).unwrap().unwrap().name, "Vault");

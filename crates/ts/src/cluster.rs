@@ -1,0 +1,443 @@
+//! A replicated Token Service: N issuing nodes that survive failures
+//! (§VII-B availability).
+//!
+//! "A TS service can be easily replicated as all its replicas can share
+//! the same service key pair" — a [`ReplicaSet`] runs `n` full
+//! [`TokenService`] instances, each behind its own [`HttpServer`] on its
+//! own port, wired so the set behaves as one logical service:
+//!
+//! - **one signing identity**: every replica holds the same `sk_TS`, so a
+//!   token minted anywhere verifies against the one `pk_TS` the shielded
+//!   contract stores;
+//! - **shared, sharded rule books** ([`ShardedRules`]): rules are sharded
+//!   by contract address, each shard an `EpochCell` all replicas hold by
+//!   `Arc` — an owner's `set_rules` through *any* replica propagates to
+//!   all of them without stopping issuance anywhere;
+//! - **quorum one-time counters** ([`CounterCluster`]): one-time indexes
+//!   are allocated through a majority-quorum replicated counter with one
+//!   counter node per replica. Lose a minority and issuance continues;
+//!   lose a majority and one-time issuance *fails closed* with
+//!   [`crate::api::ErrorCode::CounterUnavailable`] while expiry-token
+//!   issuance keeps flowing — degraded, not dead;
+//! - **discovery**: [`ReplicaSet::publish`] stamps every replica's
+//!   directory with the full replica URL list, so any reachable replica
+//!   can hand a client the directory it needs to fail over.
+//!
+//! [`ReplicaSet::kill`] takes a replica off the network (HTTP listener
+//! closed, its counter node crashed); [`ReplicaSet::recover`] brings it
+//! back *on the same address* with its counter node caught up, so clients
+//! holding the old directory reconnect without re-discovery.
+//! [`ReplicaSet::partition_counter`] fails only the counter node — the
+//! replica keeps serving, modelling a network partition between the
+//! consensus group and one member.
+//!
+//! Replicas live in one process here (this is a simulator), but nothing
+//! crosses between them except the `Arc`s named above — the same state a
+//! real deployment would replicate via its consensus layer.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smacs_crypto::Keypair;
+use smacs_primitives::Address;
+
+use crate::discovery::ContractMetadata;
+use crate::fault::FaultPlan;
+use crate::front::FrontEnd;
+use crate::http::{HttpServer, HttpServerConfig};
+use crate::replica::CounterCluster;
+use crate::rules::RuleBook;
+use crate::service::{ShardedRules, TokenService, TokenServiceConfig};
+
+/// Tuning for [`ReplicaSet::start`].
+#[derive(Clone)]
+pub struct ReplicaSetConfig {
+    /// Number of replicas (HTTP servers *and* counter nodes).
+    pub replicas: usize,
+    /// Number of rule shards (contract address → shard).
+    pub rule_shards: usize,
+    /// Owner bearer secret shared by every replica.
+    pub owner_secret: String,
+    /// Per-replica service tuning.
+    pub service: TokenServiceConfig,
+    /// Per-replica HTTP server tuning. `bind` and `faults` are managed by
+    /// the set and must be left `None`.
+    pub http: HttpServerConfig,
+    /// Initial TS-local clock.
+    pub now: u64,
+}
+
+impl Default for ReplicaSetConfig {
+    fn default() -> Self {
+        ReplicaSetConfig {
+            replicas: 3,
+            rule_shards: 4,
+            owner_secret: "replica-owner".into(),
+            service: TokenServiceConfig::default(),
+            http: HttpServerConfig::default(),
+            now: 0,
+        }
+    }
+}
+
+/// One member of the set.
+struct Replica {
+    front: Arc<FrontEnd>,
+    /// `None` while killed.
+    server: Option<HttpServer>,
+    /// The address this replica serves on — stable across kill/recover.
+    addr: SocketAddr,
+    faults: Arc<FaultPlan>,
+}
+
+/// A running replicated Token Service.
+pub struct ReplicaSet {
+    replicas: Vec<Replica>,
+    counter: CounterCluster,
+    rules: Arc<ShardedRules>,
+    signer: Keypair,
+    config: ReplicaSetConfig,
+}
+
+impl ReplicaSet {
+    /// Start `config.replicas` issuing nodes sharing `signer`, an initial
+    /// `rules` book, a quorum counter, and sharded rule state.
+    ///
+    /// # Panics
+    /// Panics if `config.replicas == 0` or `config.rule_shards == 0`.
+    pub fn start(
+        signer: Keypair,
+        rules: RuleBook,
+        config: ReplicaSetConfig,
+    ) -> std::io::Result<ReplicaSet> {
+        assert!(config.replicas > 0, "need at least one replica");
+        let counter = CounterCluster::new(config.replicas);
+        let shards = ShardedRules::new(config.rule_shards, rules);
+        let mut replicas = Vec::with_capacity(config.replicas);
+        for _ in 0..config.replicas {
+            let service = TokenService::new(
+                signer.clone(),
+                RuleBook::permissive(), // replaced by the shared shards
+                config.service.clone(),
+            )
+            .with_shared_rules(shards.clone())
+            .with_replicated_counter(counter.clone());
+            let front = Arc::new(FrontEnd::new(
+                service,
+                config.owner_secret.clone(),
+                config.now,
+            ));
+            let faults = FaultPlan::new();
+            let server = HttpServer::start_with(
+                front.clone(),
+                HttpServerConfig {
+                    faults: Some(faults.clone()),
+                    ..config.http.clone()
+                },
+            )?;
+            let addr = server.addr();
+            replicas.push(Replica {
+                front,
+                server: Some(server),
+                addr,
+                faults,
+            });
+        }
+        Ok(ReplicaSet {
+            replicas,
+            counter,
+            rules: shards,
+            signer,
+            config,
+        })
+    }
+
+    /// Number of replicas (live or not).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True iff the set has no replicas (never: `start` requires > 0).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Every replica's address, in replica-id order — stable across
+    /// kill/recover cycles.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.iter().map(|r| r.addr).collect()
+    }
+
+    /// Every replica's service URL, in replica-id order.
+    pub fn urls(&self) -> Vec<String> {
+        self.replicas
+            .iter()
+            .map(|r| format!("http://{}", r.addr))
+            .collect()
+    }
+
+    /// The address form of the shared `pk_TS`.
+    pub fn ts_address(&self) -> Address {
+        self.signer.address()
+    }
+
+    /// Replica `id`'s front end (owner-side escape hatch: diagnostics,
+    /// clock control).
+    pub fn front(&self, id: usize) -> &Arc<FrontEnd> {
+        &self.replicas[id].front
+    }
+
+    /// Replica `id`'s fault plan (chaos tests arm transport faults here).
+    pub fn faults(&self, id: usize) -> &Arc<FaultPlan> {
+        &self.replicas[id].faults
+    }
+
+    /// The shared quorum counter (diagnostics: committed index count,
+    /// quorum state).
+    pub fn counter(&self) -> &CounterCluster {
+        &self.counter
+    }
+
+    /// The shared rule shards.
+    pub fn rules(&self) -> &Arc<ShardedRules> {
+        &self.rules
+    }
+
+    /// Whether replica `id` is currently serving.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.replicas[id].server.is_some()
+    }
+
+    /// Number of replicas currently serving HTTP.
+    pub fn live_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.server.is_some()).count()
+    }
+
+    /// Kill replica `id`: close its HTTP listener and parked connections,
+    /// finish in-flight requests, and crash its counter node. Idempotent.
+    pub fn kill(&mut self, id: usize) {
+        if let Some(server) = self.replicas[id].server.take() {
+            server.shutdown();
+        }
+        self.counter.kill(id);
+    }
+
+    /// Recover replica `id`: catch its counter node up and restart its
+    /// HTTP server on the address clients already know. The listener port
+    /// was freed by [`ReplicaSet::kill`]; rebinding retries briefly in
+    /// case the OS is slow to release it.
+    pub fn recover(&mut self, id: usize) -> std::io::Result<()> {
+        self.counter.recover(id);
+        if self.replicas[id].server.is_some() {
+            return Ok(());
+        }
+        let addr = self.replicas[id].addr;
+        let mut last_err = None;
+        for _ in 0..50 {
+            match HttpServer::start_with(
+                self.replicas[id].front.clone(),
+                HttpServerConfig {
+                    bind: Some(addr),
+                    faults: Some(self.replicas[id].faults.clone()),
+                    ..self.config.http.clone()
+                },
+            ) {
+                Ok(server) => {
+                    self.replicas[id].server = Some(server);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        Err(last_err.expect("retry loop ran"))
+    }
+
+    /// Crash only replica `id`'s *counter node* — the replica keeps
+    /// serving HTTP, but the consensus group lost a member (a partition
+    /// between the node and its peers). Enough of these and one-time
+    /// issuance fails closed everywhere.
+    pub fn partition_counter(&self, id: usize) {
+        self.counter.kill(id);
+    }
+
+    /// Heal a counter partition: the node rejoins and catches up.
+    pub fn heal_counter(&self, id: usize) {
+        self.counter.recover(id);
+    }
+
+    /// Whether the counter group currently has quorum (one-time issuance
+    /// possible).
+    pub fn has_quorum(&self) -> bool {
+        self.counter.has_quorum()
+    }
+
+    /// Owner-side rule replacement, propagated to every replica through
+    /// the shared shards.
+    pub fn set_rules(&self, rules: RuleBook) {
+        self.rules.store_all(rules);
+    }
+
+    /// Publish discovery metadata for `contract` to **every** replica's
+    /// directory, stamped with the full replica URL list (primary = the
+    /// publishing set's first replica). Any reachable replica can then
+    /// hand a client the whole directory.
+    pub fn publish(&self, contract: Address, name: impl Into<String>) {
+        let urls = self.urls();
+        let metadata = ContractMetadata {
+            name: name.into(),
+            compiler: "smacs replica-set".into(),
+            token_service_url: urls.first().cloned(),
+            replica_urls: urls,
+        };
+        for replica in &self.replicas {
+            replica.front.publish(contract, metadata.clone());
+        }
+    }
+
+    /// Set every replica's TS-local clock.
+    pub fn set_time(&self, now: u64) {
+        for replica in &self.replicas {
+            replica.front.set_time(now);
+        }
+    }
+
+    /// Advance every replica's TS-local clock.
+    pub fn advance_time(&self, secs: u64) {
+        for replica in &self.replicas {
+            replica.front.advance_time(secs);
+        }
+    }
+
+    /// Stop every replica and join every thread.
+    pub fn shutdown(mut self) {
+        for replica in &mut self.replicas {
+            if let Some(server) = replica.server.take() {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ErrorCode;
+    use crate::http::HttpClient;
+    use crate::TsApi;
+    use smacs_token::TokenRequest;
+
+    fn request(low: u64) -> TokenRequest {
+        TokenRequest::super_token(Address::from_low_u64(0xC0), Address::from_low_u64(low))
+    }
+
+    fn small_set(replicas: usize) -> ReplicaSet {
+        ReplicaSet::start(
+            Keypair::from_seed(900),
+            RuleBook::permissive(),
+            ReplicaSetConfig {
+                replicas,
+                ..ReplicaSetConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_replica_issues_verifiable_tokens() {
+        let set = small_set(3);
+        assert_eq!(set.live_count(), 3);
+        for addr in set.addrs() {
+            let client = HttpClient::connect(addr);
+            let token = client.issue(&request(1)).unwrap();
+            // Same signing identity everywhere.
+            let ctx = smacs_token::PayloadContext {
+                sender: Address::from_low_u64(1),
+                contract: Address::from_low_u64(0xC0),
+                selector: None,
+                calldata: None,
+            };
+            let digest = smacs_token::signing_digest(token.ttype, token.expire, token.index, &ctx);
+            assert_eq!(
+                smacs_crypto::recover_address(&digest, &token.signature),
+                Some(set.ts_address())
+            );
+        }
+        set.shutdown();
+    }
+
+    #[test]
+    fn rule_update_through_one_replica_binds_all() {
+        let set = small_set(3);
+        let clients: Vec<HttpClient> = set.addrs().into_iter().map(HttpClient::connect).collect();
+        clients[0]
+            .set_rules("replica-owner", RuleBook::deny_all())
+            .unwrap();
+        for client in &clients {
+            assert_eq!(
+                client.issue(&request(1)).unwrap_err().code,
+                ErrorCode::RuleViolation
+            );
+        }
+        set.shutdown();
+    }
+
+    #[test]
+    fn one_time_indexes_are_unique_across_replicas() {
+        let set = small_set(3);
+        let clients: Vec<HttpClient> = set.addrs().into_iter().map(HttpClient::connect).collect();
+        let mut indexes = Vec::new();
+        for round in 0..4 {
+            for (c, client) in clients.iter().enumerate() {
+                let token = client
+                    .issue(&request(10 + round * 10 + c as u64).one_time())
+                    .unwrap();
+                indexes.push(token.index);
+            }
+        }
+        let total = indexes.len();
+        indexes.sort_unstable();
+        indexes.dedup();
+        assert_eq!(indexes.len(), total, "replicas reused a one-time index");
+        set.shutdown();
+    }
+
+    #[test]
+    fn killed_replica_frees_its_address_and_recovers_on_it() {
+        let mut set = small_set(3);
+        let addr = set.addrs()[1];
+        set.kill(1);
+        assert!(!set.is_live(1));
+        assert_eq!(set.live_count(), 2);
+        // Dead replica refuses connections…
+        assert!(HttpClient::connect(addr).ping().is_err());
+        // …but the set still has counter quorum and the others serve.
+        assert!(set.has_quorum());
+        HttpClient::connect(set.addrs()[0])
+            .issue(&request(1).one_time())
+            .unwrap();
+
+        set.recover(1).unwrap();
+        assert!(set.is_live(1));
+        // Same address as before.
+        assert_eq!(set.addrs()[1], addr);
+        HttpClient::connect(addr).ping().unwrap();
+        set.shutdown();
+    }
+
+    #[test]
+    fn discovery_metadata_lists_every_replica() {
+        let set = small_set(3);
+        let contract = Address::from_low_u64(0xCAFE);
+        set.publish(contract, "Vault");
+        // Ask a non-primary replica: it still knows the whole directory.
+        let client = HttpClient::connect(set.addrs()[2]);
+        let metadata = client.discover(contract).unwrap().unwrap();
+        assert_eq!(metadata.replica_urls, set.urls());
+        assert_eq!(metadata.all_service_urls(), set.urls());
+        set.shutdown();
+    }
+}

@@ -20,6 +20,28 @@ pub struct ContractMetadata {
     pub compiler: String,
     /// URL of the Token Service protecting this contract, if any.
     pub token_service_url: Option<String>,
+    /// Every replica of the protecting TS (§VII-B availability): a
+    /// failover client rotates through these when one goes dark. Empty
+    /// for single-node deployments; absent in pre-replication metadata
+    /// JSON, which decodes to empty.
+    pub replica_urls: Vec<String>,
+}
+
+impl ContractMetadata {
+    /// Every service URL a client may try, primary first, deduplicated,
+    /// in stable order.
+    pub fn all_service_urls(&self) -> Vec<String> {
+        let mut urls: Vec<String> = Vec::new();
+        if let Some(primary) = &self.token_service_url {
+            urls.push(primary.clone());
+        }
+        for url in &self.replica_urls {
+            if !urls.contains(url) {
+                urls.push(url.clone());
+            }
+        }
+        urls
+    }
 }
 
 /// The metadata directory.
@@ -71,6 +93,7 @@ impl ToJson for ContractMetadata {
             ("name".into(), self.name.to_json()),
             ("compiler".into(), self.compiler.to_json()),
             ("token_service_url".into(), self.token_service_url.to_json()),
+            ("replica_urls".into(), self.replica_urls.to_json()),
         ])
     }
 }
@@ -81,6 +104,11 @@ impl FromJson for ContractMetadata {
             name: String::from_json(json.want("name")?)?,
             compiler: String::from_json(json.want("compiler")?)?,
             token_service_url: Option::from_json(json.want("token_service_url")?)?,
+            // Absent in metadata published before replication existed.
+            replica_urls: match json.get("replica_urls") {
+                Some(urls) => Vec::from_json(urls)?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -113,6 +141,7 @@ mod tests {
                 name: "Vault".into(),
                 compiler: "smacs-chain 0.1".into(),
                 token_service_url: Some("http://127.0.0.1:4545".into()),
+                replica_urls: Vec::new(),
             },
         );
         assert_eq!(dir.ts_url(contract), Some("http://127.0.0.1:4545"));
@@ -130,6 +159,7 @@ mod tests {
                 name: "Legacy".into(),
                 compiler: "solc 0.4.24".into(),
                 token_service_url: None,
+                replica_urls: Vec::new(),
             },
         );
         assert_eq!(dir.ts_url(contract), None);
@@ -144,6 +174,7 @@ mod tests {
                 name: "A".into(),
                 compiler: "x".into(),
                 token_service_url: Some("http://ts".into()),
+                replica_urls: vec!["http://ts".into(), "http://ts2".into()],
             },
         );
         let json = smacs_primitives::json::to_string(&dir);

@@ -56,6 +56,7 @@ use crate::api::{
     IssueBody, RequestEnvelope, ResponseEnvelope, SetRulesBody, TsApi, PROTOCOL_VERSION,
 };
 use crate::discovery::ContractMetadata;
+use crate::fault::FaultPlan;
 use crate::front::{decode_token_hex, FrontEnd};
 use crate::rules::RuleBook;
 
@@ -76,6 +77,11 @@ const REQUEST_IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// envelope a [`HttpClient`] decodes into [`ErrorCode::Internal`].
 const OVERLOADED_BODY: &str =
     r#"{"v":2,"ok":false,"error":{"code":"internal","message":"server overloaded"}}"#;
+
+/// The body answered for a fault-injected service failure ([`FaultPlan::
+/// fail_requests`]): an HTTP 500 whose envelope decodes to `internal`.
+const FAULTED_BODY: &str =
+    r#"{"v":2,"ok":false,"error":{"code":"internal","message":"injected service fault"}}"#;
 
 /// Tuning knobs for [`HttpServer::start_with`].
 #[derive(Clone)]
@@ -102,6 +108,13 @@ pub struct HttpServerConfig {
     /// fans batch signing across) instead of creating a server-owned one.
     /// A shared pool is *not* shut down when the server stops.
     pub pool: Option<Arc<WorkerPool>>,
+    /// Bind to this exact address instead of an OS-assigned loopback port.
+    /// [`crate::cluster::ReplicaSet`] uses it to restart a recovered
+    /// replica on the address clients already know.
+    pub bind: Option<SocketAddr>,
+    /// Transport/service fault injection for availability tests. `None`
+    /// (the default) serves faithfully.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for HttpServerConfig {
@@ -116,6 +129,8 @@ impl Default for HttpServerConfig {
             keepalive_grace: Duration::from_millis(1),
             idle_timeout: None,
             pool: None,
+            bind: None,
+            faults: None,
         }
     }
 }
@@ -157,6 +172,7 @@ struct ServerShared {
     keepalive_grace: Duration,
     poll_interval: Duration,
     idle_timeout: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// A running HTTP front-end server.
@@ -180,7 +196,10 @@ impl HttpServer {
         front: Arc<FrontEnd>,
         config: HttpServerConfig,
     ) -> std::io::Result<HttpServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let listener = match config.bind {
+            Some(addr) => TcpListener::bind(addr)?,
+            None => TcpListener::bind("127.0.0.1:0")?,
+        };
         let addr = listener.local_addr()?;
         let owns_pool = config.pool.is_none();
         let pool = config
@@ -195,6 +214,7 @@ impl HttpServer {
             keepalive_grace: config.keepalive_grace,
             poll_interval: config.poll_interval,
             idle_timeout: config.idle_timeout,
+            faults: config.faults,
         });
 
         let accept_shared = shared.clone();
@@ -388,7 +408,7 @@ fn serve_turn(shared: &Arc<ServerShared>, mut conn: Conn) {
             }
             Readiness::Closed => return,
         }
-        match serve_one_request(&mut conn, &shared.front) {
+        match serve_one_request(&mut conn, shared) {
             Ok(false) => continue,
             Ok(true) | Err(_) => return, // explicit close or broken pipe
         }
@@ -510,7 +530,8 @@ fn read_headers(reader: &mut BufReader<TcpStream>) -> std::io::Result<Headers> {
 /// Serve exactly one `POST` request off `conn`. `Ok(close)` reports
 /// whether the connection must close afterwards; any `Err` poisons the
 /// stream (framing is unrecoverable) and the caller drops it.
-fn serve_one_request(conn: &mut Conn, front: &FrontEnd) -> std::io::Result<bool> {
+fn serve_one_request(conn: &mut Conn, shared: &ServerShared) -> std::io::Result<bool> {
+    let front = &*shared.front;
     // The first byte is known to be pending; the rest of the request gets
     // a bounded window so a stalling client can't pin this worker.
     conn.stream().set_read_timeout(Some(REQUEST_IO_TIMEOUT))?;
@@ -562,7 +583,33 @@ fn serve_one_request(conn: &mut Conn, front: &FrontEnd) -> std::io::Result<bool>
     let mut body = vec![0u8; content_length];
     conn.reader.read_exact(&mut body)?;
     let body = String::from_utf8_lossy(&body);
+
+    // Pre-dispatch faults: the request is fully read but *never* reaches
+    // the service — what a crash between receive and dispatch looks like.
+    if let Some(faults) = &shared.faults {
+        if faults.take_drop() {
+            return Ok(true); // close silently, no response
+        }
+        if faults.take_fail() {
+            write_response(conn.stream(), 500, true, FAULTED_BODY)?;
+            return Ok(true);
+        }
+    }
+
     let response = front.handle_json(&body);
+
+    // Post-dispatch faults: the service's effects (minted tokens, burned
+    // one-time indexes) are real; only the answer is delayed or lost.
+    if let Some(faults) = &shared.faults {
+        if let Some(delay) = faults.response_delay() {
+            std::thread::sleep(delay);
+        }
+        if faults.take_truncate() {
+            write_truncated_response(conn.stream(), &response)?;
+            return Ok(true);
+        }
+    }
+
     write_response(conn.stream(), 200, client_close, &response)?;
     Ok(client_close)
 }
@@ -577,6 +624,7 @@ fn write_response(
         200 => "OK",
         400 => "Bad Request",
         413 => "Payload Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Method Not Allowed",
     };
@@ -589,9 +637,23 @@ fn write_response(
     stream.flush()
 }
 
+/// A response truncated mid-body, connection closed: the client's
+/// `read_exact` hits EOF and must treat the whole exchange as a transport
+/// failure *after* the request was dispatched.
+fn write_truncated_response(stream: &mut TcpStream, body: &str) -> std::io::Result<()> {
+    let half = body.len() / 2;
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        &body[..half]
+    )?;
+    stream.flush()
+}
+
 /// Read one HTTP response (status line, headers, content-length body) off
-/// `reader`, returning the body.
-fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+/// `reader`, returning the status code and body.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String)> {
     let mut status = String::new();
     if reader.read_line(&mut status)? == 0 {
         return Err(std::io::Error::new(
@@ -599,6 +661,16 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
             "connection closed before response",
         ));
     }
+    let code: u16 = status
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable status line {status:?}"),
+            )
+        })?;
     // An unframeable response poisons the whole persistent connection, so
     // surface it as an io::Error — round_trip drops the connection on any
     // io::Error, forcing a clean reconnect.
@@ -616,7 +688,105 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(String::from_utf8_lossy(&body).into_owned())
+    Ok((code, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Socket tuning for [`HttpClient`]: every phase of a round trip is
+/// bounded, so a hung or partitioned server costs a finite, configurable
+/// wait instead of blocking the caller forever.
+#[derive(Clone, Debug)]
+pub struct HttpClientConfig {
+    /// Ceiling on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Ceiling on each blocking read while awaiting the response.
+    pub read_timeout: Duration,
+    /// Ceiling on each blocking write while sending the request.
+    pub write_timeout: Duration,
+}
+
+impl Default for HttpClientConfig {
+    fn default() -> Self {
+        HttpClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How far a failed round trip got — the fact a failover layer needs to
+/// decide whether a retry is safe.
+#[derive(Debug)]
+pub(crate) enum CallError {
+    /// The transport failed. `sent` reports whether any request bytes may
+    /// have reached the server: `false` means the failure happened while
+    /// connecting (nothing transmitted — always safe to retry), `true`
+    /// means the request may have been received and even executed.
+    Transport {
+        /// Whether request bytes may have gone out.
+        sent: bool,
+        /// The decoded failure.
+        error: ApiError,
+    },
+    /// The server answered an HTTP 5xx (overload or injected fault). The
+    /// request reached the server; whether it was dispatched is unknown.
+    Server {
+        /// The HTTP status code.
+        status: u16,
+        /// The decoded (or synthesized) error body.
+        error: ApiError,
+    },
+    /// A well-formed application-level error envelope (rule violation,
+    /// `counter_unavailable`, …). The operation definitively ran; there
+    /// is nothing for a transport-level retry to fix.
+    Api(ApiError),
+}
+
+impl CallError {
+    /// Collapse to the plain [`ApiError`] a single-endpoint caller sees,
+    /// preserving the HTTP status of a server-level failure in the message.
+    pub(crate) fn into_api(self) -> ApiError {
+        match self {
+            CallError::Transport { error, .. } | CallError::Api(error) => error,
+            CallError::Server { status, error } => {
+                ApiError::new(error.code, format!("http {status}: {}", error.message))
+            }
+        }
+    }
+}
+
+/// Where in the round trip an I/O error struck.
+enum IoFailure {
+    /// While establishing the connection: nothing was transmitted.
+    Connect(std::io::Error),
+    /// While writing the request or reading the response: the request may
+    /// have reached (and been executed by) the server.
+    AfterSend(std::io::Error),
+}
+
+/// Render an I/O error as a transport [`ApiError`], naming timeouts
+/// distinguishably (`set_read_timeout`/`set_write_timeout` expirations
+/// surface as `WouldBlock`/`TimedOut` depending on platform).
+fn transport_error(phase: &str, e: &std::io::Error) -> ApiError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        ApiError::new(ErrorCode::Transport, format!("{phase} timed out: {e}"))
+    } else {
+        ApiError::new(ErrorCode::Transport, format!("{phase} failed: {e}"))
+    }
+}
+
+impl IoFailure {
+    fn sent(&self) -> bool {
+        matches!(self, IoFailure::AfterSend(_))
+    }
+
+    fn into_call_error(self) -> CallError {
+        let (sent, error) = match &self {
+            IoFailure::Connect(e) => (false, transport_error("connect", e)),
+            IoFailure::AfterSend(e) => (true, transport_error("round trip", e)),
+        };
+        CallError::Transport { sent, error }
+    }
 }
 
 /// The wire implementation of [`TsApi`]: protocol-v2 envelopes over one
@@ -628,18 +798,27 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
 /// is detected *before* the request is sent and replaced transparently —
 /// safe for every op, because nothing was transmitted yet. Failures after
 /// the request went out are retried on a fresh connection only for
-/// idempotent ops.
+/// idempotent ops. Every socket phase is bounded by [`HttpClientConfig`]
+/// timeouts, so a hung server surfaces as a distinguishable "timed out"
+/// [`ErrorCode::Transport`] error instead of blocking forever.
 pub struct HttpClient {
     addr: SocketAddr,
+    config: HttpClientConfig,
     conn: parking_lot::Mutex<Option<BufReader<TcpStream>>>,
 }
 
 impl HttpClient {
-    /// A client for the server at `addr`. No I/O happens until the first
-    /// call.
+    /// A client for the server at `addr` with default timeouts. No I/O
+    /// happens until the first call.
     pub fn connect(addr: SocketAddr) -> HttpClient {
+        HttpClient::connect_with(addr, HttpClientConfig::default())
+    }
+
+    /// A client with explicit socket timeouts.
+    pub fn connect_with(addr: SocketAddr, config: HttpClientConfig) -> HttpClient {
         HttpClient {
             addr,
+            config,
             conn: parking_lot::Mutex::new(None),
         }
     }
@@ -660,22 +839,31 @@ impl HttpClient {
         &self,
         conn: &mut Option<BufReader<TcpStream>>,
         body: &str,
-    ) -> std::io::Result<String> {
+    ) -> Result<(u16, String), IoFailure> {
         if conn.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
-            stream.set_nodelay(true)?;
+            let stream = (|| {
+                let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(self.config.read_timeout))?;
+                stream.set_write_timeout(Some(self.config.write_timeout))?;
+                Ok(stream)
+            })()
+            .map_err(IoFailure::Connect)?;
             *conn = Some(BufReader::new(stream));
         }
         let reader = conn.as_mut().expect("connection just ensured");
         let stream = reader.get_mut();
-        write!(
-            stream,
-            "POST / HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
-            self.addr,
-            body.len()
-        )?;
-        stream.flush()?;
-        read_response(reader)
+        (|| {
+            write!(
+                stream,
+                "POST / HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                self.addr,
+                body.len()
+            )?;
+            stream.flush()
+        })()
+        .map_err(IoFailure::AfterSend)?;
+        read_response(reader).map_err(IoFailure::AfterSend)
     }
 
     /// One keep-alive round trip.
@@ -687,7 +875,7 @@ impl HttpClient {
     /// connection only for `idempotent` operations: a lost *response* is
     /// indistinguishable from a lost *request*, and replaying an issuance
     /// could mint twice (burning one-time counter indexes).
-    fn round_trip(&self, body: &str, idempotent: bool) -> Result<String, ApiError> {
+    fn round_trip(&self, body: &str, idempotent: bool) -> Result<(u16, String), CallError> {
         let mut conn = self.conn.lock();
         if conn.as_mut().is_some_and(connection_is_stale) {
             *conn = None;
@@ -697,43 +885,73 @@ impl HttpClient {
             Ok(response) => Ok(response),
             Err(first) => {
                 *conn = None;
-                if !had_connection || !idempotent {
+                if !had_connection || (first.sent() && !idempotent) {
                     // Fresh connection already failed (retry won't help),
                     // or replay is unsafe for this op.
-                    return Err(ApiError::transport(first));
+                    return Err(first.into_call_error());
                 }
                 self.round_trip_once(&mut conn, body).map_err(|e| {
                     *conn = None;
-                    ApiError::transport(e)
+                    e.into_call_error()
                 })
             }
         }
     }
 
-    /// Send one v2 op and return the success body (or the decoded error).
-    fn call(&self, op: &str, body: Option<Json>) -> Result<Json, ApiError> {
+    /// Send one v2 op, reporting failures with enough detail for a
+    /// failover layer to decide whether retrying elsewhere is safe.
+    pub(crate) fn call_detailed(
+        &self,
+        op: &str,
+        body: Option<Json>,
+        idempotent: bool,
+    ) -> Result<Json, CallError> {
         let envelope = RequestEnvelope {
             v: PROTOCOL_VERSION,
             op: op.into(),
             body,
         };
-        // Replaying `set_rules` re-applies the same whole-book replacement;
-        // `discover`/`ping` are reads. Issuance is the non-idempotent pair.
-        let idempotent = matches!(op, "ping" | "discover" | "set_rules");
-        let text = self.round_trip(&json::to_string(&envelope), idempotent)?;
-        let response = ResponseEnvelope::from_json(
-            &Json::parse(&text)
-                .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad response: {e}")))?,
-        )
-        .map_err(|e| ApiError::new(ErrorCode::Internal, format!("bad response envelope: {e}")))?;
+        let (status, text) = self.round_trip(&json::to_string(&envelope), idempotent)?;
+        let decoded = Json::parse(&text)
+            .ok()
+            .and_then(|json| ResponseEnvelope::from_json(&json).ok());
+        if status >= 500 {
+            // Overload (503) or injected fault (500): surface the decoded
+            // envelope error when one came along, but tagged as a server
+            // failure so failover can route around it.
+            let error = decoded
+                .and_then(|r| r.error)
+                .map(ApiError::from)
+                .unwrap_or_else(|| {
+                    ApiError::new(ErrorCode::Internal, format!("server error {status}"))
+                });
+            return Err(CallError::Server { status, error });
+        }
+        let response = decoded.ok_or_else(|| {
+            CallError::Api(ApiError::new(
+                ErrorCode::Internal,
+                "undecodable response envelope",
+            ))
+        })?;
         if response.ok {
             Ok(response.body.unwrap_or(Json::Null))
         } else {
-            Err(response
-                .error
-                .map(ApiError::from)
-                .unwrap_or_else(|| ApiError::new(ErrorCode::Internal, "error without detail")))
+            Err(CallError::Api(
+                response
+                    .error
+                    .map(ApiError::from)
+                    .unwrap_or_else(|| ApiError::new(ErrorCode::Internal, "error without detail")),
+            ))
         }
+    }
+
+    /// Send one v2 op and return the success body (or the decoded error).
+    fn call(&self, op: &str, body: Option<Json>) -> Result<Json, ApiError> {
+        // Replaying `set_rules` re-applies the same whole-book replacement;
+        // `discover`/`ping` are reads. Issuance is the non-idempotent pair.
+        let idempotent = matches!(op, "ping" | "discover" | "set_rules");
+        self.call_detailed(op, body, idempotent)
+            .map_err(CallError::into_api)
     }
 }
 

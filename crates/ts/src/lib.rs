@@ -63,9 +63,55 @@
 //!   snapshot ([`smacs_primitives::epoch::EpochCell`]), so a `set_rules`
 //!   burst cannot stall the issuance path, and signature work (`recover`,
 //!   `k·G`) always runs outside any lock.
+//!
+//! # Failure model (§VII-B availability)
+//!
+//! A production TS must stay available through crashes and partitions; the
+//! replication layer ([`cluster`], [`failover`], [`replica`], [`fault`])
+//! implements the paper's replication sketch with explicit, testable
+//! semantics:
+//!
+//! - **What replicates.** A [`cluster::ReplicaSet`] runs N full service
+//!   instances sharing the signing key (tokens from any replica verify
+//!   against the one on-chain `pk_TS`), the rule shards
+//!   ([`service::ShardedRules`] — an owner update through any replica
+//!   binds all of them), and a majority-quorum one-time counter
+//!   ([`replica::CounterCluster`]).
+//!
+//! - **What is retried.** [`failover::FailoverClient`] classifies every
+//!   failure by how far the round trip got. A *connect-phase* failure
+//!   transmitted nothing and is always replayed on the next replica. Once
+//!   the request may have been sent, only idempotent operations are
+//!   replayed: `ping` and `discover` (reads), `set_rules` (replaying a
+//!   whole-book replacement converges), and issuance *without* the
+//!   one-time property (a re-mint is byte-identical). Retries back off
+//!   exponentially with jitter, bounded by an attempt budget and a
+//!   per-call deadline; per-endpoint circuit breakers stop paying a dead
+//!   replica's timeout on every call.
+//!
+//! - **What is at-most-once.** A one-time issue whose *answer* was lost
+//!   (timeout, truncated response, connection drop after send) is
+//!   surfaced as an [`ErrorCode::Transport`] error, never blind-retried —
+//!   the counter index may already be burned, and minting again would
+//!   produce a second live token. The wallet decides, because only it
+//!   learns whether the first token reached the chain.
+//!
+//! - **What fails closed.** When the counter group loses its majority,
+//!   one-time issuance answers [`ErrorCode::CounterUnavailable`] rather
+//!   than risk duplicate indexes; expiry-token issuance — which needs no
+//!   coordination — keeps working. Degradation is partial and explicit,
+//!   and [`replica::CounterCluster::recover`] restores full service with
+//!   the counter caught up past every index ever committed.
+//!
+//! The [`fault::FaultPlan`] hooks in the HTTP server (drop, 500, delay,
+//! truncate) exist so the chaos suite (`tests/chaos.rs`) can prove each of
+//! these claims over the real wire path.
 
 pub mod api;
+pub mod cluster;
 pub mod discovery;
+pub mod failover;
+pub mod fault;
 pub mod front;
 pub mod http;
 pub mod replica;
@@ -75,10 +121,13 @@ pub mod store;
 pub mod validation;
 
 pub use api::{ApiError, ErrorCode, InProcessClient, TsApi, MAX_BATCH, PROTOCOL_VERSION};
+pub use cluster::{ReplicaSet, ReplicaSetConfig};
 pub use discovery::ServiceDirectory;
-pub use http::{HttpClient, HttpServer, HttpServerConfig};
+pub use failover::{BreakerConfig, FailoverClient, RetryPolicy};
+pub use fault::FaultPlan;
+pub use http::{HttpClient, HttpClientConfig, HttpServer, HttpServerConfig};
 pub use replica::CounterCluster;
 pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
-pub use service::{IssueError, TokenService, TokenServiceConfig};
+pub use service::{IssueError, ShardedRules, TokenService, TokenServiceConfig};
 pub use store::RuleStore;
 pub use validation::{NullTool, ValidationTool};

@@ -99,6 +99,20 @@ impl CounterCluster {
         self.nodes[id].alive.store(true, Ordering::SeqCst);
     }
 
+    /// The highest committed counter value across all nodes — how many
+    /// indexes have ever been allocated. A diagnostics/test peek: the
+    /// chaos suite uses it to prove a lost-response issuance burned
+    /// exactly one index (at-most-once), and recovery tests use it to
+    /// check catch-up.
+    pub fn committed(&self) -> u64 {
+        let _guard = self.proposal_lock.lock();
+        self.nodes
+            .iter()
+            .map(|n| n.committed.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Atomically allocate the next index. Returns `None` when quorum is
     /// lost — the caller must refuse issuance.
     pub fn next_index(&self) -> Option<u64> {

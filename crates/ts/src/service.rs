@@ -60,6 +60,95 @@ enum IndexSource {
     Replicated(CounterCluster),
 }
 
+/// Rule books sharded by contract address, shared across the replicas of
+/// a [`crate::cluster::ReplicaSet`].
+///
+/// Each shard is its own [`EpochCell`], so a rule update for one
+/// contract's shard never invalidates the epoch snapshots issuers hold
+/// for other shards — and because every replica holds the same
+/// `Arc<ShardedRules>`, an owner update through *any* replica propagates
+/// to all of them in one atomic swap per shard (the paper's "rules can be
+/// updated dynamically" story, now replica-wide).
+pub struct ShardedRules {
+    shards: Vec<EpochCell<RuleBook>>,
+}
+
+impl ShardedRules {
+    /// `shards` rule books, each initially `initial`.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, initial: RuleBook) -> Arc<ShardedRules> {
+        assert!(shards > 0, "need at least one rule shard");
+        Arc::new(ShardedRules {
+            shards: (0..shards)
+                .map(|_| EpochCell::new(initial.clone()))
+                .collect(),
+        })
+    }
+
+    /// Which shard governs `contract`. Stable across replicas (pure
+    /// function of the address bytes), cheap, and uniform enough for
+    /// shard counts far below 2^16.
+    pub fn shard_index(&self, contract: Address) -> usize {
+        let bytes = contract.as_bytes();
+        let mix = bytes.iter().fold(0usize, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(*b as usize)
+        });
+        mix % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pin the current rule snapshot for `contract`'s shard.
+    pub fn load(&self, contract: Address) -> Arc<RuleBook> {
+        self.shards[self.shard_index(contract)].load()
+    }
+
+    /// Replace every shard's book with `rules` (the whole-service
+    /// `set_rules` semantics, propagated to all sharing replicas).
+    pub fn store_all(&self, rules: RuleBook) {
+        for shard in &self.shards {
+            shard.store(rules.clone());
+        }
+    }
+
+    /// Read-copy-update every shard (owner-side targeted edit).
+    pub fn update_all<F: Fn(&mut RuleBook)>(&self, edit: F) {
+        for shard in &self.shards {
+            shard.update(&edit);
+        }
+    }
+
+    /// Read-copy-update only the shard governing `contract` — the cheap
+    /// path when an edit targets one contract's rules.
+    pub fn update_contract<F: FnOnce(&mut RuleBook)>(&self, contract: Address, edit: F) {
+        self.shards[self.shard_index(contract)].update(edit);
+    }
+}
+
+/// Where rule books live: owned by this service, or shared (sharded)
+/// across a replica set.
+enum RuleSource {
+    /// This service's private book.
+    Owned(EpochCell<RuleBook>),
+    /// Shared shards — every replica holding the same `Arc` sees every
+    /// update.
+    Shared(Arc<ShardedRules>),
+}
+
+impl RuleSource {
+    fn load(&self, contract: Address) -> Arc<RuleBook> {
+        match self {
+            RuleSource::Owned(cell) => cell.load(),
+            RuleSource::Shared(shards) => shards.load(contract),
+        }
+    }
+}
+
 /// TS configuration.
 #[derive(Clone, Debug)]
 pub struct TokenServiceConfig {
@@ -87,8 +176,9 @@ pub struct TokenService {
     /// Rules live behind an epoch snapshot: issuance pins an immutable
     /// `Arc<RuleBook>` per request (lock-free in steady state) and
     /// `set_rules` swaps the whole book atomically — concurrent issuers
-    /// never contend with each other or with rule reads.
-    rules: EpochCell<RuleBook>,
+    /// never contend with each other or with rule reads. In a replica
+    /// set the source is a shared [`ShardedRules`] instead.
+    rules: RuleSource,
     tools: Vec<Arc<dyn ValidationTool>>,
     testnet: Option<RwLock<Chain>>,
     index_source: IndexSource,
@@ -103,7 +193,7 @@ impl TokenService {
     pub fn new(sk_ts: Keypair, rules: RuleBook, config: TokenServiceConfig) -> Self {
         TokenService {
             sk_ts,
-            rules: EpochCell::new(rules),
+            rules: RuleSource::Owned(EpochCell::new(rules)),
             tools: Vec::new(),
             testnet: None,
             index_source: IndexSource::Local(AtomicU64::new(0)),
@@ -132,6 +222,24 @@ impl TokenService {
         self
     }
 
+    /// Check rules against shards shared with sibling replicas instead of
+    /// a service-private book — what [`crate::cluster::ReplicaSet`] wires
+    /// so one owner update reaches every replica.
+    pub fn with_shared_rules(mut self, shards: Arc<ShardedRules>) -> Self {
+        self.rules = RuleSource::Shared(shards);
+        self
+    }
+
+    /// Whether one-time issuance is currently possible: always for a
+    /// local counter, quorum-dependent for a replicated one. The
+    /// degradation signal operators alert on.
+    pub fn one_time_available(&self) -> bool {
+        match &self.index_source {
+            IndexSource::Local(_) => true,
+            IndexSource::Replicated(cluster) => cluster.has_quorum(),
+        }
+    }
+
     /// Fan batch signing across `pool` instead of the process-shared
     /// default — benches use this to pin an exact parallelism degree, and
     /// an embedded HTTP server shares its connection pool this way.
@@ -153,21 +261,37 @@ impl TokenService {
     /// Owner-side dynamic rule update ("these rules can be updated
     /// dynamically by the owner", §III-C). Replaces the whole book with
     /// one atomic snapshot swap; in-flight requests finish against the
-    /// generation they pinned.
+    /// generation they pinned. With shared shards, the replacement
+    /// reaches every replica holding the same shards.
     pub fn set_rules(&self, rules: RuleBook) {
-        self.rules.store(rules);
+        match &self.rules {
+            RuleSource::Owned(cell) => cell.store(rules),
+            RuleSource::Shared(shards) => shards.store_all(rules),
+        }
     }
 
     /// Owner-side targeted rule edit (read-copy-update; concurrent edits
-    /// are serialized, never lost).
-    pub fn update_rules<F: FnOnce(&mut RuleBook)>(&self, edit: F) {
-        self.rules.update(edit);
+    /// are serialized, never lost). With shared shards the edit is
+    /// applied to every shard — use [`ShardedRules::update_contract`]
+    /// directly for a single-contract edit.
+    pub fn update_rules<F: Fn(&mut RuleBook)>(&self, edit: F) {
+        match &self.rules {
+            RuleSource::Owned(cell) => cell.update(edit),
+            RuleSource::Shared(shards) => shards.update_all(edit),
+        }
     }
 
-    /// Snapshot of the current rules (owner diagnostics; rules stay
-    /// private to the TS — clients never see them).
+    /// Snapshot of the rules governing `contract` (owner diagnostics;
+    /// rules stay private to the TS — clients never see them).
+    pub fn rules_snapshot_for(&self, contract: Address) -> RuleBook {
+        (*self.rules.load(contract)).clone()
+    }
+
+    /// Snapshot of the current rules (owner diagnostics). With shared
+    /// shards this reads the shard governing the zero address; prefer
+    /// [`TokenService::rules_snapshot_for`] in sharded deployments.
     pub fn rules_snapshot(&self) -> RuleBook {
-        (*self.rules.load()).clone()
+        self.rules_snapshot_for(Address::default())
     }
 
     /// Handle one token request at TS-local time `now`.
@@ -178,9 +302,11 @@ impl TokenService {
 
         // 2. ACR compliance, against a pinned immutable snapshot — no lock
         //    is held while the (potentially large) white/blacklists are
-        //    walked, so concurrent issuers never serialize here.
+        //    walked, so concurrent issuers never serialize here. In a
+        //    replica set the snapshot comes from the shard governing this
+        //    contract.
         self.rules
-            .load()
+            .load(req.contract)
             .check(req)
             .map_err(IssueError::RuleViolation)?;
 

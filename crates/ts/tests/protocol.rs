@@ -222,6 +222,78 @@ fn batch_partial_failure_over_the_http_client() {
     server.shutdown();
 }
 
+// ---- counter availability over the wire (§VII-B) ----
+
+/// A front end whose one-time counter is a 3-node quorum cluster with two
+/// nodes down — quorum lost, one-time issuance must fail closed.
+fn quorumless_front() -> Arc<FrontEnd> {
+    let cluster = smacs_ts::CounterCluster::new(3);
+    cluster.kill(1);
+    cluster.kill(2);
+    Arc::new(FrontEnd::new(
+        TokenService::new(
+            Keypair::from_seed(42),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        )
+        .with_replicated_counter(cluster),
+        "owner-secret",
+        1_000,
+    ))
+}
+
+#[test]
+fn counter_unavailable_round_trips_the_v2_wire() {
+    let front = quorumless_front();
+
+    // One-time issuance: fail-closed with the machine-readable code, and
+    // a message that leaks no cluster internals.
+    let response = parse(&front.handle_json(&v2("issue", request(1).one_time().to_json())));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_code(&response), "counter_unavailable");
+
+    // Expiry issuance needs no counter: same service, still succeeding.
+    let response = parse(&front.handle_json(&v2("issue", request(1).to_json())));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+
+    // And through the typed HTTP client the code arrives as the enum.
+    let server = HttpServer::start(front).unwrap();
+    let client = HttpClient::connect(server.addr());
+    let err = client.issue(&request(2).one_time()).unwrap_err();
+    assert_eq!(err.code, ErrorCode::CounterUnavailable);
+    client.issue(&request(2)).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn batch_partial_failure_with_counter_unavailable() {
+    // A quorum-lost batch degrades per item: one-time slots answer
+    // `counter_unavailable`, plain slots still mint — one coordination
+    // outage never poisons the whole batch.
+    let server = HttpServer::start(quorumless_front()).unwrap();
+    let client = HttpClient::connect(server.addr());
+    let results = client
+        .issue_batch(&[
+            request(1),
+            request(2).one_time(),
+            request(3),
+            request(4).one_time(),
+        ])
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ok());
+    assert_eq!(
+        results[1].as_ref().unwrap_err().code,
+        ErrorCode::CounterUnavailable
+    );
+    assert!(results[2].is_ok());
+    assert_eq!(
+        results[3].as_ref().unwrap_err().code,
+        ErrorCode::CounterUnavailable
+    );
+    server.shutdown();
+}
+
 // ---- keep-alive ----
 
 #[test]

@@ -62,6 +62,7 @@ fn discovery_http_issuance_and_onchain_spend() {
             name: "BenchTarget".into(),
             compiler: "smacs-chain 0.1".into(),
             token_service_url: Some(server.url()),
+            replica_urls: Vec::new(),
         },
     );
     let api = HttpClient::connect(server.addr());
