@@ -99,6 +99,23 @@ fn main() {
         conn_probe.spawn_model_threads
     );
 
+    println!("\n== Open-loop load (scenario corpus, latency percentiles) ==");
+    use smacs_bench::openloop;
+    let oracle = openloop::oracle_over_http(openloop::SMOKE_EVENTS, openloop::SMOKE_RPS);
+    println!("oracle/http     {}", openloop::report_line(&oracle));
+    let airdrop = openloop::airdrop_over_replicas(openloop::SMOKE_EVENTS, openloop::SMOKE_RPS);
+    println!("airdrop/quorum  {}", openloop::report_line(&airdrop));
+
+    println!("\n== WorldState::commit rebuild-threshold sweep ==");
+    const THRESHOLDS: &[usize] = &[1_024, 4_096, 8_192, 16_384, 65_536];
+    let threshold_points = smacs_bench::perf::commit_threshold_sweep(SLOTS, THRESHOLDS);
+    for p in &threshold_points {
+        println!(
+            "threshold {:>6}: commit {:>10.0} ns/block   post-burst fork {:>10.0} ns   residual overlay {:>6}",
+            p.threshold, p.commit_ns, p.post_burst_fork_ns, p.residual_overlay
+        );
+    }
+
     let mut summary = smacs_bench::perf::sweep_to_json(SLOTS, &rows);
     if let Json::Obj(members) = &mut summary {
         members.push((
@@ -120,6 +137,18 @@ fn main() {
         members.push((
             "connection_scaling".into(),
             smacs_bench::perf::connection_scaling_to_json(&conn_probe),
+        ));
+        members.push((
+            "open_loop_oracle".into(),
+            smacs_driver::loadgen::report_to_json(&oracle),
+        ));
+        members.push((
+            "open_loop_airdrop".into(),
+            smacs_driver::loadgen::report_to_json(&airdrop),
+        ));
+        members.push((
+            "commit_threshold_sweep".into(),
+            smacs_bench::perf::threshold_sweep_to_json(SLOTS, &threshold_points),
         ));
     }
     match std::fs::write("BENCH_results.json", summary.render_pretty()) {

@@ -8,6 +8,7 @@
 //! crossovers) hold.
 
 pub mod experiments;
+pub mod openloop;
 pub mod perf;
 pub mod setup;
 

@@ -1,0 +1,112 @@
+//! Open-loop latency-percentile bench points over the scenario corpus.
+//!
+//! These wire `smacs_driver::loadgen` to real HTTP Token Services:
+//!
+//! - [`oracle_over_http`] — the `oracle` scenario against a single
+//!   `FrontEnd` + `HttpServer` (method-token issuance on the wire);
+//! - [`airdrop_over_replicas`] — the `airdrop` scenario against a
+//!   3-replica `ReplicaSet` through `FailoverClient`, so every event is a
+//!   one-time issuance that crosses the majority-quorum `CounterCluster`.
+//!
+//! Reports go into `BENCH_results.json` under `open_loop_oracle` /
+//! `open_loop_airdrop`; the `*_p99_ns` keys are tail-latency gates for
+//! `perf_regression` (lower-is-better), `achieved_per_sec` guards
+//! against silent rate collapse (higher-is-better), and `offered_rps`
+//! is config (neutral).
+
+use smacs_driver::loadgen::{run_open_loop, Arrivals, LoadConfig, LoadReport};
+use smacs_driver::scenario::{self, OWNER_SECRET};
+use smacs_ts::front::FrontEnd;
+use smacs_ts::{FailoverClient, HttpClient, HttpServer, ReplicaSet, ReplicaSetConfig};
+use std::sync::Arc;
+
+/// Default smoke sizing: enough events for a stable p99 on the 1-CPU
+/// reference container without stretching CI.
+pub const SMOKE_EVENTS: usize = 400;
+/// Offered rate for the smoke runs (events/second). Well under the
+/// ~10k/s single-thread issuance ceiling, so achieved ≈ offered unless
+/// something regresses.
+pub const SMOKE_RPS: u64 = 800;
+
+fn config(events: usize, offered_rps: u64) -> LoadConfig {
+    LoadConfig {
+        offered_rps,
+        events,
+        senders: 4,
+        arrivals: Arrivals::Poisson,
+        seed: 0x0bea_c0de,
+    }
+}
+
+/// Drive the `oracle` scenario open-loop against one HTTP TS.
+pub fn oracle_over_http(events: usize, offered_rps: u64) -> LoadReport {
+    let world = scenario::build("oracle", 21).unwrap();
+    let requests = world.requests.clone();
+    let front = Arc::new(FrontEnd::new(
+        world.token_service(),
+        OWNER_SECRET,
+        world.now(),
+    ));
+    let server = HttpServer::start(front).expect("bind loopback");
+    let client = HttpClient::connect(server.addr());
+    let report = run_open_loop(&client, &requests, &config(events, offered_rps));
+    server.shutdown();
+    report
+}
+
+/// Drive the `airdrop` scenario open-loop against a 3-replica set:
+/// every event is a one-time claim token, so each issuance takes a
+/// majority-quorum round through the `CounterCluster`.
+pub fn airdrop_over_replicas(events: usize, offered_rps: u64) -> LoadReport {
+    let world = scenario::build("airdrop", 22).unwrap();
+    let requests = world.requests.clone();
+    let set = ReplicaSet::start(
+        world.toolkit.ts_keypair().clone(),
+        world.rules.clone(),
+        ReplicaSetConfig {
+            replicas: 3,
+            now: world.now(),
+            ..ReplicaSetConfig::default()
+        },
+    )
+    .expect("bind replica set");
+    let client = FailoverClient::new(set.addrs());
+    let report = run_open_loop(&client, &requests, &config(events, offered_rps));
+    set.shutdown();
+    report
+}
+
+/// One-line console rendering of a report.
+pub fn report_line(report: &LoadReport) -> String {
+    format!(
+        "offered {:>5} rps  achieved {:>5}/s  issue p50/p99/p999 {:>7}/{:>8}/{:>8} ns  e2e p99 {:>9} ns  ({} ok, {} err)",
+        report.offered_rps,
+        report.achieved_per_sec,
+        report.issue.p50_ns,
+        report.issue.p99_ns,
+        report.issue.p999_ns,
+        report.e2e.p99_ns,
+        report.completed,
+        report.errors
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_http_smoke_completes_cleanly() {
+        let report = oracle_over_http(60, 600);
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.errors, 0);
+        assert!(report.issue.p99_ns > 0);
+    }
+
+    #[test]
+    fn airdrop_replica_smoke_burns_unique_one_time_indexes() {
+        let report = airdrop_over_replicas(40, 400);
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.errors, 0);
+    }
+}

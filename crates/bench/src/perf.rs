@@ -710,6 +710,85 @@ pub fn connection_scaling_to_json(probe: &ConnectionScaling) -> Json {
     ])
 }
 
+/// One point of the `WorldState::commit` shared-base rebuild sweep.
+pub struct ThresholdPoint {
+    /// Overlay size at which a fork-shared base is rebuilt.
+    pub threshold: usize,
+    /// Average ns per block commit during the write burst.
+    pub commit_ns: f64,
+    /// ns to `fork()` after the burst — the cost left behind by whatever
+    /// overlay the threshold allowed to accumulate.
+    pub post_burst_fork_ns: f64,
+    /// Overlay entries still unflattened when the burst ends.
+    pub residual_overlay: usize,
+}
+
+/// Sweep the shared-base rebuild threshold under the workload it exists
+/// for: a long-lived fork (the Token Service's standing testnet) pins the
+/// base while the chain commits a burst of small blocks. Low thresholds
+/// rebuild often (commit pays the O(world) copy more frequently); high
+/// thresholds let the overlay grow, which every later `fork()` re-clones.
+pub fn commit_threshold_sweep(world_slots: u64, thresholds: &[usize]) -> Vec<ThresholdPoint> {
+    const BLOCKS: usize = 256;
+    const WRITES_PER_BLOCK: u64 = 64;
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let mut world = populated_world(world_slots);
+            world.set_rebuild_threshold(threshold);
+            let pin = world.fork(); // standing testnet: keeps the base shared
+            let start = Instant::now();
+            for b in 0..BLOCKS as u64 {
+                for w in 0..WRITES_PER_BLOCK {
+                    let i = b * WRITES_PER_BLOCK + w;
+                    world.storage_set(addr(i % 64), key(world_slots + i), key(i + 1));
+                }
+                world.commit();
+            }
+            let commit_ns = start.elapsed().as_nanos() as f64 / BLOCKS as f64;
+            let residual_overlay = world.overlay_len();
+            let post_burst_fork_ns = time_per_iter(64, || {
+                std::hint::black_box(world.fork());
+            });
+            drop(pin);
+            ThresholdPoint {
+                threshold,
+                commit_ns,
+                post_burst_fork_ns,
+                residual_overlay,
+            }
+        })
+        .collect()
+}
+
+/// Render the threshold sweep as a JSON object: one `t{N}_*` triple per
+/// point plus the default threshold for context. The `_ns` leaves gate as
+/// lower-is-better in `perf_regression`.
+pub fn threshold_sweep_to_json(world_slots: u64, points: &[ThresholdPoint]) -> Json {
+    let mut members: Vec<(String, Json)> = vec![
+        ("world_slots".into(), Json::Int(world_slots as i128)),
+        (
+            "default_threshold".into(),
+            Json::Int(WorldState::SHARED_BASE_REBUILD_THRESHOLD as i128),
+        ),
+    ];
+    for p in points {
+        members.push((
+            format!("t{}_commit_ns", p.threshold),
+            Json::Int(p.commit_ns as i128),
+        ));
+        members.push((
+            format!("t{}_post_burst_fork_ns", p.threshold),
+            Json::Int(p.post_burst_fork_ns as i128),
+        ));
+        members.push((
+            format!("t{}_residual_overlay", p.threshold),
+            Json::Int(p.residual_overlay as i128),
+        ));
+    }
+    Json::Obj(members)
+}
+
 /// One labeled measurement in the machine-readable summary.
 pub struct PerfRow {
     /// Metric name.
@@ -809,6 +888,20 @@ mod tests {
         assert!(json.get("snapshot_speedup_vs_clone").is_some());
         assert!(json.get("call_chain_depth16_ns").is_some());
         assert!(json.get("ecdsa_recover_ns").is_some());
+    }
+
+    #[test]
+    fn threshold_sweep_rebuilds_below_and_accumulates_above() {
+        // Burst = 256 blocks × 64 writes to fresh keys = 16_384 overlay
+        // entries. A tiny threshold must flatten (small residual); a
+        // threshold above the burst size must leave it all accumulated.
+        let points = commit_threshold_sweep(2_000, &[64, 1 << 20]);
+        assert!(points[0].residual_overlay < 64);
+        assert!(points[1].residual_overlay >= 16_384);
+        let json = threshold_sweep_to_json(2_000, &points);
+        assert!(json.get("t64_commit_ns").is_some());
+        assert!(json.get("t1048576_post_burst_fork_ns").is_some());
+        assert!(json.get("default_threshold").is_some());
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! DeFi composition scenario: a constant-product AMM plus a lending pool
+//! that routes through it — the corpus workload for *cross-contract* token
+//! checks (§IV-D) and *argument-token price bounds* (§IV-E).
+//!
+//! - [`SmacsAmm`] swaps asset X for asset Y against on-chain reserves.
+//!   `swap(amountIn, minOut)` is the argument-token surface: the TS binds a
+//!   token to the exact calldata, so an ACR can blacklist `minOut = 0`
+//!   (unbounded slippage) or whitelist approved trade sizes without the
+//!   contract storing any list.
+//! - [`LendingPool`] composes: `leverageSwap(amountIn, minOut)` forwards
+//!   the swap to its configured AMM through
+//!   [`smacs_core::verify::forward_call`], so a transaction needs a valid
+//!   token for *both* contracts — the Fig. 5 call-chain shape applied to a
+//!   DeFi composition rather than a synthetic chain.
+//!
+//! Reserves use a demo scale (wei-denominated virtual balances); the
+//! interesting behaviour is the access-control surface, not the curve.
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{Address, Bytes, H256, U256};
+
+/// Off-chain mirror of [`CallContext::mapping_slot`]: `keccak256(key ‖ base)`.
+fn mapping_slot_of(base: u64, key: &[u8]) -> H256 {
+    let base_word = U256::from_u64(base).to_be_bytes();
+    smacs_crypto::keccak256_concat(&[key, &base_word])
+}
+
+/// Storage slot of reserve X.
+const RESERVE_X_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+]);
+/// Storage slot of reserve Y.
+const RESERVE_Y_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+]);
+/// Mapping slot: trader address → cumulative Y received.
+const BALANCE_Y_MAPPING_SLOT: u64 = 2;
+/// Storage slot counting executed swaps.
+const SWAP_COUNT_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3,
+]);
+
+/// A constant-product market maker over two virtual reserves.
+///
+/// Methods:
+/// - `seed(uint256,uint256)` — set initial reserves (demo: anyone with a
+///   token; ACRs decide who that is);
+/// - `swap(uint256,uint256)` — trade `amountIn` of X for Y, reverting if
+///   the constant-product output falls below `minOut`;
+/// - `quote(uint256)` — view: the Y output for a given X input;
+/// - `reserves()` — view: both reserves, ABI-encoded.
+pub struct SmacsAmm;
+
+impl SmacsAmm {
+    /// Canonical signature of the swap method (the argument-token surface).
+    pub const SWAP_SIG: &'static str = "swap(uint256,uint256)";
+    /// Canonical signature of the reserve-seeding method.
+    pub const SEED_SIG: &'static str = "seed(uint256,uint256)";
+
+    /// Payload for `seed(x, y)`.
+    pub fn seed_payload(x: u64, y: u64) -> Vec<u8> {
+        abi::encode_call(
+            Self::SEED_SIG,
+            &[
+                smacs_chain::AbiValue::Uint(U256::from_u64(x)),
+                smacs_chain::AbiValue::Uint(U256::from_u64(y)),
+            ],
+        )
+    }
+
+    /// Payload for `swap(amount_in, min_out)`.
+    pub fn swap_payload(amount_in: u64, min_out: u64) -> Vec<u8> {
+        abi::encode_call(
+            Self::SWAP_SIG,
+            &[
+                smacs_chain::AbiValue::Uint(U256::from_u64(amount_in)),
+                smacs_chain::AbiValue::Uint(U256::from_u64(min_out)),
+            ],
+        )
+    }
+
+    /// Constant-product output: `y_out = reserve_y·dx / (reserve_x + dx)`.
+    fn output(reserve_x: U256, reserve_y: U256, dx: U256) -> U256 {
+        let denom = reserve_x.wrapping_add(dx);
+        if denom.is_zero() {
+            return U256::ZERO;
+        }
+        reserve_y.wrapping_mul(dx).div_evm(denom)
+    }
+
+    /// Read a trader's cumulative Y balance from chain state.
+    pub fn balance_y(chain: &smacs_chain::Chain, amm: Address, trader: Address) -> U256 {
+        chain.state().storage_get_u256(
+            amm,
+            mapping_slot_of(BALANCE_Y_MAPPING_SLOT, trader.as_bytes()),
+        )
+    }
+
+    /// Read the executed-swap counter from chain state.
+    pub fn swap_count(chain: &smacs_chain::Chain, amm: Address) -> U256 {
+        chain.state().storage_get_u256(amm, SWAP_COUNT_SLOT)
+    }
+}
+
+impl Contract for SmacsAmm {
+    fn name(&self) -> &'static str {
+        "SmacsAmm"
+    }
+
+    fn code_len(&self) -> usize {
+        2_100
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(Self::SEED_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint, AbiType::Uint])?;
+            let x = args[0].as_uint().expect("decoded uint");
+            let y = args[1].as_uint().expect("decoded uint");
+            ctx.require(!x.is_zero() && !y.is_zero(), "AMM: empty reserves")?;
+            ctx.sstore_u256(RESERVE_X_SLOT, x)?;
+            ctx.sstore_u256(RESERVE_Y_SLOT, y)?;
+            Ok(Bytes::new())
+        } else if sel == abi::selector(Self::SWAP_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint, AbiType::Uint])?;
+            let dx = args[0].as_uint().expect("decoded uint");
+            let min_out = args[1].as_uint().expect("decoded uint");
+            ctx.require(!dx.is_zero(), "AMM: zero input")?;
+            let rx = ctx.sload_u256(RESERVE_X_SLOT)?;
+            let ry = ctx.sload_u256(RESERVE_Y_SLOT)?;
+            ctx.require(!rx.is_zero() && !ry.is_zero(), "AMM: not seeded")?;
+            let out = Self::output(rx, ry, dx);
+            ctx.require(
+                out >= min_out && !out.is_zero(),
+                "AMM: price moved past minOut",
+            )?;
+            ctx.sstore_u256(RESERVE_X_SLOT, rx.wrapping_add(dx))?;
+            ctx.sstore_u256(RESERVE_Y_SLOT, ry.wrapping_sub(out))?;
+            // Credit the *origin*, so a swap forwarded by the lending pool
+            // still lands with the end user.
+            let trader = ctx.tx_origin();
+            let slot = ctx.mapping_slot(BALANCE_Y_MAPPING_SLOT, trader.as_bytes())?;
+            let bal = ctx.sload_u256(slot)?;
+            ctx.sstore_u256(slot, bal.wrapping_add(out))?;
+            let swaps = ctx.sload_u256(SWAP_COUNT_SLOT)?;
+            ctx.sstore_u256(SWAP_COUNT_SLOT, swaps.wrapping_add(U256::ONE))?;
+            ctx.emit_event(
+                "Swapped(address,uint256,uint256)",
+                out.to_be_bytes().to_vec(),
+            )?;
+            Ok(Bytes::from(out.to_be_bytes()))
+        } else if sel == abi::selector("quote(uint256)") {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let dx = args[0].as_uint().expect("decoded uint");
+            let rx = ctx.sload_u256(RESERVE_X_SLOT)?;
+            let ry = ctx.sload_u256(RESERVE_Y_SLOT)?;
+            Ok(Bytes::from(Self::output(rx, ry, dx).to_be_bytes()))
+        } else if sel == abi::selector("reserves()") {
+            let rx = ctx.sload_u256(RESERVE_X_SLOT)?;
+            let ry = ctx.sload_u256(RESERVE_Y_SLOT)?;
+            let mut out = rx.to_be_bytes().to_vec();
+            out.extend_from_slice(&ry.to_be_bytes());
+            Ok(Bytes::from(out))
+        } else {
+            ctx.revert("AMM: unknown method")
+        }
+    }
+}
+
+/// Mapping slot: borrower address → outstanding debt (in Y units).
+const DEBT_MAPPING_SLOT: u64 = 1;
+
+/// A lending pool composing with [`SmacsAmm`]: leveraged swaps route the
+/// borrowed amount through the AMM in the same transaction, so both
+/// contracts' shields check their own token from one shared token array.
+pub struct LendingPool {
+    amm: Address,
+}
+
+impl LendingPool {
+    /// Canonical signature of the composed method.
+    pub const LEVERAGE_SIG: &'static str = "leverageSwap(uint256,uint256)";
+
+    /// A pool routing swaps to `amm`.
+    pub fn routing_to(amm: Address) -> Self {
+        LendingPool { amm }
+    }
+
+    /// Payload for `leverageSwap(amount_in, min_out)`.
+    pub fn leverage_payload(amount_in: u64, min_out: u64) -> Vec<u8> {
+        abi::encode_call(
+            Self::LEVERAGE_SIG,
+            &[
+                smacs_chain::AbiValue::Uint(U256::from_u64(amount_in)),
+                smacs_chain::AbiValue::Uint(U256::from_u64(min_out)),
+            ],
+        )
+    }
+
+    /// Read a borrower's outstanding debt from chain state.
+    pub fn debt(chain: &smacs_chain::Chain, pool: Address, borrower: Address) -> U256 {
+        chain.state().storage_get_u256(
+            pool,
+            mapping_slot_of(DEBT_MAPPING_SLOT, borrower.as_bytes()),
+        )
+    }
+}
+
+impl Contract for LendingPool {
+    fn name(&self) -> &'static str {
+        "LendingPool"
+    }
+
+    fn code_len(&self) -> usize {
+        1_700
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(Self::LEVERAGE_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint, AbiType::Uint])?;
+            let amount_in = args[0].as_uint().expect("decoded uint");
+            let min_out = args[1].as_uint().expect("decoded uint");
+            // Record the borrow, then route the swap through the AMM with
+            // the transaction's token array re-attached (§IV-D): the AMM's
+            // shield extracts its own token or reverts the whole tx.
+            let borrower = ctx.tx_origin();
+            let slot = ctx.mapping_slot(DEBT_MAPPING_SLOT, borrower.as_bytes())?;
+            let debt = ctx.sload_u256(slot)?;
+            ctx.sstore_u256(slot, debt.wrapping_add(amount_in))?;
+            let payload = abi::encode_call(
+                SmacsAmm::SWAP_SIG,
+                &[
+                    smacs_chain::AbiValue::Uint(amount_in),
+                    smacs_chain::AbiValue::Uint(min_out),
+                ],
+            );
+            let out = smacs_core::verify::forward_call(ctx, self.amm, 0, &payload)?;
+            ctx.emit_event(
+                "Leveraged(address,uint256)",
+                amount_in.to_be_bytes().to_vec(),
+            )?;
+            Ok(out)
+        } else if sel == abi::selector("debtOf(address)") {
+            let args = ctx.decode_args(&[AbiType::Address])?;
+            let addr = args[0].as_address().expect("decoded address");
+            let slot = ctx.mapping_slot(DEBT_MAPPING_SLOT, addr.as_bytes())?;
+            Ok(Bytes::from(ctx.sload_u256(slot)?.to_be_bytes()))
+        } else {
+            ctx.revert("Pool: unknown method")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_chain::Chain;
+    use std::sync::Arc;
+
+    fn setup() -> (Chain, smacs_crypto::Keypair, Address, Address) {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let trader = chain.funded_keypair(2, 10u128.pow(20));
+        let (amm, _) = chain.deploy(&owner, Arc::new(SmacsAmm)).unwrap();
+        chain
+            .call_contract(&owner, amm.address, 0, SmacsAmm::seed_payload(1_000, 1_000))
+            .unwrap();
+        (chain, trader, amm.address, owner.address())
+    }
+
+    #[test]
+    fn constant_product_swap_respects_min_out() {
+        let (mut chain, trader, amm, _) = setup();
+        // 1000×1000 pool, 100 in → 1000·100/1100 = 90 out.
+        let r = chain
+            .call_contract(&trader, amm, 0, SmacsAmm::swap_payload(100, 90))
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert_eq!(
+            U256::from_be_slice(&r.return_data).unwrap(),
+            U256::from_u64(90)
+        );
+        assert_eq!(
+            SmacsAmm::balance_y(&chain, amm, trader.address()),
+            U256::from_u64(90)
+        );
+        assert_eq!(SmacsAmm::swap_count(&chain, amm), U256::ONE);
+
+        // Asking for more than the curve gives reverts.
+        let r = chain
+            .call_contract(&trader, amm, 0, SmacsAmm::swap_payload(100, 95))
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("AMM: price moved past minOut"));
+    }
+
+    #[test]
+    fn unseeded_amm_rejects_swaps() {
+        let mut chain = Chain::default_chain();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let (amm, _) = chain.deploy(&owner, Arc::new(SmacsAmm)).unwrap();
+        let r = chain
+            .call_contract(&owner, amm.address, 0, SmacsAmm::swap_payload(10, 1))
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("AMM: not seeded"));
+    }
+
+    #[test]
+    fn leverage_swap_records_debt_and_swaps() {
+        let (mut chain, trader, amm, _) = setup();
+        let owner = chain.funded_keypair(1, 10u128.pow(20));
+        let (pool, _) = chain
+            .deploy(&owner, Arc::new(LendingPool::routing_to(amm)))
+            .unwrap();
+        // Unshielded here, so the empty token array forwards cleanly; the
+        // shielded composition is exercised in tests/attack_suite.rs.
+        let data = smacs_token::append_tokens(
+            &LendingPool::leverage_payload(100, 90),
+            &Default::default(),
+        );
+        let r = chain.call_contract(&trader, pool.address, 0, data).unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert_eq!(
+            LendingPool::debt(&chain, pool.address, trader.address()),
+            U256::from_u64(100)
+        );
+        // The swap output landed with the originating trader.
+        assert_eq!(
+            SmacsAmm::balance_y(&chain, amm, trader.address()),
+            U256::from_u64(90)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Session-token game scenario: players `join()` once, then submit
+//! `play(uint256)` moves for as long as their *session token* stays valid.
+//! The corpus workload for *short-lifetime method tokens as sessions*
+//! (§IV-C): the owner deploys the shield with a small
+//! `token_lifetime_secs`, so a single method token works for a burst of
+//! moves and then expires — no on-chain session bookkeeping, re-joining
+//! the TS mints a fresh session. The contract only tracks scores.
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{Address, Bytes, H256, U256};
+
+/// Mapping slot: player address → 1 once joined.
+const JOINED_MAPPING_SLOT: u64 = 0;
+/// Mapping slot: player address → accumulated score.
+const SCORE_MAPPING_SLOT: u64 = 1;
+/// Storage slot of the global best score.
+const HIGH_SCORE_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2,
+]);
+
+/// Off-chain mirror of [`CallContext::mapping_slot`].
+fn mapping_slot_of(base: u64, key: &[u8]) -> H256 {
+    let base_word = U256::from_u64(base).to_be_bytes();
+    smacs_crypto::keccak256_concat(&[key, &base_word])
+}
+
+/// A score-keeping game whose write surface is gated by session tokens.
+pub struct SessionGame;
+
+impl SessionGame {
+    /// Canonical signature of the session-gated move method.
+    pub const PLAY_SIG: &'static str = "play(uint256)";
+    /// Canonical signature of the join method.
+    pub const JOIN_SIG: &'static str = "join()";
+
+    /// Payload for `join()`.
+    pub fn join_payload() -> Vec<u8> {
+        abi::encode_call(Self::JOIN_SIG, &[])
+    }
+
+    /// Payload for `play(points)`.
+    pub fn play_payload(points: u64) -> Vec<u8> {
+        abi::encode_call(
+            Self::PLAY_SIG,
+            &[smacs_chain::AbiValue::Uint(U256::from_u64(points))],
+        )
+    }
+
+    /// Read a player's score from chain state.
+    pub fn score(chain: &smacs_chain::Chain, game: Address, player: Address) -> U256 {
+        chain
+            .state()
+            .storage_get_u256(game, mapping_slot_of(SCORE_MAPPING_SLOT, player.as_bytes()))
+    }
+
+    /// Read the global high score from chain state.
+    pub fn high_score(chain: &smacs_chain::Chain, game: Address) -> U256 {
+        chain.state().storage_get_u256(game, HIGH_SCORE_SLOT)
+    }
+}
+
+impl Contract for SessionGame {
+    fn name(&self) -> &'static str {
+        "SessionGame"
+    }
+
+    fn code_len(&self) -> usize {
+        1_200
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(Self::JOIN_SIG) {
+            let player = ctx.msg_sender();
+            let slot = ctx.mapping_slot(JOINED_MAPPING_SLOT, player.as_bytes())?;
+            let already = ctx.sload_u256(slot)?;
+            ctx.require(already.is_zero(), "Game: already joined")?;
+            ctx.sstore_u256(slot, U256::ONE)?;
+            ctx.emit_event("Joined(address)", player.as_bytes().to_vec())?;
+            Ok(Bytes::new())
+        } else if sel == abi::selector(Self::PLAY_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let points = args[0].as_uint().expect("decoded uint");
+            ctx.require(points <= U256::from_u64(100), "Game: move too large")?;
+            let player = ctx.msg_sender();
+            let joined = ctx.mapping_slot(JOINED_MAPPING_SLOT, player.as_bytes())?;
+            let has_joined = ctx.sload_u256(joined)?;
+            ctx.require(!has_joined.is_zero(), "Game: join first")?;
+            let slot = ctx.mapping_slot(SCORE_MAPPING_SLOT, player.as_bytes())?;
+            let score = ctx.sload_u256(slot)?.wrapping_add(points);
+            ctx.sstore_u256(slot, score)?;
+            if score > ctx.sload_u256(HIGH_SCORE_SLOT)? {
+                ctx.sstore_u256(HIGH_SCORE_SLOT, score)?;
+            }
+            Ok(Bytes::from(score.to_be_bytes()))
+        } else if sel == abi::selector("scoreOf(address)") {
+            let args = ctx.decode_args(&[AbiType::Address])?;
+            let addr = args[0].as_address().expect("decoded address");
+            let slot = ctx.mapping_slot(SCORE_MAPPING_SLOT, addr.as_bytes())?;
+            Ok(Bytes::from(ctx.sload_u256(slot)?.to_be_bytes()))
+        } else {
+            ctx.revert("Game: unknown method")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_chain::Chain;
+    use std::sync::Arc;
+
+    #[test]
+    fn join_play_and_high_score_track() {
+        let mut chain = Chain::default_chain();
+        let alice = chain.funded_keypair(1, 10u128.pow(20));
+        let bob = chain.funded_keypair(2, 10u128.pow(20));
+        let (game, _) = chain.deploy(&alice, Arc::new(SessionGame)).unwrap();
+
+        for kp in [&alice, &bob] {
+            let r = chain
+                .call_contract(kp, game.address, 0, SessionGame::join_payload())
+                .unwrap();
+            assert!(r.status.is_success(), "{:?}", r.status);
+        }
+        chain
+            .call_contract(&alice, game.address, 0, SessionGame::play_payload(40))
+            .unwrap();
+        chain
+            .call_contract(&bob, game.address, 0, SessionGame::play_payload(70))
+            .unwrap();
+        chain
+            .call_contract(&alice, game.address, 0, SessionGame::play_payload(50))
+            .unwrap();
+        assert_eq!(
+            SessionGame::score(&chain, game.address, alice.address()),
+            U256::from_u64(90)
+        );
+        assert_eq!(
+            SessionGame::high_score(&chain, game.address),
+            U256::from_u64(90)
+        );
+    }
+
+    #[test]
+    fn guards_reject_bad_moves() {
+        let mut chain = Chain::default_chain();
+        let alice = chain.funded_keypair(1, 10u128.pow(20));
+        let (game, _) = chain.deploy(&alice, Arc::new(SessionGame)).unwrap();
+
+        // Playing before joining is rejected.
+        let r = chain
+            .call_contract(&alice, game.address, 0, SessionGame::play_payload(10))
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("Game: join first"));
+
+        chain
+            .call_contract(&alice, game.address, 0, SessionGame::join_payload())
+            .unwrap();
+        let r = chain
+            .call_contract(&alice, game.address, 0, SessionGame::join_payload())
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("Game: already joined"));
+        let r = chain
+            .call_contract(&alice, game.address, 0, SessionGame::play_payload(101))
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("Game: move too large"));
+    }
+}

@@ -14,15 +14,37 @@
 //!   uniformity rule;
 //! - [`bench_target`] — the minimal application contract the gas tables
 //!   are measured against.
+//!
+//! The scenario corpus (PR 7) adds untested rule shapes for the driver and
+//! load generator in `smacs-driver`:
+//!
+//! - [`amm`] — a constant-product AMM ([`SmacsAmm`], argument-token price
+//!   bounds on `swap(amountIn, minOut)`) plus a [`LendingPool`] composing
+//!   cross-contract through `forward_call` (DeFi composition: one
+//!   transaction needs tokens for both shields);
+//! - [`oracle`] — [`PriceOracle`], whose only write method is authorized
+//!   purely by a TS sender whitelist (oracle-update authorization);
+//! - [`game`] — [`SessionGame`], gated by short-lifetime method tokens
+//!   acting as sessions;
+//! - [`airdrop`] — [`Airdrop`], one-time `claim()` tokens at scale
+//!   through the replicated counter.
 
+pub mod airdrop;
+pub mod amm;
 pub mod bank;
 pub mod bench_target;
 pub mod callchain;
+pub mod game;
 pub mod hydra_heads;
+pub mod oracle;
 pub mod token_sale;
 
+pub use airdrop::Airdrop;
+pub use amm::{LendingPool, SmacsAmm};
 pub use bank::{Attacker, Bank, SafeBank, SmacsAwareAttacker};
 pub use bench_target::BenchTarget;
 pub use callchain::ChainLink;
+pub use game::SessionGame;
 pub use hydra_heads::{AdderHead, BuggyAdderHead, HydraStyle};
+pub use oracle::PriceOracle;
 pub use token_sale::{OnChainWhitelistSale, SmacsSale};

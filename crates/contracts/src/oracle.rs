@@ -1,0 +1,129 @@
+//! Oracle-update authorization scenario: a price feed whose only write
+//! method, `postPrice(uint256)`, is meant to be callable by a small set of
+//! operator keys — the corpus workload for *method-token sender
+//! whitelists* (§IV-B). The contract itself stores no operator list: the
+//! Token Service's ACR (`method: postPrice → Whitelist{operators}`) is the
+//! sole authorization layer, which is precisely the SMACS claim under
+//! test. Reads (`price()`, `lastUpdate()`) are open.
+
+use smacs_chain::abi::{self, AbiType};
+use smacs_chain::{CallContext, Contract, VmError};
+use smacs_primitives::{Bytes, H256, U256};
+
+/// Storage slot of the latest posted price.
+const PRICE_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+]);
+/// Storage slot of the block timestamp of the latest post.
+const UPDATED_AT_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+]);
+/// Storage slot counting posts (distinguishes "price is 0" from "never set").
+const POST_COUNT_SLOT: H256 = H256([
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2,
+]);
+
+/// A single-feed price oracle relying entirely on SMACS for write access.
+pub struct PriceOracle;
+
+impl PriceOracle {
+    /// Canonical signature of the guarded write method.
+    pub const POST_SIG: &'static str = "postPrice(uint256)";
+
+    /// Payload for `postPrice(price)`.
+    pub fn post_payload(price: u64) -> Vec<u8> {
+        abi::encode_call(
+            Self::POST_SIG,
+            &[smacs_chain::AbiValue::Uint(U256::from_u64(price))],
+        )
+    }
+
+    /// Read the latest price from chain state.
+    pub fn price(chain: &smacs_chain::Chain, oracle: smacs_primitives::Address) -> U256 {
+        chain.state().storage_get_u256(oracle, PRICE_SLOT)
+    }
+
+    /// Read the number of posts from chain state.
+    pub fn post_count(chain: &smacs_chain::Chain, oracle: smacs_primitives::Address) -> U256 {
+        chain.state().storage_get_u256(oracle, POST_COUNT_SLOT)
+    }
+}
+
+impl Contract for PriceOracle {
+    fn name(&self) -> &'static str {
+        "PriceOracle"
+    }
+
+    fn code_len(&self) -> usize {
+        900
+    }
+
+    fn execute(&self, ctx: &mut CallContext<'_, '_>) -> Result<Bytes, VmError> {
+        let sel = ctx.msg_sig().expect("execute implies selector");
+        if sel == abi::selector(Self::POST_SIG) {
+            let args = ctx.decode_args(&[AbiType::Uint])?;
+            let price = args[0].as_uint().expect("decoded uint");
+            ctx.require(!price.is_zero(), "Oracle: zero price")?;
+            ctx.sstore_u256(PRICE_SLOT, price)?;
+            ctx.sstore_u256(UPDATED_AT_SLOT, U256::from_u64(ctx.now()))?;
+            let n = ctx.sload_u256(POST_COUNT_SLOT)?;
+            ctx.sstore_u256(POST_COUNT_SLOT, n.wrapping_add(U256::ONE))?;
+            ctx.emit_event("PricePosted(uint256)", price.to_be_bytes().to_vec())?;
+            Ok(Bytes::new())
+        } else if sel == abi::selector("price()") {
+            let n = ctx.sload_u256(POST_COUNT_SLOT)?;
+            ctx.require(!n.is_zero(), "Oracle: no price yet")?;
+            Ok(Bytes::from(ctx.sload_u256(PRICE_SLOT)?.to_be_bytes()))
+        } else if sel == abi::selector("lastUpdate()") {
+            Ok(Bytes::from(ctx.sload_u256(UPDATED_AT_SLOT)?.to_be_bytes()))
+        } else {
+            ctx.revert("Oracle: unknown method")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smacs_chain::Chain;
+    use std::sync::Arc;
+
+    #[test]
+    fn post_then_read_round_trips() {
+        let mut chain = Chain::default_chain();
+        let op = chain.funded_keypair(1, 10u128.pow(20));
+        let (oracle, _) = chain.deploy(&op, Arc::new(PriceOracle)).unwrap();
+        let r = chain
+            .call_contract(&op, oracle.address, 0, PriceOracle::post_payload(42_000))
+            .unwrap();
+        assert!(r.status.is_success(), "{:?}", r.status);
+        assert_eq!(
+            PriceOracle::price(&chain, oracle.address),
+            U256::from_u64(42_000)
+        );
+        assert_eq!(PriceOracle::post_count(&chain, oracle.address), U256::ONE);
+
+        let r = chain
+            .call_contract(&op, oracle.address, 0, abi::encode_call("price()", &[]))
+            .unwrap();
+        assert_eq!(
+            U256::from_be_slice(&r.return_data).unwrap(),
+            U256::from_u64(42_000)
+        );
+    }
+
+    #[test]
+    fn unposted_oracle_and_zero_price_revert() {
+        let mut chain = Chain::default_chain();
+        let op = chain.funded_keypair(1, 10u128.pow(20));
+        let (oracle, _) = chain.deploy(&op, Arc::new(PriceOracle)).unwrap();
+        let r = chain
+            .call_contract(&op, oracle.address, 0, abi::encode_call("price()", &[]))
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("Oracle: no price yet"));
+        let r = chain
+            .call_contract(&op, oracle.address, 0, PriceOracle::post_payload(0))
+            .unwrap();
+        assert_eq!(r.revert_reason(), Some("Oracle: zero price"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `smacs-repl` — interactive (or scripted, via piped stdin) driver over
+//! an in-process chain + Token Service. See the `smacs_driver` crate docs
+//! for the command reference.
+
+use smacs_driver::Repl;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut repl = Repl::new(1);
+    println!("smacs-repl — type 'help' for commands");
+    loop {
+        print!("smacs> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        match repl.eval(&line) {
+            Ok(Some(out)) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Ok(None) => break,
+            Err(err) => println!("error: {err}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,75 @@
+//! # smacs-driver — the scenario subsystem
+//!
+//! Three layers over the contract corpus in `smacs-contracts`:
+//!
+//! 1. **[`scenario`]** — named, reproducible worlds (chain + shielded
+//!    corpus contracts + funded wallets + Access Control Rules + issuance
+//!    templates), shared by the REPL and the load generator;
+//! 2. **[`repl`]** — the `smacs-repl` interactive driver, the repo's
+//!    first interactive surface;
+//! 3. **[`loadgen`]** — an open-loop, target-rate load generator
+//!    reporting p50/p99/p999 latency.
+//!
+//! ## `smacs-repl` command reference
+//!
+//! Lines are tokenized with the Solidity-subset lexer from `smacs-lang`,
+//! so `//` comments, quoted strings, and hex numbers follow Solidity
+//! rules. One command per line; errors print as `error: …` and never end
+//! the session (scripts keep going). Token types are `super`, `method`,
+//! `argument`.
+//!
+//! | Command | Effect |
+//! |---|---|
+//! | `help` | command summary |
+//! | `scenarios` | list corpus scenarios |
+//! | `scenario <name>` | load a scenario: deploys its contracts, funds wallets `w0..wN`, installs its rules |
+//! | `deploy <kind>` | deploy one corpus contract behind a shield (`amm`, `pool`, `oracle`, `game`, `airdrop`) |
+//! | `wallet <name>` | create and fund a wallet |
+//! | `wallets` / `contracts` / `tokens` | list session state |
+//! | `rules permissive` \| `rules deny` | reset the TS rule book |
+//! | `allow <type> sender <wallet>` | whitelist a wallet at type level |
+//! | `allow <type> method "<sig>" <wallet>` | whitelist a wallet for one method |
+//! | `allow <type> arg "<name>" "<value>"` | whitelist an argument value |
+//! | `deny <type> arg "<name>" "<value>"` | blacklist an argument value |
+//! | `mint <type> <wallet> <contract> ["<sig>"] [once]` | request a token from the TS (prints `token #N …`) |
+//! | `call <wallet> <contract> "<sig>" (<args>) [value <n>] [using <ids>]` | fire a transaction; without `using`, auto-mints an argument token binding the exact calldata |
+//! | `receipt` | dump the last receipt: status, gas, logs, call trace |
+//! | `storage <contract> <slot>` | read a raw storage slot |
+//! | `advance <secs>` / `time` | move or show chain + TS time |
+//! | `quit` / `exit` | end the session |
+//!
+//! A fresh session starts with a **deny-all** rule book — the first
+//! `mint` fails until rules are granted, which makes the TS's
+//! deny-by-default posture visible interactively.
+//!
+//! ## Load-generator knobs ([`loadgen::LoadConfig`])
+//!
+//! - `offered_rps` — target arrival rate (events/second);
+//! - `events` — run length;
+//! - `senders` — dedicated sender threads (events dealt round-robin);
+//! - `arrivals` — `Uniform` (evenly spaced) or `Poisson` (memoryless,
+//!   bursty — the realistic default);
+//! - `seed` — schedule determinism for Poisson.
+//!
+//! ## Why open-loop
+//!
+//! A closed-loop driver waits for each response before sending the next
+//! request, so offered load *adapts to* service degradation: a saturated
+//! server simply slows the benchmark down and latency looks flat. Real
+//! clients don't coordinate like that — arrivals keep coming. The
+//! open-loop generator fixes the arrival schedule in advance and measures
+//! end-to-end latency **from the scheduled arrival**, so time a request
+//! spends waiting behind a lagging sender is *charged to the service*,
+//! not silently dropped (the coordinated-omission trap). While the TS
+//! keeps up, `achieved_per_sec ≈ offered_rps` and end-to-end ≈ issue
+//! latency; past saturation the e2e tail grows without bound — which is
+//! precisely the signal `perf_regression` gates on via the `*_p99_ns`
+//! keys.
+
+pub mod loadgen;
+pub mod repl;
+pub mod scenario;
+
+pub use loadgen::{run_open_loop, Arrivals, LoadConfig, LoadReport};
+pub use repl::{parse, Command, Repl};
+pub use scenario::{ScenarioWorld, SCENARIOS};

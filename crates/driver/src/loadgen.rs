@@ -1,0 +1,307 @@
+//! Open-loop load generation with tail-latency percentiles.
+//!
+//! Closed-loop drivers (issue, wait, issue again — everything the bench
+//! crate did before this module) implicitly *slow the offered load down*
+//! when the service degrades: each in-flight request gates the next, so a
+//! server drowning in queueing delay still looks "fully loaded but fine".
+//! An **open-loop** generator decouples arrivals from completions: events
+//! arrive on a precomputed schedule (uniform or Poisson at a target
+//! rate), regardless of whether earlier requests finished. When the
+//! service can't keep up, senders fall behind schedule and the
+//! *end-to-end* latency — measured from the **scheduled arrival**, not
+//! from the moment the request was actually written — grows without
+//! bound. That queueing collapse is exactly what p999 must catch and what
+//! closed-loop numbers structurally hide (the coordinated-omission trap).
+//!
+//! Two latencies per event:
+//! - **issue**: actual send → response (the service time the TS delivered);
+//! - **end-to-end**: scheduled arrival → response (service time *plus*
+//!   the lag the sender accumulated behind its schedule).
+//!
+//! Senders are dedicated OS threads (not `WorkerPool` jobs): a generator
+//! must never let its own scheduling contend with the system under test,
+//! and the pool inside the TS server is part of that system.
+
+use smacs_primitives::json::Json;
+use smacs_token::TokenRequest;
+use smacs_ts::TsApi;
+use std::time::{Duration, Instant};
+
+/// Arrival process for the open-loop schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrivals {
+    /// Evenly spaced: event `k` arrives at `k / rate`.
+    Uniform,
+    /// Poisson: exponential inter-arrival times with mean `1 / rate`
+    /// (memoryless — the bursty shape real traffic has).
+    Poisson,
+}
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Target arrival rate, events per second.
+    pub offered_rps: u64,
+    /// Total events in the run.
+    pub events: usize,
+    /// Dedicated sender threads (events are dealt round-robin).
+    pub senders: usize,
+    /// Arrival process.
+    pub arrivals: Arrivals,
+    /// RNG seed for the Poisson schedule (uniform ignores it).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            offered_rps: 500,
+            events: 500,
+            senders: 4,
+            arrivals: Arrivals::Poisson,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Latency percentiles over one run, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Worst observed.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut ns: Vec<u64>) -> LatencySummary {
+        if ns.is_empty() {
+            return LatencySummary::default();
+        }
+        ns.sort_unstable();
+        let pick = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+        LatencySummary {
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+            p999_ns: pick(0.999),
+            max_ns: *ns.last().unwrap(),
+        }
+    }
+}
+
+/// The outcome of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The configured target rate.
+    pub offered_rps: u64,
+    /// Completions per second actually achieved over the wall-clock run.
+    /// Tracks `offered_rps` while the service keeps up; falls below it
+    /// when the service saturates.
+    pub achieved_per_sec: u64,
+    /// Events completed successfully.
+    pub completed: usize,
+    /// Events that returned an error.
+    pub errors: usize,
+    /// Send → response.
+    pub issue: LatencySummary,
+    /// Scheduled arrival → response (includes sender lag).
+    pub e2e: LatencySummary,
+}
+
+/// xorshift64* — deterministic, dependency-free schedule randomness.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in (0, 1].
+    fn next_unit(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) / (1u64 << 53) as f64
+    }
+}
+
+/// Precompute the absolute arrival offset of every event.
+fn schedule(cfg: &LoadConfig) -> Vec<Duration> {
+    let rate = cfg.offered_rps.max(1) as f64;
+    let mut rng = XorShift::new(cfg.seed);
+    let mut at = 0.0f64;
+    (0..cfg.events)
+        .map(|k| match cfg.arrivals {
+            Arrivals::Uniform => Duration::from_secs_f64(k as f64 / rate),
+            Arrivals::Poisson => {
+                at += -rng.next_unit().ln() / rate;
+                Duration::from_secs_f64(at)
+            }
+        })
+        .collect()
+}
+
+/// Drive `api` open-loop: event `k` issues `requests[k % len]` at its
+/// scheduled arrival time. Blocks until every event completed.
+pub fn run_open_loop(api: &dyn TsApi, requests: &[TokenRequest], cfg: &LoadConfig) -> LoadReport {
+    assert!(!requests.is_empty(), "need at least one issuance template");
+    let offsets = schedule(cfg);
+    let senders = cfg.senders.max(1);
+    let start = Instant::now();
+
+    // (issue_ns, e2e_ns) per completed event, or None on error.
+    let results: Vec<Option<(u64, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..senders)
+            .map(|lane| {
+                let offsets = &offsets;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut k = lane;
+                    while k < offsets.len() {
+                        let due = offsets[k];
+                        if let Some(wait) = due.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let sent = Instant::now();
+                        let ok = api.issue(&requests[k % requests.len()]).is_ok();
+                        let done = start.elapsed();
+                        out.push(if ok {
+                            Some((
+                                sent.elapsed().as_nanos() as u64,
+                                done.saturating_sub(due).as_nanos() as u64,
+                            ))
+                        } else {
+                            None
+                        });
+                        k += senders;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sender thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let completed: Vec<(u64, u64)> = results.iter().filter_map(|r| *r).collect();
+    let errors = results.len() - completed.len();
+    let achieved = completed.len() as f64 / wall.as_secs_f64().max(1e-9);
+    LoadReport {
+        offered_rps: cfg.offered_rps,
+        achieved_per_sec: achieved as u64,
+        completed: completed.len(),
+        errors,
+        issue: LatencySummary::from_samples(completed.iter().map(|(i, _)| *i).collect()),
+        e2e: LatencySummary::from_samples(completed.iter().map(|(_, e)| *e).collect()),
+    }
+}
+
+/// Render a report for `BENCH_results.json` (integer leaves only; the
+/// `*_ns` keys are gated lower-is-better by `perf_regression`, and
+/// `achieved_per_sec` higher-is-better).
+pub fn report_to_json(report: &LoadReport) -> Json {
+    Json::Obj(vec![
+        ("offered_rps".into(), Json::Int(report.offered_rps as i128)),
+        (
+            "achieved_per_sec".into(),
+            Json::Int(report.achieved_per_sec as i128),
+        ),
+        ("completed".into(), Json::Int(report.completed as i128)),
+        ("errors".into(), Json::Int(report.errors as i128)),
+        (
+            "issue_p50_ns".into(),
+            Json::Int(report.issue.p50_ns as i128),
+        ),
+        (
+            "issue_p99_ns".into(),
+            Json::Int(report.issue.p99_ns as i128),
+        ),
+        (
+            "issue_p999_ns".into(),
+            Json::Int(report.issue.p999_ns as i128),
+        ),
+        ("e2e_p50_ns".into(), Json::Int(report.e2e.p50_ns as i128)),
+        ("e2e_p99_ns".into(), Json::Int(report.e2e.p99_ns as i128)),
+        ("e2e_p999_ns".into(), Json::Int(report.e2e.p999_ns as i128)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{self, OWNER_SECRET};
+    use smacs_ts::InProcessClient;
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_roughly_on_rate() {
+        let cfg = LoadConfig {
+            offered_rps: 1_000,
+            events: 2_000,
+            arrivals: Arrivals::Poisson,
+            seed: 9,
+            ..LoadConfig::default()
+        };
+        let a = schedule(&cfg);
+        let b = schedule(&cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "monotone arrivals");
+        // 2000 events at 1000/s ≈ 2 s span, generously bounded.
+        let span = a.last().unwrap().as_secs_f64();
+        assert!((1.0..4.0).contains(&span), "span {span}");
+    }
+
+    #[test]
+    fn uniform_schedule_is_evenly_spaced() {
+        let cfg = LoadConfig {
+            offered_rps: 100,
+            events: 10,
+            arrivals: Arrivals::Uniform,
+            ..LoadConfig::default()
+        };
+        let offsets = schedule(&cfg);
+        assert_eq!(offsets[0], Duration::ZERO);
+        assert_eq!(offsets[5], Duration::from_millis(50));
+    }
+
+    #[test]
+    fn percentiles_come_from_sorted_samples() {
+        let s = LatencySummary::from_samples((1..=1000).rev().collect());
+        assert_eq!(s.p50_ns, 501);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.p999_ns, 999);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    fn open_loop_run_reports_all_events() {
+        let world = scenario::build("oracle", 11).unwrap();
+        let requests = world.requests.clone();
+        let api = InProcessClient::new(world.token_service(), OWNER_SECRET, world.now());
+        let cfg = LoadConfig {
+            offered_rps: 2_000,
+            events: 120,
+            senders: 2,
+            arrivals: Arrivals::Poisson,
+            seed: 3,
+        };
+        let report = run_open_loop(&api, &requests, &cfg);
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.errors, 0);
+        assert!(report.issue.p50_ns > 0);
+        assert!(report.e2e.p99_ns >= report.issue.p99_ns || report.e2e.p99_ns > 0);
+        assert!(report.achieved_per_sec > 0);
+    }
+}

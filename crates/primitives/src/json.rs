@@ -605,6 +605,11 @@ impl FromJson for BTreeSet<String> {
 /// `Option<T>` fields tolerate absent members on parse (via
 /// [`FromJson::from_json_field`]) and render as `null` when `None`.
 ///
+/// A field may be suffixed `= default`: on parse an absent member becomes
+/// `Default::default()` instead of an error (rendering still always emits
+/// the member). Use it for fields added after serialized data already
+/// exists in the wild — old JSON keeps decoding.
+///
 /// ```
 /// use smacs_primitives::json_codec;
 ///
@@ -616,21 +621,25 @@ impl FromJson for BTreeSet<String> {
 ///         pub label: String,
 ///         pub x: i64,
 ///         pub note: Option<String>,
+///         /// Added in v2: absent in old JSON, decodes to empty.
+///         pub tags: Vec<String> = default,
 ///     }
 /// }
 ///
-/// let pin = Pin { label: "a".into(), x: 3, note: None };
+/// let pin = Pin { label: "a".into(), x: 3, note: None, tags: vec!["t".into()] };
 /// let text = smacs_primitives::json::to_string(&pin);
 /// let back: Pin = smacs_primitives::json::from_str(&text).unwrap();
 /// assert_eq!(back, pin);
-/// // Absent Option members parse as None.
+/// // Absent Option members parse as None; absent `= default` members
+/// // parse as Default::default().
 /// let sparse: Pin = smacs_primitives::json::from_str(r#"{"label":"b","x":1}"#).unwrap();
 /// assert_eq!(sparse.note, None);
+/// assert_eq!(sparse.tags, Vec::<String>::new());
 /// ```
 #[macro_export]
 macro_rules! json_codec {
     ($(#[$meta:meta])* $vis:vis struct $name:ident {
-        $($(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty),* $(,)?
+        $($(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty $(= $marker:ident)?),* $(,)?
     }) => {
         $(#[$meta])*
         $vis struct $name {
@@ -648,12 +657,20 @@ macro_rules! json_codec {
         impl $crate::json::FromJson for $name {
             fn from_json(json: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
                 Ok($name {
-                    $($field: <$ty as $crate::json::FromJson>::from_json_field(
-                        json,
-                        stringify!($field),
-                    )?,)*
+                    $($field: $crate::json_codec!(@parse json, $field, $ty $(, $marker)?),)*
                 })
             }
+        }
+    };
+    // Plain field: delegate to from_json_field (Option-aware, else required).
+    (@parse $json:ident, $field:ident, $ty:ty) => {
+        <$ty as $crate::json::FromJson>::from_json_field($json, stringify!($field))?
+    };
+    // `= default` field: absent member decodes to Default::default().
+    (@parse $json:ident, $field:ident, $ty:ty, default) => {
+        match $json.get(stringify!($field)) {
+            Some(value) => <$ty as $crate::json::FromJson>::from_json(value)?,
+            None => <$ty as ::core::default::Default>::default(),
         }
     };
 }

@@ -23,5 +23,5 @@ pub mod types;
 
 pub use array::{append_tokens, split_tokens, TokenArray, TokenArrayError};
 pub use payload::{signing_digest, signing_payload, PayloadContext};
-pub use request::{RequestError, TokenRequest};
+pub use request::{ArgBinding, RequestError, TokenRequest};
 pub use types::{Token, TokenCodecError, TokenType, NO_INDEX};

@@ -239,6 +239,9 @@ impl TokenRequest {
     }
 }
 
+// Hand-written rather than `json_codec!`: calldata crosses the wire as a
+// hex string (`"0x…"`), not a JSON byte array, so the field needs a custom
+// encoding the macro doesn't model.
 impl ToJson for TokenRequest {
     fn to_json(&self) -> Json {
         Json::Obj(vec![

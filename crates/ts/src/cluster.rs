@@ -57,7 +57,12 @@ pub struct ReplicaSetConfig {
     pub replicas: usize,
     /// Number of rule shards (contract address → shard).
     pub rule_shards: usize,
-    /// Owner bearer secret shared by every replica.
+    /// Base owner bearer secret. Replicas do **not** share it verbatim:
+    /// replica `id` accepts only the derived credential
+    /// `{owner_secret}-r{id}` (see [`ReplicaSet::owner_secret`]), so a
+    /// credential lifted from one replica's config names the replica it
+    /// came from and is revoked by killing that one replica — no
+    /// fleet-wide secret rotation.
     pub owner_secret: String,
     /// Per-replica service tuning.
     pub service: TokenServiceConfig,
@@ -115,7 +120,7 @@ impl ReplicaSet {
         let counter = CounterCluster::new(config.replicas);
         let shards = ShardedRules::new(config.rule_shards, rules);
         let mut replicas = Vec::with_capacity(config.replicas);
-        for _ in 0..config.replicas {
+        for id in 0..config.replicas {
             let service = TokenService::new(
                 signer.clone(),
                 RuleBook::permissive(), // replaced by the shared shards
@@ -125,7 +130,7 @@ impl ReplicaSet {
             .with_replicated_counter(counter.clone());
             let front = Arc::new(FrontEnd::new(
                 service,
-                config.owner_secret.clone(),
+                Self::derive_secret(&config.owner_secret, id),
                 config.now,
             ));
             let faults = FaultPlan::new();
@@ -180,6 +185,26 @@ impl ReplicaSet {
     /// The address form of the shared `pk_TS`.
     pub fn ts_address(&self) -> Address {
         self.signer.address()
+    }
+
+    fn derive_secret(base: &str, id: usize) -> String {
+        format!("{base}-r{id}")
+    }
+
+    /// The bearer credential replica `id` accepts for admin operations
+    /// (`set_rules`). Derived per replica from the configured base secret,
+    /// so a leaked credential identifies its source replica and dies with
+    /// it ([`ReplicaSet::kill`]) instead of forcing a fleet-wide
+    /// rotation. Rule updates made through any one replica still bind all
+    /// of them (shared shards) — the blast radius that shrinks is the
+    /// *credential's*, not the operation's.
+    ///
+    /// Owner tooling that drives admin ops through a
+    /// [`crate::FailoverClient`] must therefore pin the replica it talks
+    /// to (or look the credential up per target): a mid-call failover
+    /// lands on a replica that rejects the previous replica's secret.
+    pub fn owner_secret(&self, id: usize) -> String {
+        Self::derive_secret(&self.config.owner_secret, id)
     }
 
     /// Replica `id`'s front end (owner-side escape hatch: diagnostics,
@@ -374,7 +399,7 @@ mod tests {
         let set = small_set(3);
         let clients: Vec<HttpClient> = set.addrs().into_iter().map(HttpClient::connect).collect();
         clients[0]
-            .set_rules("replica-owner", RuleBook::deny_all())
+            .set_rules(&set.owner_secret(0), RuleBook::deny_all())
             .unwrap();
         for client in &clients {
             assert_eq!(
@@ -382,6 +407,35 @@ mod tests {
                 ErrorCode::RuleViolation
             );
         }
+        set.shutdown();
+    }
+
+    #[test]
+    fn replica_credentials_do_not_cross_replicas() {
+        let set = small_set(3);
+        let clients: Vec<HttpClient> = set.addrs().into_iter().map(HttpClient::connect).collect();
+        // Replica 1's credential is an opaque bearer secret to replica 0
+        // (and the undifferentiated base secret works nowhere).
+        assert_eq!(
+            clients[0]
+                .set_rules(&set.owner_secret(1), RuleBook::deny_all())
+                .unwrap_err()
+                .code,
+            ErrorCode::Unauthorized
+        );
+        assert_eq!(
+            clients[1]
+                .set_rules("replica-owner", RuleBook::deny_all())
+                .unwrap_err()
+                .code,
+            ErrorCode::Unauthorized
+        );
+        // The rejected updates changed nothing: issuance still flows.
+        clients[2].issue(&request(1)).unwrap();
+        // Each replica's own credential works against that replica.
+        clients[1]
+            .set_rules(&set.owner_secret(1), RuleBook::deny_all())
+            .unwrap();
         set.shutdown();
     }
 

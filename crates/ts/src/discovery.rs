@@ -7,24 +7,25 @@
 //! by contract address — the moral equivalent of the metadata JSON Solidity
 //! toolchains publish per deployment.
 
-use smacs_primitives::json::{FromJson, Json, JsonError, ToJson};
-use smacs_primitives::Address;
+use smacs_primitives::{json_codec, Address};
 use std::collections::BTreeMap;
 
-/// Per-contract deployment metadata.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ContractMetadata {
-    /// Human-readable contract name.
-    pub name: String,
-    /// Compiler/toolchain version string.
-    pub compiler: String,
-    /// URL of the Token Service protecting this contract, if any.
-    pub token_service_url: Option<String>,
-    /// Every replica of the protecting TS (§VII-B availability): a
-    /// failover client rotates through these when one goes dark. Empty
-    /// for single-node deployments; absent in pre-replication metadata
-    /// JSON, which decodes to empty.
-    pub replica_urls: Vec<String>,
+json_codec! {
+    /// Per-contract deployment metadata.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct ContractMetadata {
+        /// Human-readable contract name.
+        pub name: String,
+        /// Compiler/toolchain version string.
+        pub compiler: String,
+        /// URL of the Token Service protecting this contract, if any.
+        pub token_service_url: Option<String>,
+        /// Every replica of the protecting TS (§VII-B availability): a
+        /// failover client rotates through these when one goes dark. Empty
+        /// for single-node deployments; absent in pre-replication metadata
+        /// JSON, which decodes to empty.
+        pub replica_urls: Vec<String> = default,
+    }
 }
 
 impl ContractMetadata {
@@ -44,11 +45,13 @@ impl ContractMetadata {
     }
 }
 
-/// The metadata directory.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct ServiceDirectory {
-    // Keyed by the contract's canonical hex address (JSON-friendly).
-    entries: BTreeMap<String, ContractMetadata>,
+json_codec! {
+    /// The metadata directory.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct ServiceDirectory {
+        // Keyed by the contract's canonical hex address (JSON-friendly).
+        entries: BTreeMap<String, ContractMetadata>,
+    }
 }
 
 impl ServiceDirectory {
@@ -84,46 +87,6 @@ impl ServiceDirectory {
     /// True iff nothing is published.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
-    }
-}
-
-impl ToJson for ContractMetadata {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("name".into(), self.name.to_json()),
-            ("compiler".into(), self.compiler.to_json()),
-            ("token_service_url".into(), self.token_service_url.to_json()),
-            ("replica_urls".into(), self.replica_urls.to_json()),
-        ])
-    }
-}
-
-impl FromJson for ContractMetadata {
-    fn from_json(json: &Json) -> Result<Self, JsonError> {
-        Ok(ContractMetadata {
-            name: String::from_json(json.want("name")?)?,
-            compiler: String::from_json(json.want("compiler")?)?,
-            token_service_url: Option::from_json(json.want("token_service_url")?)?,
-            // Absent in metadata published before replication existed.
-            replica_urls: match json.get("replica_urls") {
-                Some(urls) => Vec::from_json(urls)?,
-                None => Vec::new(),
-            },
-        })
-    }
-}
-
-impl ToJson for ServiceDirectory {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![("entries".into(), self.entries.to_json())])
-    }
-}
-
-impl FromJson for ServiceDirectory {
-    fn from_json(json: &Json) -> Result<Self, JsonError> {
-        Ok(ServiceDirectory {
-            entries: BTreeMap::from_json(json.want("entries")?)?,
-        })
     }
 }
 
@@ -163,6 +126,16 @@ mod tests {
             },
         );
         assert_eq!(dir.ts_url(contract), None);
+    }
+
+    #[test]
+    fn pre_replication_metadata_still_decodes() {
+        // Metadata published before replica_urls existed omits the member;
+        // the `= default` marker decodes it to empty.
+        let json = r#"{"name":"Old","compiler":"solc","token_service_url":null}"#;
+        let meta: ContractMetadata = smacs_primitives::json::from_str(json).unwrap();
+        assert_eq!(meta.replica_urls, Vec::<String>::new());
+        assert_eq!(meta.all_service_urls(), Vec::<String>::new());
     }
 
     #[test]

@@ -116,6 +116,7 @@ pub enum FrontResponse {
 // The wire shape matches what the original serde derive produced:
 // internally tagged envelopes with snake_case tags —
 // `{"op": "issue_token", "request": {...}}` / `{"status": "token", ...}`.
+// Hand-written because `json_codec!` only generates plain struct codecs.
 
 impl ToJson for FrontRequest {
     fn to_json(&self) -> Json {

@@ -225,6 +225,10 @@ impl RuleBook {
     }
 }
 
+// Kept hand-written rather than `json_codec!`: ListPolicy is an enum
+// (single-member tag objects), TypeRules uses the Fig. 6 omit-empty shape,
+// and RuleBook keys its map by numeric token type — none of which the
+// struct-shaped macro expresses.
 impl ToJson for ListPolicy {
     fn to_json(&self) -> Json {
         match self {

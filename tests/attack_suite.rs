@@ -4,12 +4,16 @@
 use proptest::prelude::*;
 use smacs::chain::abi;
 use smacs::chain::Chain;
-use smacs::contracts::{Bank, BenchTarget, SmacsAwareAttacker};
+use smacs::contracts::{
+    Airdrop, Bank, BenchTarget, PriceOracle, SessionGame, SmacsAmm, SmacsAwareAttacker,
+};
 use smacs::core::client::ClientWallet;
 use smacs::core::owner::{OwnerToolkit, ShieldParams};
 use smacs::crypto::Keypair;
-use smacs::token::{Token, TokenRequest, TokenType};
-use smacs::ts::{InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
+use smacs::primitives::U256;
+use smacs::token::{ArgBinding, Token, TokenRequest, TokenType};
+use smacs::ts::{ErrorCode, InProcessClient, RuleBook, TokenService, TokenServiceConfig, TsApi};
+use smacs_driver::scenario::{self, OWNER_SECRET};
 use std::sync::Arc;
 
 fn small_shield() -> ShieldParams {
@@ -156,6 +160,259 @@ fn chain_level_replay_protection() {
     assert!(w.chain.submit(signed.clone()).unwrap().status.is_success());
     // Byte-identical replay: rejected before execution.
     assert!(w.chain.submit(signed).is_err());
+}
+
+// ---- scenario-corpus rule shapes (PR 7) --------------------------------
+//
+// One allowed path and one denied path per rule shape the corpus
+// introduces: operator whitelists, argument value bounds, cross-contract
+// composition, session expiry, and one-time claims.
+
+fn scenario_api(world: &scenario::ScenarioWorld) -> InProcessClient {
+    InProcessClient::new(world.token_service(), OWNER_SECRET, world.now())
+}
+
+/// Oracle-update authorization: the method-token operator whitelist admits
+/// a listed operator's on-chain post and refuses to mint for an outsider —
+/// the contract itself holds no operator list.
+#[test]
+fn oracle_operator_whitelist_gates_issuance_not_the_contract() {
+    let mut world = scenario::build("oracle", 40).unwrap();
+    let api = scenario_api(&world);
+    let oracle = world.contract("oracle").unwrap();
+
+    // Allowed: wallet 0 is whitelisted for postPrice.
+    let operator = &world.wallets[0];
+    let req = TokenRequest::method_token(oracle, operator.address(), PriceOracle::POST_SIG);
+    let token = api.issue(&req).unwrap();
+    let receipt = operator
+        .call_with_token(
+            &mut world.chain,
+            oracle,
+            0,
+            &PriceOracle::post_payload(42_000),
+            token,
+        )
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.revert_reason());
+    assert_eq!(
+        PriceOracle::price(&world.chain, oracle),
+        U256::from_u64(42_000)
+    );
+
+    // Denied: wallet 5 is not an operator — the mint itself fails.
+    let outsider = world.wallets[5].address();
+    let req = TokenRequest::method_token(oracle, outsider, PriceOracle::POST_SIG);
+    let err = api.issue(&req).unwrap_err();
+    assert_eq!(err.code, ErrorCode::RuleViolation);
+}
+
+/// Argument-token price bounds: a swap with a real `minOut` mints and
+/// executes; `minOut = 0` (unbounded slippage) is refused per-value at the
+/// TS with no contract change.
+#[test]
+fn amm_argument_bounds_allow_bounded_swaps_and_deny_zero_min_out() {
+    let mut world = scenario::build("amm", 41).unwrap();
+    let api = scenario_api(&world);
+    let amm = world.contract("amm").unwrap();
+
+    // Allowed: the scenario's first issuance template is a bounded swap.
+    let trader = &world.wallets[0];
+    let token = api.issue(&world.requests[0]).unwrap();
+    let receipt = trader
+        .call_with_token(
+            &mut world.chain,
+            amm,
+            0,
+            &SmacsAmm::swap_payload(100, 1),
+            token,
+        )
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.revert_reason());
+    assert!(SmacsAmm::balance_y(&world.chain, amm, trader.address()) > U256::ZERO);
+
+    // Denied: same sender, same method, minOut bound to zero.
+    let bad = TokenRequest::argument_token(
+        amm,
+        trader.address(),
+        SmacsAmm::SWAP_SIG,
+        vec![
+            ArgBinding {
+                name: "arg0".into(),
+                value: "100".into(),
+            },
+            ArgBinding {
+                name: "arg1".into(),
+                value: "0".into(),
+            },
+        ],
+        SmacsAmm::swap_payload(100, 0),
+    );
+    let err = api.issue(&bad).unwrap_err();
+    assert_eq!(err.code, ErrorCode::RuleViolation);
+}
+
+/// Cross-contract composition: `leverageSwap` forwards the transaction's
+/// token array into the AMM, so the borrower needs a valid token for
+/// *each* shielded hop — and the inner hop's check still bites when its
+/// token is missing.
+#[test]
+fn amm_composition_requires_a_token_per_shielded_hop() {
+    let mut world = scenario::build("amm", 42).unwrap();
+    let api = scenario_api(&world);
+    let amm = world.contract("amm").unwrap();
+    let pool = world.contract("pool").unwrap();
+    let borrower = &world.wallets[1];
+
+    let leverage = smacs::contracts::LendingPool::leverage_payload(200, 1);
+    let pool_req = TokenRequest::method_token(
+        pool,
+        borrower.address(),
+        smacs::contracts::LendingPool::LEVERAGE_SIG,
+    );
+    let swap_req = TokenRequest::argument_token(
+        amm,
+        borrower.address(),
+        SmacsAmm::SWAP_SIG,
+        vec![
+            ArgBinding {
+                name: "arg0".into(),
+                value: "200".into(),
+            },
+            ArgBinding {
+                name: "arg1".into(),
+                value: "1".into(),
+            },
+        ],
+        SmacsAmm::swap_payload(200, 1),
+    );
+
+    // Allowed: tokens for both hops ride the same transaction.
+    let pool_token = api.issue(&pool_req).unwrap();
+    let swap_token = api.issue(&swap_req).unwrap();
+    let receipt = borrower
+        .call_with_tokens(
+            &mut world.chain,
+            pool,
+            0,
+            &leverage,
+            &[(pool, pool_token), (amm, swap_token)],
+        )
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.revert_reason());
+    assert_eq!(
+        smacs::contracts::LendingPool::debt(&world.chain, pool, borrower.address()),
+        U256::from_u64(200)
+    );
+    // The swap credited the transaction origin (the borrower), not the pool.
+    assert!(SmacsAmm::balance_y(&world.chain, amm, borrower.address()) > U256::ZERO);
+
+    // Denied: the pool hop alone — the forwarded inner call reaches the
+    // AMM's shield with no token for it and the whole transaction reverts.
+    let pool_token = api.issue(&pool_req).unwrap();
+    let debt_before = smacs::contracts::LendingPool::debt(&world.chain, pool, borrower.address());
+    let receipt = borrower
+        .call_with_tokens(&mut world.chain, pool, 0, &leverage, &[(pool, pool_token)])
+        .unwrap();
+    assert!(!receipt.status.is_success());
+    assert_eq!(
+        smacs::contracts::LendingPool::debt(&world.chain, pool, borrower.address()),
+        debt_before,
+        "failed composition must not leave partial debt"
+    );
+}
+
+/// Session tokens: the game TS issues 120-second method tokens. Within the
+/// session the player moves freely; after expiry the same token dies at
+/// the shield and a re-mint is required.
+#[test]
+fn game_session_tokens_expire_on_chain() {
+    let mut world = scenario::build("game", 43).unwrap();
+    let api = scenario_api(&world);
+    let game = world.contract("game").unwrap();
+    let player = &world.wallets[0];
+
+    // Join with an argument token (exact-calldata, the REPL's default).
+    let join = SessionGame::join_payload();
+    let join_req = TokenRequest::argument_token(
+        game,
+        player.address(),
+        SessionGame::JOIN_SIG,
+        vec![],
+        join.clone(),
+    );
+    let token = api.issue(&join_req).unwrap();
+    let receipt = player
+        .call_with_token(&mut world.chain, game, 0, &join, token)
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.revert_reason());
+
+    // Allowed: play within the 120-second session.
+    let session = api.issue(&world.requests[0]).unwrap();
+    let receipt = player
+        .call_with_token(
+            &mut world.chain,
+            game,
+            0,
+            &SessionGame::play_payload(60),
+            session,
+        )
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.revert_reason());
+    assert_eq!(
+        SessionGame::score(&world.chain, game, player.address()),
+        U256::from_u64(60)
+    );
+
+    // Denied: the same session token after the chain clock passes expiry.
+    world.chain.advance_time(7_200);
+    let receipt = player
+        .call_with_token(
+            &mut world.chain,
+            game,
+            0,
+            &SessionGame::play_payload(10),
+            session,
+        )
+        .unwrap();
+    assert!(!receipt.status.is_success(), "expired session still played");
+    assert_eq!(
+        SessionGame::score(&world.chain, game, player.address()),
+        U256::from_u64(60)
+    );
+}
+
+/// One-time claims: a claim token spends exactly once — replaying the very
+/// same token in a fresh transaction dies at the shield's index check.
+#[test]
+fn airdrop_one_time_claim_tokens_spend_exactly_once() {
+    let mut world = scenario::build("airdrop", 44).unwrap();
+    let api = scenario_api(&world);
+    let drop = world.contract("airdrop").unwrap();
+    let claimer = &world.wallets[0];
+
+    // Allowed: first claim with a one-time token.
+    let token = api.issue(&world.requests[0]).unwrap();
+    assert!(token.index > -1, "claim tokens must be one-time");
+    let receipt = claimer
+        .call_with_token(&mut world.chain, drop, 0, &Airdrop::claim_payload(), token)
+        .unwrap();
+    assert!(receipt.status.is_success(), "{:?}", receipt.revert_reason());
+    assert_eq!(
+        Airdrop::balance(&world.chain, drop, claimer.address()),
+        U256::from_u64(100)
+    );
+
+    // Denied: replaying the spent token in a new transaction.
+    let receipt = claimer
+        .call_with_token(&mut world.chain, drop, 0, &Airdrop::claim_payload(), token)
+        .unwrap();
+    assert!(!receipt.status.is_success(), "one-time token replayed");
+    assert_eq!(
+        Airdrop::balance(&world.chain, drop, claimer.address()),
+        U256::from_u64(100),
+        "replay must not double-credit"
+    );
 }
 
 proptest! {
