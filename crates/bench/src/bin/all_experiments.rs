@@ -89,6 +89,16 @@ fn main() {
         failover.recovered_tokens_per_sec
     );
 
+    println!("\n== TS wire-quorum one-time issuance (counter partition + heal) ==");
+    let wire_failover = smacs_bench::perf::ts_failover_wire_throughput(64);
+    println!(
+        "steady: {:>10.0} one-time/s   one counter node dark: {:>10.0} one-time/s ({:.0}% of steady)   healed: {:>10.0} one-time/s",
+        wire_failover.steady_one_time_per_sec,
+        wire_failover.partitioned_one_time_per_sec,
+        wire_failover.partitioned_fraction_x100(),
+        wire_failover.recovered_one_time_per_sec
+    );
+
     println!("\n== TS connection scaling (pooled server, 1k keep-alive) ==");
     let conn_probe = smacs_bench::perf::connection_scaling_probe(1_000);
     println!(
@@ -133,6 +143,10 @@ fn main() {
         members.push((
             "ts_failover".into(),
             smacs_bench::perf::failover_to_json(&failover),
+        ));
+        members.push((
+            "ts_failover_wire".into(),
+            smacs_bench::perf::wire_failover_to_json(&wire_failover),
         ));
         members.push((
             "connection_scaling".into(),

@@ -644,6 +644,117 @@ pub fn failover_to_json(probe: &FailoverThroughput) -> Json {
     ])
 }
 
+/// One-time issuance throughput through the wire counter quorum — the
+/// `ts_failover_wire` bench. Unlike [`FailoverThroughput`] (expiry tokens,
+/// replica kill), every token here costs a real
+/// `counter_prepare`/`counter_commit` vote round over TCP, and the fault
+/// is a *counter* partition: one vote endpoint goes dark while all three
+/// replicas keep serving clients, so each allocation must close on a 2/3
+/// majority.
+pub struct WireQuorumThroughput {
+    /// Replicas (= counter nodes) in the set.
+    pub replicas: usize,
+    /// One-time tokens/sec with all counter nodes voting.
+    pub steady_one_time_per_sec: f64,
+    /// One-time tokens/sec with one counter node partitioned away — the
+    /// quorum is a bare majority and the partitioned node's coordinator
+    /// pays a failed self-vote on every allocation.
+    pub partitioned_one_time_per_sec: f64,
+    /// One-time tokens/sec after the partitioned node healed and caught
+    /// up past every index committed while it was dark.
+    pub recovered_one_time_per_sec: f64,
+}
+
+impl WireQuorumThroughput {
+    /// Partitioned throughput as a fraction of steady (×100).
+    pub fn partitioned_fraction_x100(&self) -> f64 {
+        self.partitioned_one_time_per_sec / self.steady_one_time_per_sec.max(1e-9) * 100.0
+    }
+}
+
+fn one_time_round(client: &FailoverClient, tokens: usize, base: u64) -> f64 {
+    let contract = Address::from_low_u64(0xC1);
+    let start = Instant::now();
+    for i in 0..tokens {
+        let req = TokenRequest::method_token(
+            contract,
+            Address::from_low_u64(base + i as u64),
+            BenchTarget::PING_SIG,
+        )
+        .one_time();
+        client.issue(&req).expect("wire-quorum one-time issue");
+    }
+    tokens as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measure one-time issuance throughput through a 3-replica wire-quorum
+/// set before, during, and after partitioning one counter node.
+pub fn ts_failover_wire_throughput(tokens_per_phase: usize) -> WireQuorumThroughput {
+    let set = ReplicaSet::start(
+        Keypair::from_seed(16_001),
+        RuleBook::permissive(),
+        ReplicaSetConfig::default(),
+    )
+    .expect("replica set");
+    let client = FailoverClient::with_config(
+        set.addrs(),
+        HttpClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        },
+        RetryPolicy {
+            attempts: 6,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            deadline: Duration::from_secs(10),
+        },
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(5),
+        },
+    );
+    client.ping().expect("set alive");
+
+    let steady = one_time_round(&client, tokens_per_phase, 70_000);
+    set.partition_counter(0);
+    let partitioned = one_time_round(&client, tokens_per_phase, 80_000);
+    set.heal_counter(0);
+    let recovered = one_time_round(&client, tokens_per_phase, 90_000);
+
+    let result = WireQuorumThroughput {
+        replicas: set.len(),
+        steady_one_time_per_sec: steady,
+        partitioned_one_time_per_sec: partitioned,
+        recovered_one_time_per_sec: recovered,
+    };
+    set.shutdown();
+    result
+}
+
+/// Render the wire-quorum probe as JSON.
+pub fn wire_failover_to_json(probe: &WireQuorumThroughput) -> Json {
+    Json::Obj(vec![
+        ("replicas".into(), Json::Int(probe.replicas as i128)),
+        (
+            "steady_one_time_per_sec".into(),
+            Json::Int(probe.steady_one_time_per_sec as i128),
+        ),
+        (
+            "partitioned_one_time_per_sec".into(),
+            Json::Int(probe.partitioned_one_time_per_sec as i128),
+        ),
+        (
+            "recovered_one_time_per_sec".into(),
+            Json::Int(probe.recovered_one_time_per_sec as i128),
+        ),
+        (
+            "partitioned_fraction_x100".into(),
+            Json::Int(probe.partitioned_fraction_x100() as i128),
+        ),
+    ])
+}
+
 /// ns per `ecrecover` (digest + signature → address) — the per-request
 /// verify cost the wNAF ladder attacks.
 pub fn ecdsa_recover_ns(iters: u32) -> f64 {
@@ -923,6 +1034,17 @@ mod tests {
         assert!(probe.recovered_tokens_per_sec > 0.0);
         let json = failover_to_json(&probe);
         assert!(json.get("degraded_fraction_x100").is_some());
+    }
+
+    #[test]
+    fn wire_quorum_probe_survives_a_counter_partition() {
+        let probe = ts_failover_wire_throughput(4);
+        assert_eq!(probe.replicas, 3);
+        assert!(probe.steady_one_time_per_sec > 0.0);
+        assert!(probe.partitioned_one_time_per_sec > 0.0);
+        assert!(probe.recovered_one_time_per_sec > 0.0);
+        let json = wire_failover_to_json(&probe);
+        assert!(json.get("partitioned_fraction_x100").is_some());
     }
 
     #[test]

@@ -16,7 +16,10 @@ use smacs_crypto::Keypair;
 use smacs_lang::lexer::{tokenize, Token as Lex};
 use smacs_primitives::{Address, H256, U256};
 use smacs_token::{ArgBinding, Token, TokenRequest, TokenType};
-use smacs_ts::{InProcessClient, ListPolicy, RuleBook, TokenService, TokenServiceConfig, TsApi};
+use smacs_ts::{
+    ApiError, FailoverClient, InProcessClient, ListPolicy, ReplicaSet, ReplicaSetConfig, RuleBook,
+    TokenService, TokenServiceConfig, TsApi,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -78,6 +81,15 @@ pub enum Command {
         /// Pre-minted token ids to attach (auto-mints when empty).
         using: Vec<usize>,
     },
+    /// `cluster <n>` — replace the single TS with a replicated set of
+    /// `n` wire-quorum replicas behind a failover client.
+    Cluster(usize),
+    /// `kill <i>` — take replica `i` off the network.
+    Kill(usize),
+    /// `recover <i>` — bring replica `i` back (WAL replay + catch-up).
+    Recover(usize),
+    /// `quorum` — report the counter group's quorum state.
+    Quorum,
     /// `receipt` — dump the last receipt including the trace.
     Receipt,
     /// `storage <contract> <slot>`
@@ -217,6 +229,10 @@ pub fn parse(line: &str) -> Result<Option<Command>, String> {
         }
         "tokens" => Command::Tokens,
         "call" => parse_call(rest)?,
+        "cluster" => Command::Cluster(number(rest.first(), "replica count")? as usize),
+        "kill" => Command::Kill(number(rest.first(), "replica id")? as usize),
+        "recover" => Command::Recover(number(rest.first(), "replica id")? as usize),
+        "quorum" => Command::Quorum,
         "receipt" => Command::Receipt,
         "storage" => Command::Storage(
             ident(rest.first(), "contract name")?,
@@ -294,12 +310,40 @@ struct Minted {
     summary: String,
 }
 
+/// How the session reaches its Token Service: one in-process instance, or
+/// a live replicated set (started by `cluster <n>`) behind a failover
+/// client — same signing identity either way, so minted tokens verify
+/// against the shields already on the session's chain.
+enum Backend {
+    Local(InProcessClient),
+    Replicated {
+        set: Box<ReplicaSet>,
+        client: FailoverClient,
+    },
+}
+
+impl Backend {
+    fn issue(&self, req: &TokenRequest) -> Result<Token, ApiError> {
+        match self {
+            Backend::Local(api) => api.issue(req),
+            Backend::Replicated { client, .. } => client.issue(req),
+        }
+    }
+
+    fn advance_time(&self, secs: u64) {
+        match self {
+            Backend::Local(api) => api.advance_time(secs),
+            Backend::Replicated { set, .. } => set.advance_time(secs),
+        }
+    }
+}
+
 /// The interactive session: an in-process chain, shields deployed by one
 /// owner toolkit, and a Token Service reached through [`InProcessClient`].
 pub struct Repl {
     chain: Chain,
     toolkit: OwnerToolkit,
-    api: InProcessClient,
+    backend: Backend,
     rules: RuleBook,
     wallets: BTreeMap<String, ClientWallet>,
     contracts: BTreeMap<String, Address>,
@@ -320,6 +364,7 @@ commands:
   mint <type> <wallet> <contract> [\"<sig>\"] [once]
   tokens
   call <wallet> <contract> \"<sig>\" (<args>) [value <n>] [using <ids>]
+  cluster <n> | kill <i> | recover <i> | quorum
   receipt | storage <contract> <slot> | advance <secs> | time
   quit
 token types: super | method | argument";
@@ -350,7 +395,7 @@ impl Repl {
         Repl {
             chain,
             toolkit,
-            api,
+            backend: Backend::Local(api),
             rules,
             wallets: BTreeMap::new(),
             contracts: BTreeMap::new(),
@@ -383,9 +428,32 @@ impl Repl {
     }
 
     fn push_rules(&self) -> Result<(), String> {
-        self.api
-            .set_rules(OWNER_SECRET, self.rules.clone())
-            .map_err(|e| format!("set_rules failed: {e:?}"))
+        match &self.backend {
+            Backend::Local(api) => api
+                .set_rules(OWNER_SECRET, self.rules.clone())
+                .map_err(|e| format!("set_rules failed: {e:?}")),
+            // The REPL is the operator's console; it updates the shared
+            // shards directly rather than picking one replica's derived
+            // admin credential.
+            Backend::Replicated { set, .. } => {
+                set.set_rules(self.rules.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Replace the backend, shutting a previous replica set down cleanly.
+    fn install_backend(&mut self, backend: Backend) {
+        if let Backend::Replicated { set, .. } = std::mem::replace(&mut self.backend, backend) {
+            set.shutdown();
+        }
+    }
+
+    fn replica_set(&mut self) -> Result<&mut ReplicaSet, String> {
+        match &mut self.backend {
+            Backend::Replicated { set, .. } => Ok(set.as_mut()),
+            Backend::Local(_) => Err("no cluster running (start one with: cluster <n>)".into()),
+        }
     }
 
     fn run(&mut self, cmd: Command) -> Result<String, String> {
@@ -497,6 +565,46 @@ impl Repl {
                 value,
                 using,
             } => self.call(&wallet, &contract, &method, &args, value, &using),
+            Command::Cluster(n) => self.start_cluster(n),
+            Command::Kill(id) => {
+                let set = self.replica_set()?;
+                if id >= set.len() {
+                    return Err(format!("no replica {id} (cluster has {})", set.len()));
+                }
+                set.kill(id);
+                let live = set.live_count();
+                let total = set.len();
+                Ok(format!("replica {id} killed ({live}/{total} live)"))
+            }
+            Command::Recover(id) => {
+                let set = self.replica_set()?;
+                if id >= set.len() {
+                    return Err(format!("no replica {id} (cluster has {})", set.len()));
+                }
+                set.recover(id)
+                    .map_err(|e| format!("recover failed: {e}"))?;
+                let live = set.live_count();
+                let total = set.len();
+                Ok(format!(
+                    "replica {id} recovered from WAL and caught up ({live}/{total} live)"
+                ))
+            }
+            Command::Quorum => {
+                let set = self.replica_set()?;
+                let counter = set.counter();
+                Ok(format!(
+                    "counter quorum {}/{} (nodes answering: {}), committed {}, one-time issuance {}",
+                    counter.quorum(),
+                    counter.len(),
+                    counter.live_count(),
+                    counter.committed(),
+                    if set.has_quorum() {
+                        "available"
+                    } else {
+                        "FAIL-CLOSED"
+                    }
+                ))
+            }
             Command::Receipt => self.dump_receipt(),
             Command::Storage(contract, slot) => {
                 let addr = self.contract(&contract)?;
@@ -511,7 +619,7 @@ impl Repl {
             }
             Command::Advance(secs) => {
                 self.chain.advance_time(secs);
-                self.api.advance_time(secs);
+                self.backend.advance_time(secs);
                 Ok(format!(
                     "time += {secs}s, now {}",
                     self.chain.pending_env().timestamp
@@ -527,7 +635,7 @@ impl Repl {
         let api = InProcessClient::new(world.token_service(), OWNER_SECRET, world.now());
         self.chain = world.chain;
         self.toolkit = world.toolkit;
-        self.api = api;
+        self.install_backend(Backend::Local(api));
         self.rules = world.rules;
         self.contracts = world.contracts.into_iter().collect();
         self.wallets = world
@@ -544,6 +652,35 @@ impl Repl {
         }
         let _ = write!(out, "\nwallets: w0..w{}", self.wallets.len() - 1);
         Ok(out)
+    }
+
+    /// `cluster <n>`: stand up a wire-quorum [`ReplicaSet`] sharing the
+    /// session's TS signing key and current rule book, and route all
+    /// subsequent issuance through a [`FailoverClient`] over real TCP.
+    /// Tokens it mints verify against the shields already on the chain.
+    fn start_cluster(&mut self, n: usize) -> Result<String, String> {
+        if n == 0 {
+            return Err("cluster needs at least one replica".into());
+        }
+        let set = ReplicaSet::start(
+            self.toolkit.ts_keypair().clone(),
+            self.rules.clone(),
+            ReplicaSetConfig {
+                replicas: n,
+                now: self.chain.pending_env().timestamp,
+                ..ReplicaSetConfig::default()
+            },
+        )
+        .map_err(|e| format!("cluster start failed: {e}"))?;
+        let client = FailoverClient::new(set.addrs());
+        let urls = set.urls().join(" ");
+        self.install_backend(Backend::Replicated {
+            set: Box::new(set),
+            client,
+        });
+        Ok(format!(
+            "cluster of {n} replicas up (wire counter quorum): {urls}"
+        ))
     }
 
     fn deploy(&mut self, kind: &str) -> Result<String, String> {
@@ -601,7 +738,7 @@ impl Repl {
             req = req.one_time();
         }
         let token = self
-            .api
+            .backend
             .issue(&req)
             .map_err(|e| format!("issue denied: {e:?}"))?;
         let id = self.tokens.len();
@@ -665,7 +802,7 @@ impl Repl {
                 payload.clone(),
             );
             let token = self
-                .api
+                .backend
                 .issue(&req)
                 .map_err(|e| format!("issue denied: {e:?}"))?;
             w.call_with_token(&mut self.chain, target, value, &payload, token)
@@ -800,6 +937,10 @@ mod tests {
             Some(Command::Storage("oracle".into(), 2))
         );
         assert_eq!(parse("advance 7200").unwrap(), Some(Command::Advance(7200)));
+        assert_eq!(parse("cluster 3").unwrap(), Some(Command::Cluster(3)));
+        assert_eq!(parse("kill 0").unwrap(), Some(Command::Kill(0)));
+        assert_eq!(parse("recover 2").unwrap(), Some(Command::Recover(2)));
+        assert_eq!(parse("quorum").unwrap(), Some(Command::Quorum));
         assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
     }
 
@@ -845,6 +986,53 @@ mod tests {
         let reject = run("call mallory oracle \"postPrice(uint256)\" (1) using 0");
         assert!(reject.starts_with("revert"), "{reject}");
         assert!(run("receipt").contains("status="));
+    }
+
+    /// The replicated backend end to end: `cluster 3` swaps issuance onto
+    /// a live wire-quorum set, a kill/recover round is transparent to the
+    /// session, tokens minted over the wire still clear the on-chain
+    /// shield, and `quorum` reports the counter group's state.
+    #[test]
+    fn cluster_kill_recover_round_keeps_the_session_working() {
+        let mut repl = Repl::new(11);
+        let mut run = |line: &str| repl.eval(line).unwrap().unwrap();
+        assert!(run("deploy oracle").starts_with("deployed"));
+        run("wallet alice");
+        run("allow method sender alice");
+        run("allow method method \"postPrice(uint256)\" alice");
+
+        let up = run("cluster 3");
+        assert!(up.starts_with("cluster of 3 replicas up"), "{up}");
+        assert!(run("quorum").contains("one-time issuance available"));
+
+        // Mint through the failover client, over real TCP.
+        assert!(run("mint method alice oracle \"postPrice(uint256)\" once").starts_with("token #0"));
+        run("kill 0");
+        // A dead minority is transparent: issuance and quorum hold.
+        assert!(run("mint method alice oracle \"postPrice(uint256)\"").starts_with("token #1"));
+        let q = run("quorum");
+        assert!(q.contains("nodes answering: 2"), "{q}");
+        let back = run("recover 0");
+        assert!(back.contains("recovered from WAL"), "{back}");
+        assert!(run("quorum").contains("nodes answering: 3"));
+
+        // Wire-minted tokens clear the on-chain shield (same identity).
+        let ok = run("call alice oracle \"postPrice(uint256)\" (42000) using 1");
+        assert!(ok.starts_with("ok gas="), "{ok}");
+
+        // Rule pushes reach every replica through the shared shards.
+        run("rules deny");
+        let denied = repl.eval("mint method alice oracle \"postPrice(uint256)\"");
+        assert!(denied.is_err(), "deny-all must bind the whole cluster");
+
+        // Losing the majority fails one-time issuance closed.
+        let mut run = |line: &str| repl.eval(line).unwrap().unwrap();
+        run("rules permissive");
+        run("kill 1");
+        run("kill 2");
+        assert!(run("quorum").contains("FAIL-CLOSED"));
+        let lost = repl.eval("mint super alice oracle once");
+        assert!(lost.is_err(), "one-time issuance must fail closed");
     }
 
     #[test]

@@ -28,6 +28,17 @@
 //! | `discover`    | `{"contract": "0x…"}`                   | `{"metadata": {…} \| null}` |
 //! | `ping`        | _absent_                                | `{"pong": true}`            |
 //!
+//! Replicas additionally speak the **counter op family** to each other —
+//! the one-time counter quorum's votes on the wire (served on each
+//! replica's dedicated counter endpoint; answered with
+//! `counter_unavailable` by a front end that has no counter node):
+//!
+//! | op                | body               | ok body                              |
+//! |-------------------|--------------------|--------------------------------------|
+//! | `counter_prepare` | _absent_           | `{"committed": n}` (phase-1 read)    |
+//! | `counter_commit`  | `{"value": n}`     | `{"accepted": bool, "committed": n}` |
+//! | `counter_catchup` | _absent_           | `{"committed": n}` (recovery read)   |
+//!
 //! Responses mirror the envelope: `{"v": 2, "ok": true, "body": {…}}` on
 //! success, `{"v": 2, "ok": false, "error": {"code": "…", "message": "…"}}`
 //! on failure. Batch items carry per-item `ok`/`token_hex`/`error` — a
@@ -281,6 +292,36 @@ json_codec! {
     pub struct DiscoverResponseBody {
         /// Published metadata, if the contract is known to this TS.
         pub metadata: Option<ContractMetadata>,
+    }
+}
+
+json_codec! {
+    /// `counter_prepare` / `counter_catchup` success body: the answering
+    /// node's committed frontier.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct CounterStateBody {
+        /// The node's next free one-time index.
+        pub committed: u64,
+    }
+}
+
+json_codec! {
+    /// `counter_commit` request body.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct CounterCommitBody {
+        /// The index the coordinator proposes to burn.
+        pub value: u64,
+    }
+}
+
+json_codec! {
+    /// `counter_commit` success body: the node's vote.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct CounterVoteBody {
+        /// True iff the node burned `value` (it was exactly its frontier).
+        pub accepted: bool,
+        /// The node's frontier after the vote.
+        pub committed: u64,
     }
 }
 

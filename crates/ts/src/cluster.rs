@@ -23,32 +23,77 @@
 //!   directory with the full replica URL list, so any reachable replica
 //!   can hand a client the directory it needs to fail over.
 //!
-//! [`ReplicaSet::kill`] takes a replica off the network (HTTP listener
-//! closed, its counter node crashed); [`ReplicaSet::recover`] brings it
-//! back *on the same address* with its counter node caught up, so clients
-//! holding the old directory reconnect without re-discovery.
-//! [`ReplicaSet::partition_counter`] fails only the counter node — the
-//! replica keeps serving, modelling a network partition between the
-//! consensus group and one member.
+//! ## The counter quorum is on the wire
 //!
-//! Replicas live in one process here (this is a simulator), but nothing
-//! crosses between them except the `Arc`s named above — the same state a
-//! real deployment would replicate via its consensus layer.
+//! By default ([`CounterMode::Wire`]) counter votes are real protocol-v2
+//! messages: each replica serves the `counter_prepare` / `counter_commit`
+//! / `counter_catchup` op family on a **dedicated vote endpoint** (its
+//! own `HttpServer` with a small private pool, so issuance load can never
+//! starve vote processing into a distributed deadlock), and each
+//! replica's coordinator reaches its peers through a wire
+//! [`CounterTransport`] — its own node stays a [`LocalTransport`], since
+//! a replica never loses the network to itself. Every node write-ahead
+//! logs its commits ([`crate::wal::Wal`], fsync before ack), so
+//! [`ReplicaSet::recover`] rebuilds a crashed replica's vote state from
+//! its WAL (RAM is explicitly discarded) and then catches it up past any
+//! indexes it missed via `counter_catchup`. [`CounterMode::InProcess`]
+//! keeps the PR-4 shared-memory cluster for comparison and unit tests.
+//!
+//! The *sending* side of every wire transport consults its replica's
+//! [`FaultPlan`] per peer address, which is how the chaos suite drives
+//! asymmetric partitions ([`FaultPlan::partition_addr`]), delayed/
+//! reordered votes ([`FaultPlan::delay_votes_to`]), and duplicated votes
+//! ([`FaultPlan::duplicate_votes`]) without faking anything above the
+//! transport.
+//!
+//! [`ReplicaSet::kill`] takes a replica off the network (both listeners
+//! closed, its counter node crashed); [`ReplicaSet::recover`] brings it
+//! back *on the same addresses* with its counter state replayed from WAL
+//! and caught up, so clients holding the old directory reconnect without
+//! re-discovery. [`ReplicaSet::partition_counter`] fails only the counter
+//! node — the replica keeps serving, modelling a network partition
+//! between the consensus group and one member.
+//!
+//! Replicas live in one process here (this is a simulator), but in wire
+//! mode nothing crosses between their counter nodes except TCP — the
+//! shared `Arc`s are limited to the signing key and rule shards a real
+//! deployment would distribute out of band.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use smacs_crypto::Keypair;
+use smacs_primitives::json::{FromJson, Json, ToJson};
 use smacs_primitives::Address;
 
+use crate::api::{CounterCommitBody, CounterStateBody, CounterVoteBody};
 use crate::discovery::ContractMetadata;
 use crate::fault::FaultPlan;
 use crate::front::FrontEnd;
-use crate::http::{HttpServer, HttpServerConfig};
-use crate::replica::CounterCluster;
+use crate::http::{HttpClient, HttpClientConfig, HttpServer, HttpServerConfig};
+use crate::replica::{CommitReply, CounterCluster, CounterNode, CounterTransport, LocalTransport};
 use crate::rules::RuleBook;
 use crate::service::{ShardedRules, TokenService, TokenServiceConfig};
+
+/// Distinguishes WAL directories of concurrently running sets in one
+/// process (the test suite starts many).
+static SET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// How one-time counter votes travel between replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterMode {
+    /// Votes are protocol-v2 `counter_*` ops over TCP against each
+    /// replica's dedicated vote endpoint; commits are WAL-durable. The
+    /// default — the distributed protocol the chaos suite certifies.
+    Wire,
+    /// Votes go through shared memory (the PR-4 form). No vote endpoints,
+    /// no WAL unless [`ReplicaSetConfig::wal_dir`] is set.
+    InProcess,
+}
 
 /// Tuning for [`ReplicaSet::start`].
 #[derive(Clone)]
@@ -71,6 +116,14 @@ pub struct ReplicaSetConfig {
     pub http: HttpServerConfig,
     /// Initial TS-local clock.
     pub now: u64,
+    /// How counter votes travel (default: [`CounterMode::Wire`]).
+    pub counter_mode: CounterMode,
+    /// Directory for per-replica counter WALs (`counter-{id}.wal`).
+    /// `None`: wire mode logs into a fresh per-set temp directory that is
+    /// removed on [`ReplicaSet::shutdown`]; in-process mode runs
+    /// memory-only. `Some(dir)`: logs persist there across sets (the
+    /// caller owns cleanup), in either mode.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl Default for ReplicaSetConfig {
@@ -82,7 +135,109 @@ impl Default for ReplicaSetConfig {
             service: TokenServiceConfig::default(),
             http: HttpServerConfig::default(),
             now: 0,
+            counter_mode: CounterMode::Wire,
+            wal_dir: None,
         }
+    }
+}
+
+/// Socket tuning for vote round trips: peers are near (same rack — here,
+/// loopback), votes are tiny, and a dead peer should cost a bounded,
+/// snappy timeout rather than a client-grade 10 s stall per allocation.
+fn vote_client_config() -> HttpClientConfig {
+    HttpClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+    }
+}
+
+/// Pool sizing for the dedicated vote endpoints: vote handling is a
+/// mutex-guarded counter bump plus a WAL append — two workers keep a
+/// coordinator and a recovering peer served without stealing cores from
+/// issuance.
+fn vote_server_config() -> HttpServerConfig {
+    HttpServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..HttpServerConfig::default()
+    }
+}
+
+/// The wire [`CounterTransport`]: speaks the `counter_*` op family to one
+/// peer's vote endpoint over a keep-alive [`HttpClient`], consulting the
+/// owning replica's [`FaultPlan`] before every send (address-scoped
+/// partition, vote delay, duplicate delivery).
+///
+/// The target starts unset (peer endpoints aren't known until every vote
+/// server is bound) and is filled in once by `ReplicaSet::start`; an
+/// unset transport reports the peer unreachable, which fails closed.
+struct WireCounterTransport {
+    target: Mutex<Option<Arc<HttpClient>>>,
+    faults: Arc<FaultPlan>,
+}
+
+impl WireCounterTransport {
+    fn new(faults: Arc<FaultPlan>) -> Arc<WireCounterTransport> {
+        Arc::new(WireCounterTransport {
+            target: Mutex::new(None),
+            faults,
+        })
+    }
+
+    fn set_target(&self, addr: SocketAddr) {
+        *self.target.lock() = Some(Arc::new(HttpClient::connect_with(
+            addr,
+            vote_client_config(),
+        )));
+    }
+
+    /// One vote send, with sender-side fault injection. `idempotent`
+    /// gates the transport's replay-on-reconnect: reads are; `commit` is
+    /// not (a lost commit ack must surface as "unreachable", not be
+    /// silently re-sent and come back `accepted: false`).
+    fn call(&self, op: &str, body: Option<Json>, idempotent: bool) -> Option<Json> {
+        let client = self.target.lock().clone()?;
+        let addr = client.addr();
+        if self.faults.is_partitioned(addr) {
+            return None;
+        }
+        if let Some(delay) = self.faults.vote_delay(addr) {
+            std::thread::sleep(delay);
+        }
+        let duplicate = self.faults.take_duplicate_vote();
+        let reply = client.call_detailed(op, body.clone(), idempotent).ok();
+        if duplicate {
+            // Duplicate delivery: the echo reaches the node, its reply is
+            // discarded — the vote state machine must treat it as a no-op.
+            let _ = client.call_detailed(op, body, idempotent);
+        }
+        reply
+    }
+}
+
+impl CounterTransport for WireCounterTransport {
+    fn prepare(&self) -> Option<u64> {
+        let body = self.call("counter_prepare", None, true)?;
+        Some(CounterStateBody::from_json(&body).ok()?.committed)
+    }
+
+    fn commit(&self, value: u64) -> Option<CommitReply> {
+        let body = self.call(
+            "counter_commit",
+            Some(CounterCommitBody { value }.to_json()),
+            false,
+        )?;
+        let vote = CounterVoteBody::from_json(&body).ok()?;
+        Some(CommitReply {
+            accepted: vote.accepted,
+            committed: vote.committed,
+        })
+    }
+
+    fn catchup(&self) -> Option<u64> {
+        let body = self.call("counter_catchup", None, true)?;
+        Some(CounterStateBody::from_json(&body).ok()?.committed)
     }
 }
 
@@ -94,15 +249,31 @@ struct Replica {
     /// The address this replica serves on — stable across kill/recover.
     addr: SocketAddr,
     faults: Arc<FaultPlan>,
+    /// This replica's counter node (vote state machine).
+    node: Arc<CounterNode>,
+    /// Wire mode: the dedicated vote endpoint (`None` while killed, and
+    /// always `None` in in-process mode).
+    counter_server: Option<HttpServer>,
+    /// Wire mode: the vote endpoint's address — stable across
+    /// kill/recover.
+    counter_addr: Option<SocketAddr>,
+    /// This replica's coordinator view of the quorum (self local, peers
+    /// wired in wire mode; the one shared cluster in in-process mode).
+    cluster: CounterCluster,
 }
 
 /// A running replicated Token Service.
 pub struct ReplicaSet {
     replicas: Vec<Replica>,
+    /// Set-level diagnostics view: local transports over every node.
     counter: CounterCluster,
     rules: Arc<ShardedRules>,
     signer: Keypair,
     config: ReplicaSetConfig,
+    /// A WAL temp directory this set created and owns (removed on
+    /// shutdown); `None` when the caller supplied `wal_dir` or no WAL is
+    /// in play.
+    owned_wal_dir: Option<PathBuf>,
 }
 
 impl ReplicaSet {
@@ -117,27 +288,96 @@ impl ReplicaSet {
         config: ReplicaSetConfig,
     ) -> std::io::Result<ReplicaSet> {
         assert!(config.replicas > 0, "need at least one replica");
-        let counter = CounterCluster::new(config.replicas);
-        let shards = ShardedRules::new(config.rule_shards, rules);
-        let mut replicas = Vec::with_capacity(config.replicas);
+
+        // WAL placement: wire mode always logs (own temp dir if the
+        // caller didn't name one); in-process mode logs only on request.
+        let mut owned_wal_dir = None;
+        let wal_dir = match (&config.wal_dir, config.counter_mode) {
+            (Some(dir), _) => {
+                std::fs::create_dir_all(dir)?;
+                Some(dir.clone())
+            }
+            (None, CounterMode::Wire) => {
+                let mut dir = std::env::temp_dir();
+                dir.push(format!(
+                    "smacs-replica-wal-{}-{}",
+                    std::process::id(),
+                    SET_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&dir)?;
+                owned_wal_dir = Some(dir.clone());
+                Some(dir)
+            }
+            (None, CounterMode::InProcess) => None,
+        };
+
+        let mut nodes = Vec::with_capacity(config.replicas);
         for id in 0..config.replicas {
+            nodes.push(match &wal_dir {
+                Some(dir) => CounterNode::with_wal(&dir.join(format!("counter-{id}.wal")))?.0,
+                None => CounterNode::new(),
+            });
+        }
+        let diag = CounterCluster::from_nodes(nodes.clone());
+
+        let shards = ShardedRules::new(config.rule_shards, rules);
+        let faults: Vec<Arc<FaultPlan>> = (0..config.replicas).map(|_| FaultPlan::new()).collect();
+
+        // Per-replica coordinator clusters. In wire mode replica `i`
+        // reaches itself locally and each peer `j` through a wire
+        // transport whose target is filled in once the vote endpoints are
+        // bound below.
+        let mut wires: Vec<Vec<(usize, Arc<WireCounterTransport>)>> = Vec::new();
+        let clusters: Vec<CounterCluster> = match config.counter_mode {
+            CounterMode::InProcess => (0..config.replicas).map(|_| diag.clone()).collect(),
+            CounterMode::Wire => (0..config.replicas)
+                .map(|i| {
+                    let mut outgoing = Vec::new();
+                    let members = (0..config.replicas)
+                        .map(|j| -> Arc<dyn CounterTransport> {
+                            if i == j {
+                                Arc::new(LocalTransport(nodes[i].clone()))
+                            } else {
+                                let wire = WireCounterTransport::new(faults[i].clone());
+                                outgoing.push((j, wire.clone()));
+                                wire
+                            }
+                        })
+                        .collect();
+                    wires.push(outgoing);
+                    CounterCluster::from_transports(members)
+                })
+                .collect(),
+        };
+
+        let mut replicas = Vec::with_capacity(config.replicas);
+        for (id, cluster) in clusters.into_iter().enumerate() {
             let service = TokenService::new(
                 signer.clone(),
                 RuleBook::permissive(), // replaced by the shared shards
                 config.service.clone(),
             )
             .with_shared_rules(shards.clone())
-            .with_replicated_counter(counter.clone());
-            let front = Arc::new(FrontEnd::new(
-                service,
-                Self::derive_secret(&config.owner_secret, id),
-                config.now,
-            ));
-            let faults = FaultPlan::new();
+            .with_replicated_counter(cluster.clone());
+            let front = Arc::new(
+                FrontEnd::new(
+                    service,
+                    Self::derive_secret(&config.owner_secret, id),
+                    config.now,
+                )
+                .with_counter(nodes[id].clone()),
+            );
+            let counter_server = match config.counter_mode {
+                CounterMode::Wire => {
+                    Some(HttpServer::start_with(front.clone(), vote_server_config())?)
+                }
+                CounterMode::InProcess => None,
+            };
+            let counter_addr = counter_server.as_ref().map(HttpServer::addr);
             let server = HttpServer::start_with(
                 front.clone(),
                 HttpServerConfig {
-                    faults: Some(faults.clone()),
+                    faults: Some(faults[id].clone()),
                     ..config.http.clone()
                 },
             )?;
@@ -146,15 +386,34 @@ impl ReplicaSet {
                 front,
                 server: Some(server),
                 addr,
-                faults,
+                faults: faults[id].clone(),
+                node: nodes[id].clone(),
+                counter_server,
+                counter_addr,
+                cluster,
             });
         }
+
+        // Vote endpoints are all bound now — aim every wire transport at
+        // its peer.
+        for (i, outgoing) in wires.into_iter().enumerate() {
+            let _ = i;
+            for (j, wire) in outgoing {
+                wire.set_target(
+                    replicas[j]
+                        .counter_addr
+                        .expect("wire mode binds a vote endpoint per replica"),
+                );
+            }
+        }
+
         Ok(ReplicaSet {
             replicas,
-            counter,
+            counter: diag,
             rules: shards,
             signer,
             config,
+            owned_wal_dir,
         })
     }
 
@@ -180,6 +439,13 @@ impl ReplicaSet {
             .iter()
             .map(|r| format!("http://{}", r.addr))
             .collect()
+    }
+
+    /// Replica `id`'s vote-endpoint address (wire mode; `None` in
+    /// in-process mode). Chaos tests scope partition/delay faults to
+    /// these addresses.
+    pub fn counter_addr(&self, id: usize) -> Option<SocketAddr> {
+        self.replicas[id].counter_addr
     }
 
     /// The address form of the shared `pk_TS`.
@@ -213,13 +479,22 @@ impl ReplicaSet {
         &self.replicas[id].front
     }
 
-    /// Replica `id`'s fault plan (chaos tests arm transport faults here).
+    /// Replica `id`'s fault plan (chaos tests arm transport faults here —
+    /// including the address-scoped vote faults this replica applies when
+    /// *sending* to peers).
     pub fn faults(&self, id: usize) -> &Arc<FaultPlan> {
         &self.replicas[id].faults
     }
 
-    /// The shared quorum counter (diagnostics: committed index count,
-    /// quorum state).
+    /// Replica `id`'s counter node (vote state machine) — diagnostics and
+    /// crash simulation.
+    pub fn counter_node(&self, id: usize) -> &Arc<CounterNode> {
+        &self.replicas[id].node
+    }
+
+    /// The quorum counter's set-level diagnostics view (committed index
+    /// count, quorum state). In wire mode this reads node state directly
+    /// — the authoritative view an operator's metrics would aggregate.
     pub fn counter(&self) -> &CounterCluster {
         &self.counter
     }
@@ -239,39 +514,68 @@ impl ReplicaSet {
         self.replicas.iter().filter(|r| r.server.is_some()).count()
     }
 
-    /// Kill replica `id`: close its HTTP listener and parked connections,
-    /// finish in-flight requests, and crash its counter node. Idempotent.
+    /// Kill replica `id`: close its HTTP listeners (client-facing *and*
+    /// vote endpoint) and parked connections, finish in-flight requests,
+    /// and crash its counter node. Its WAL survives on disk — that is the
+    /// point. Idempotent.
     pub fn kill(&mut self, id: usize) {
         if let Some(server) = self.replicas[id].server.take() {
             server.shutdown();
         }
-        self.counter.kill(id);
+        if let Some(server) = self.replicas[id].counter_server.take() {
+            server.shutdown();
+        }
+        self.replicas[id].node.crash();
     }
 
-    /// Recover replica `id`: catch its counter node up and restart its
-    /// HTTP server on the address clients already know. The listener port
-    /// was freed by [`ReplicaSet::kill`]; rebinding retries briefly in
-    /// case the OS is slow to release it.
+    /// Recover replica `id` on the addresses clients already know.
+    ///
+    /// The counter state is rebuilt the way a real restart would: the
+    /// node's in-memory frontier is **discarded** and replayed from its
+    /// WAL (torn tail truncated), then caught up past any indexes it
+    /// missed via `counter_catchup` through this replica's own transports
+    /// — over the wire in wire mode. Only then do the listeners come
+    /// back. The listener ports were freed by [`ReplicaSet::kill`];
+    /// rebinding retries briefly in case the OS is slow to release them.
     pub fn recover(&mut self, id: usize) -> std::io::Result<()> {
-        self.counter.recover(id);
-        if self.replicas[id].server.is_some() {
-            return Ok(());
-        }
-        let addr = self.replicas[id].addr;
-        let mut last_err = None;
-        for _ in 0..50 {
-            match HttpServer::start_with(
-                self.replicas[id].front.clone(),
+        let replica = &self.replicas[id];
+        replica.node.reload_from_wal()?;
+        replica.node.revive();
+        // `committed()` polls every member (self locally, peers over the
+        // wire) — the max is the cluster frontier to adopt.
+        let frontier = replica.cluster.committed();
+        replica.node.adopt(frontier);
+
+        if let (None, Some(addr)) = (&replica.counter_server, replica.counter_addr) {
+            let server = Self::rebind(
+                replica.front.clone(),
                 HttpServerConfig {
                     bind: Some(addr),
+                    ..vote_server_config()
+                },
+            )?;
+            self.replicas[id].counter_server = Some(server);
+        }
+        if self.replicas[id].server.is_none() {
+            let server = Self::rebind(
+                self.replicas[id].front.clone(),
+                HttpServerConfig {
+                    bind: Some(self.replicas[id].addr),
                     faults: Some(self.replicas[id].faults.clone()),
                     ..self.config.http.clone()
                 },
-            ) {
-                Ok(server) => {
-                    self.replicas[id].server = Some(server);
-                    return Ok(());
-                }
+            )?;
+            self.replicas[id].server = Some(server);
+        }
+        Ok(())
+    }
+
+    /// Bind a server to its old (just-freed) address, retrying briefly.
+    fn rebind(front: Arc<FrontEnd>, config: HttpServerConfig) -> std::io::Result<HttpServer> {
+        let mut last_err = None;
+        for _ in 0..50 {
+            match HttpServer::start_with(front.clone(), config.clone()) {
+                Ok(server) => return Err(last_err).or(Ok(server)),
                 Err(e) => {
                     last_err = Some(e);
                     std::thread::sleep(Duration::from_millis(10));
@@ -282,16 +586,19 @@ impl ReplicaSet {
     }
 
     /// Crash only replica `id`'s *counter node* — the replica keeps
-    /// serving HTTP, but the consensus group lost a member (a partition
-    /// between the node and its peers). Enough of these and one-time
-    /// issuance fails closed everywhere.
+    /// serving HTTP (its vote endpoint answers `counter_unavailable`),
+    /// but the consensus group lost a member: a partition between the
+    /// node and its peers. Enough of these and one-time issuance fails
+    /// closed everywhere.
     pub fn partition_counter(&self, id: usize) {
-        self.counter.kill(id);
+        self.replicas[id].node.crash();
     }
 
     /// Heal a counter partition: the node rejoins and catches up.
     pub fn heal_counter(&self, id: usize) {
-        self.counter.recover(id);
+        self.replicas[id].node.revive();
+        let frontier = self.replicas[id].cluster.committed();
+        self.replicas[id].node.adopt(frontier);
     }
 
     /// Whether the counter group currently has quorum (one-time issuance
@@ -337,12 +644,19 @@ impl ReplicaSet {
         }
     }
 
-    /// Stop every replica and join every thread.
+    /// Stop every replica (both listeners) and join every thread; remove
+    /// the WAL temp directory if this set created one.
     pub fn shutdown(mut self) {
         for replica in &mut self.replicas {
             if let Some(server) = replica.server.take() {
                 server.shutdown();
             }
+            if let Some(server) = replica.counter_server.take() {
+                server.shutdown();
+            }
+        }
+        if let Some(dir) = self.owned_wal_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -492,6 +806,84 @@ mod tests {
         let metadata = client.discover(contract).unwrap().unwrap();
         assert_eq!(metadata.replica_urls, set.urls());
         assert_eq!(metadata.all_service_urls(), set.urls());
+        set.shutdown();
+    }
+
+    #[test]
+    fn vote_endpoints_answer_the_counter_op_family() {
+        let set = small_set(3);
+        let vote_addr = set.counter_addr(1).expect("wire mode has vote endpoints");
+        let client = HttpClient::connect(vote_addr);
+        // Phase-1 read.
+        let body = client
+            .call_detailed("counter_prepare", None, true)
+            .expect("prepare answers");
+        assert_eq!(CounterStateBody::from_json(&body).unwrap().committed, 0);
+        // An external commit at the frontier is accepted; its echo is not.
+        let commit = |value: u64| {
+            let body = client
+                .call_detailed(
+                    "counter_commit",
+                    Some(CounterCommitBody { value }.to_json()),
+                    false,
+                )
+                .expect("commit answers");
+            CounterVoteBody::from_json(&body).unwrap()
+        };
+        assert!(commit(0).accepted);
+        assert!(!commit(0).accepted, "duplicate vote rejected over the wire");
+        assert_eq!(commit(0).committed, 1);
+        set.shutdown();
+    }
+
+    #[test]
+    fn in_process_mode_still_serves_one_time_issuance() {
+        let set = ReplicaSet::start(
+            Keypair::from_seed(901),
+            RuleBook::permissive(),
+            ReplicaSetConfig {
+                counter_mode: CounterMode::InProcess,
+                ..ReplicaSetConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(set.counter_addr(0), None, "no vote endpoints in-process");
+        let client = HttpClient::connect(set.addrs()[2]);
+        let a = client.issue(&request(1).one_time()).unwrap();
+        let b = client.issue(&request(2).one_time()).unwrap();
+        assert_ne!(a.index, b.index);
+        assert_eq!(set.counter().committed(), 2);
+        set.shutdown();
+    }
+
+    #[test]
+    fn wire_set_survives_full_stop_and_restart_via_wal() {
+        // Kill *every* replica (all RAM state discarded), recover all:
+        // without the WAL the counter would restart at 0 and re-issue
+        // index 0 — the exact §VII-B violation this layer exists to stop.
+        let mut set = small_set(3);
+        let client = HttpClient::connect(set.addrs()[0]);
+        for low in 1..=4 {
+            client.issue(&request(low).one_time()).unwrap();
+        }
+        assert_eq!(set.counter().committed(), 4);
+        for id in 0..3 {
+            set.kill(id);
+        }
+        for id in 0..3 {
+            set.recover(id).unwrap();
+        }
+        assert_eq!(
+            set.counter().committed(),
+            4,
+            "committed state must survive a whole-set restart"
+        );
+        let client = HttpClient::connect(set.addrs()[1]);
+        let token = client.issue(&request(9).one_time()).unwrap();
+        assert_eq!(
+            token.index, 4,
+            "post-restart issuance continues, not repeats"
+        );
         set.shutdown();
     }
 }

@@ -445,6 +445,125 @@ mod tests {
         FailoverClient::new(Vec::new());
     }
 
+    /// Drive one endpoint's breaker state machine directly (the unit
+    /// under test here is the breaker, not the socket): threshold
+    /// failures open it, the cooldown elapsing half-opens it.
+    fn opened_endpoint(config: &BreakerConfig) -> Endpoint {
+        let endpoint = Endpoint {
+            client: HttpClient::connect("127.0.0.1:1".parse().unwrap()),
+            breaker: Mutex::new(BreakerState::default()),
+        };
+        let t0 = Instant::now();
+        for _ in 0..config.failure_threshold {
+            endpoint.record_failure(config, t0);
+        }
+        assert!(!endpoint.available(t0), "breaker must be open");
+        assert!(
+            endpoint.available(t0 + config.cooldown),
+            "cooldown elapsed must half-open the breaker for one trial"
+        );
+        endpoint
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_the_breaker() {
+        let config = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        };
+        let endpoint = opened_endpoint(&config);
+        // The half-open trial succeeded: fully closed again — available
+        // immediately (no residual cooldown) and with the failure count
+        // reset, so one new failure must NOT re-open it.
+        endpoint.record_success();
+        let now = Instant::now();
+        assert!(endpoint.available(now));
+        endpoint.record_failure(&config, now);
+        assert!(
+            endpoint.available(now),
+            "a closed breaker needs threshold consecutive failures again"
+        );
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_for_a_full_cooldown() {
+        let config = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        };
+        let endpoint = opened_endpoint(&config);
+        // The half-open trial failed: one failure is enough to slam the
+        // breaker shut again for a whole fresh cooldown.
+        let probe_time = Instant::now() + config.cooldown;
+        endpoint.record_failure(&config, probe_time);
+        assert!(!endpoint.available(probe_time));
+        assert!(
+            !endpoint.available(probe_time + config.cooldown - Duration::from_millis(1)),
+            "re-opened breaker must shed for a full cooldown from the failed probe"
+        );
+        assert!(endpoint.available(probe_time + config.cooldown));
+    }
+
+    /// The same two probe paths over the real wire: a dead replica opens
+    /// its breaker; after the cooldown, the half-open probe either finds
+    /// it recovered (breaker closes, endpoint back in rotation) or still
+    /// dead (breaker re-opens).
+    #[test]
+    fn half_open_probe_over_the_wire() {
+        use crate::cluster::{ReplicaSet, ReplicaSetConfig};
+        use crate::rules::RuleBook;
+
+        let mut set = ReplicaSet::start(
+            smacs_crypto::Keypair::from_seed(77),
+            RuleBook::permissive(),
+            ReplicaSetConfig::default(),
+        )
+        .unwrap();
+        let cooldown = Duration::from_millis(200);
+        let client = FailoverClient::with_config(
+            set.addrs(),
+            HttpClientConfig {
+                connect_timeout: Duration::from_millis(300),
+                read_timeout: Duration::from_millis(300),
+                write_timeout: Duration::from_millis(300),
+            },
+            RetryPolicy {
+                attempts: 4,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(8),
+                deadline: Duration::from_secs(5),
+            },
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown,
+            },
+        );
+        client.ping().unwrap();
+        set.kill(0);
+        for _ in 0..8 {
+            client.ping().unwrap();
+        }
+        assert_eq!(client.open_breakers(), 1, "dead replica must open");
+
+        // Probe-fails path: cooldown passes, the corpse is probed again
+        // and the breaker re-opens.
+        std::thread::sleep(cooldown + Duration::from_millis(50));
+        for _ in 0..8 {
+            client.ping().unwrap();
+        }
+        assert_eq!(client.open_breakers(), 1, "failed probe must re-open");
+
+        // Probe-succeeds path: the replica comes back; after the next
+        // cooldown the probe lands, the breaker closes and stays closed.
+        set.recover(0).unwrap();
+        std::thread::sleep(cooldown + Duration::from_millis(50));
+        for _ in 0..8 {
+            client.ping().unwrap();
+        }
+        assert_eq!(client.open_breakers(), 0, "successful probe must close");
+        set.shutdown();
+    }
+
     #[test]
     fn from_urls_skips_garbage() {
         assert!(FailoverClient::from_urls(&["ftp://nope", "gibberish"]).is_none());

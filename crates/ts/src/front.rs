@@ -22,13 +22,15 @@ use smacs_primitives::Address;
 use smacs_token::{Token, TokenRequest};
 
 use crate::api::{
-    ApiError, BatchItem, BatchRequestBody, BatchResponseBody, DiscoverBody, DiscoverResponseBody,
-    ErrorCode, IssueBody, RequestEnvelope, ResponseEnvelope, SetRulesBody, WireError, MAX_BATCH,
-    PROTOCOL_VERSION,
+    ApiError, BatchItem, BatchRequestBody, BatchResponseBody, CounterCommitBody, CounterStateBody,
+    CounterVoteBody, DiscoverBody, DiscoverResponseBody, ErrorCode, IssueBody, RequestEnvelope,
+    ResponseEnvelope, SetRulesBody, WireError, MAX_BATCH, PROTOCOL_VERSION,
 };
 use crate::discovery::{ContractMetadata, ServiceDirectory};
+use crate::replica::CounterNode;
 use crate::rules::RuleBook;
 use crate::service::TokenService;
+use std::sync::Arc;
 
 /// A structured v2 API request — the transport-independent form both
 /// [`crate::api::InProcessClient`] and the HTTP server dispatch.
@@ -52,6 +54,15 @@ pub enum ApiRequest {
     },
     /// Anyone: liveness probe.
     Ping,
+    /// Peer replica: phase-1 read of this replica's counter frontier.
+    CounterPrepare,
+    /// Peer replica: phase-2 vote to burn one-time index `value`.
+    CounterCommit {
+        /// The proposed index.
+        value: u64,
+    },
+    /// Peer replica: recovery read of this replica's counter frontier.
+    CounterCatchup,
 }
 
 /// A successful v2 API response.
@@ -67,6 +78,19 @@ pub enum ApiOk {
     Discovered(Option<ContractMetadata>),
     /// Pong.
     Pong,
+    /// The local counter node's frontier (`counter_prepare` /
+    /// `counter_catchup`).
+    CounterState {
+        /// The node's next free one-time index.
+        committed: u64,
+    },
+    /// The local counter node's `counter_commit` vote.
+    CounterVote {
+        /// True iff the node burned the proposed value.
+        accepted: bool,
+        /// The node's frontier after the vote.
+        committed: u64,
+    },
 }
 
 /// A front-end request envelope.
@@ -204,6 +228,10 @@ pub struct FrontEnd {
     /// TS-local clock (seconds); tests and experiments drive it manually.
     now: std::sync::atomic::AtomicU64,
     directory: RwLock<ServiceDirectory>,
+    /// This replica's counter node, when it participates in a wire-level
+    /// counter quorum: the `counter_*` ops vote against it. `None` (the
+    /// single-service case) answers those ops `counter_unavailable`.
+    counter: Option<Arc<CounterNode>>,
 }
 
 impl FrontEnd {
@@ -214,7 +242,15 @@ impl FrontEnd {
             owner_secret: owner_secret.into(),
             now: std::sync::atomic::AtomicU64::new(now),
             directory: RwLock::new(ServiceDirectory::new()),
+            counter: None,
         }
+    }
+
+    /// Attach the replica's counter node so this front end answers the
+    /// `counter_*` vote ops (builder form; used by `ReplicaSet`).
+    pub fn with_counter(mut self, node: Arc<CounterNode>) -> Self {
+        self.counter = Some(node);
+        self
     }
 
     /// The wrapped service.
@@ -282,7 +318,36 @@ impl FrontEnd {
                 self.directory.read().metadata(contract).cloned(),
             )),
             ApiRequest::Ping => Ok(ApiOk::Pong),
+            ApiRequest::CounterPrepare => self
+                .counter_node()?
+                .prepare()
+                .map(|committed| ApiOk::CounterState { committed })
+                .ok_or_else(counter_refusing),
+            ApiRequest::CounterCommit { value } => self
+                .counter_node()?
+                .commit(value)
+                .map(|vote| ApiOk::CounterVote {
+                    accepted: vote.accepted,
+                    committed: vote.committed,
+                })
+                .ok_or_else(counter_refusing),
+            ApiRequest::CounterCatchup => self
+                .counter_node()?
+                .catchup()
+                .map(|committed| ApiOk::CounterState { committed })
+                .ok_or_else(counter_refusing),
         }
+    }
+
+    /// The local counter node, or `counter_unavailable` when this front
+    /// end isn't part of a counter quorum.
+    fn counter_node(&self) -> Result<&Arc<CounterNode>, ApiError> {
+        self.counter.as_ref().ok_or_else(|| {
+            ApiError::new(
+                ErrorCode::CounterUnavailable,
+                "no counter node at this endpoint",
+            )
+        })
     }
 
     /// Handle a structured v1 request — a shim over [`FrontEnd::handle_api`]
@@ -374,11 +439,22 @@ fn decode_v2_request(json: &Json) -> Result<ApiRequest, ApiError> {
             contract: DiscoverBody::from_json(&body).map_err(bad_body)?.contract,
         }),
         "ping" => Ok(ApiRequest::Ping),
+        "counter_prepare" => Ok(ApiRequest::CounterPrepare),
+        "counter_commit" => Ok(ApiRequest::CounterCommit {
+            value: CounterCommitBody::from_json(&body).map_err(bad_body)?.value,
+        }),
+        "counter_catchup" => Ok(ApiRequest::CounterCatchup),
         other => Err(ApiError::new(
             ErrorCode::BadEnvelope,
             format!("unknown op {other:?}"),
         )),
     }
+}
+
+/// The error a live quorum member answers with while its node is crashed
+/// or partitioned away from the consensus group.
+fn counter_refusing() -> ApiError {
+    ApiError::new(ErrorCode::CounterUnavailable, "counter node not answering")
 }
 
 /// Encode an API outcome as a v2 response envelope.
@@ -402,6 +478,18 @@ fn encode_v2_response(result: &Result<ApiOk, ApiError>) -> Json {
                 }
                 .to_json(),
                 ApiOk::Pong => Json::Obj(vec![("pong".into(), Json::Bool(true))]),
+                ApiOk::CounterState { committed } => CounterStateBody {
+                    committed: *committed,
+                }
+                .to_json(),
+                ApiOk::CounterVote {
+                    accepted,
+                    committed,
+                } => CounterVoteBody {
+                    accepted: *accepted,
+                    committed: *committed,
+                }
+                .to_json(),
             }),
             error: None,
         },
@@ -540,5 +628,60 @@ mod tests {
     fn token_hex_rejects_garbage() {
         assert!(decode_token_hex("zz").is_none());
         assert!(decode_token_hex(&"00".repeat(Token::SIZE)).is_none()); // bad type byte
+    }
+
+    #[test]
+    fn counter_ops_without_a_node_fail_closed() {
+        let front = front();
+        for request in [
+            ApiRequest::CounterPrepare,
+            ApiRequest::CounterCommit { value: 0 },
+            ApiRequest::CounterCatchup,
+        ] {
+            let err = front.handle_api(request).unwrap_err();
+            assert_eq!(err.code, ErrorCode::CounterUnavailable);
+        }
+    }
+
+    #[test]
+    fn counter_ops_vote_against_the_attached_node() {
+        let service = TokenService::new(
+            Keypair::from_seed(1),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        );
+        let node = CounterNode::new();
+        let front = FrontEnd::new(service, "hunter2", 1_000).with_counter(node.clone());
+
+        let Ok(ApiOk::CounterState { committed }) = front.handle_api(ApiRequest::CounterPrepare)
+        else {
+            panic!("prepare refused");
+        };
+        assert_eq!(committed, 0);
+
+        // In-order commit accepted; replayed duplicate rejected.
+        let Ok(ApiOk::CounterVote {
+            accepted,
+            committed,
+        }) = front.handle_api(ApiRequest::CounterCommit { value: 0 })
+        else {
+            panic!("commit refused");
+        };
+        assert!(accepted);
+        assert_eq!(committed, 1);
+        let Ok(ApiOk::CounterVote { accepted, .. }) =
+            front.handle_api(ApiRequest::CounterCommit { value: 0 })
+        else {
+            panic!("commit refused");
+        };
+        assert!(!accepted, "duplicate vote must be rejected");
+
+        // A crashed/partitioned node refuses votes with the same
+        // fail-closed code the issuance path uses.
+        node.crash();
+        let err = front
+            .handle_api(ApiRequest::CounterCatchup)
+            .expect_err("dead node answers counter_unavailable");
+        assert_eq!(err.code, ErrorCode::CounterUnavailable);
     }
 }

@@ -78,6 +78,45 @@
 //!   binds all of them), and a majority-quorum one-time counter
 //!   ([`replica::CounterCluster`]).
 //!
+//! - **How the counter quorum votes.** By default the counter is a real
+//!   distributed protocol ([`cluster::CounterMode::Wire`]): each replica
+//!   serves the protocol-v2 `counter_*` op family on a dedicated vote
+//!   endpoint, and allocating one index is two wire rounds driven by the
+//!   issuing replica as coordinator:
+//!
+//!   ```text
+//!   coordinator ──counter_prepare──▶ every node     (read frontiers,
+//!               ◀──{committed:f}────                 value = max f)
+//!   coordinator ──counter_commit{value}──▶ every node
+//!               ◀──{accepted,committed}──            node accepts iff
+//!                                                    value ≥ its frontier,
+//!                                                    WAL-fsyncs, then
+//!                                                    frontier := value+1
+//!   ```
+//!
+//!   The index is allocated iff a **majority of the full membership**
+//!   accepted; a losing coordinator refreshes `value` from the replies
+//!   and retries. Safety needs no ballots: for any one value each node
+//!   accepts at most once, so racing coordinators' accept sets are
+//!   disjoint and cannot both reach majority — duplicated, reordered,
+//!   and stale vote deliveries are rejected the same way (see
+//!   [`replica`] for the full argument). A commit that reached only a
+//!   minority *skips* that index; it is never handed out twice.
+//!
+//! - **What survives a crash.** Every accepted vote is appended to the
+//!   replica's write-ahead log ([`wal`]) and fsynced *before* the ack
+//!   leaves — 12-byte records `[value u64 LE | crc32 LE]`, strictly
+//!   increasing, no header. Recovery replays the log forward and stops
+//!   at the first short, checksum-failing, or non-monotonic record: that
+//!   tail is a torn write and is physically truncated, never trusted.
+//!   The invariants: recovery never invents state (the recovered
+//!   frontier is a committed prefix) and never loses an acked vote (the
+//!   fsync happened first). [`cluster::ReplicaSet::recover`] then
+//!   discards the node's RAM, reloads from WAL, and closes any remaining
+//!   gap via `counter_catchup` against live peers — so even an index
+//!   whose record the disk tore cannot be re-issued while a quorum
+//!   remembers it.
+//!
 //! - **What is retried.** [`failover::FailoverClient`] classifies every
 //!   failure by how far the round trip got. A *connect-phase* failure
 //!   transmitted nothing and is always replayed on the next replica. Once
@@ -104,8 +143,11 @@
 //!   the counter caught up past every index ever committed.
 //!
 //! The [`fault::FaultPlan`] hooks in the HTTP server (drop, 500, delay,
-//! truncate) exist so the chaos suite (`tests/chaos.rs`) can prove each of
-//! these claims over the real wire path.
+//! truncate) and on the vote-sending side (address-scoped partitions,
+//! vote delays, duplicated deliveries) exist so the chaos suite
+//! (`tests/chaos.rs`) can prove each of these claims over the real wire
+//! path — including crash-mid-commit WAL recovery, asymmetric vote
+//! partitions, and torn-tail re-fetch.
 
 pub mod api;
 pub mod cluster;
@@ -119,15 +161,17 @@ pub mod rules;
 pub mod service;
 pub mod store;
 pub mod validation;
+pub mod wal;
 
 pub use api::{ApiError, ErrorCode, InProcessClient, TsApi, MAX_BATCH, PROTOCOL_VERSION};
-pub use cluster::{ReplicaSet, ReplicaSetConfig};
+pub use cluster::{CounterMode, ReplicaSet, ReplicaSetConfig};
 pub use discovery::ServiceDirectory;
 pub use failover::{BreakerConfig, FailoverClient, RetryPolicy};
 pub use fault::FaultPlan;
 pub use http::{HttpClient, HttpClientConfig, HttpServer, HttpServerConfig};
-pub use replica::CounterCluster;
+pub use replica::{CommitReply, CounterCluster, CounterNode, CounterTransport, LocalTransport};
 pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
 pub use service::{IssueError, ShardedRules, TokenService, TokenServiceConfig};
 pub use store::RuleStore;
 pub use validation::{NullTool, ValidationTool};
+pub use wal::Wal;

@@ -14,7 +14,17 @@
 //! 4. a hung replica surfaces as a distinguishable read-timeout transport
 //!    error instead of blocking forever;
 //! 5. a circuit breaker stops paying a dead replica's timeout on every
-//!    call.
+//!    call;
+//! 6. a replica that crashed mid-commit (vote WAL-logged at a minority,
+//!    coordinator dead) recovers from its WAL and the burned index is
+//!    skipped, never re-issued;
+//! 7. an asymmetric vote partition fails closed exactly where votes
+//!    cannot flow, while replicas that still reach a majority keep
+//!    issuing;
+//! 8. delayed and duplicated vote deliveries never yield a duplicate
+//!    one-time index;
+//! 9. a torn WAL tail is discarded on recovery and the node re-fetches
+//!    the lost frontier from its peers over the wire.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -282,6 +292,163 @@ fn circuit_breaker_sheds_a_dead_replica() {
         start.elapsed()
     );
     set.shutdown();
+}
+
+/// Invariant 6 (crash-mid-commit): a vote that was WAL-logged at one node
+/// just before everything around it died must survive that node's crash —
+/// the burned index is skipped on recovery, never handed out again.
+#[test]
+fn crash_mid_commit_recovers_from_wal_without_reissuing() {
+    let mut set = set();
+    let client = fast_client(&set);
+    for low in 1..=3 {
+        client.issue(&request(low).one_time()).unwrap();
+    }
+    assert_eq!(set.counter().committed(), 3);
+
+    // A coordinator's commit(3) reached node 0 (vote fsynced to its WAL)
+    // and then the coordinator died before gathering a quorum: index 3 is
+    // burned at a minority.
+    assert!(set.counter_node(0).commit(3).unwrap().accepted);
+    // Node 0 itself now crashes. Its RAM view of the vote dies with it.
+    set.kill(0);
+    set.recover(0).unwrap();
+
+    // Recovery replayed the WAL: the minority-burned vote is still there,
+    // so the next allocation moves past index 3 instead of re-issuing it.
+    assert_eq!(set.counter_node(0).committed(), 4);
+    let token = client.issue(&request(9).one_time()).unwrap();
+    assert_eq!(
+        token.index, 4,
+        "a minority-burned, WAL-logged index must be skipped, not re-issued"
+    );
+    set.shutdown();
+}
+
+/// Invariant 7 (asymmetric partition): replica 0 cannot send votes to its
+/// peers, but its peers still reach replica 0's vote endpoint. One-time
+/// issuance through replica 0 fails closed; through the others it keeps
+/// working — and replica 0's node keeps voting for them.
+#[test]
+fn asymmetric_vote_partition_fails_closed_only_where_votes_cannot_flow() {
+    let set = set();
+    let r0 = HttpClient::connect(set.addrs()[0]);
+    let r1 = HttpClient::connect(set.addrs()[1]);
+    let mut indexes = HashSet::new();
+    assert!(indexes.insert(r0.issue(&request(1).one_time()).unwrap().index));
+
+    // Cut replica 0's *outgoing* vote links only.
+    let vote_addr = |id| set.counter_addr(id).expect("wire mode");
+    set.faults(0).partition_addr(vote_addr(1));
+    set.faults(0).partition_addr(vote_addr(2));
+
+    // Replica 0 can only reach itself: below quorum, fail closed — while
+    // its expiry issuance (no coordination) keeps working.
+    let err = r0.issue(&request(2).one_time()).unwrap_err();
+    assert_eq!(err.code, ErrorCode::CounterUnavailable);
+    r0.issue(&request(2)).unwrap();
+
+    // The partition is one-way: replica 1 still reaches all three vote
+    // endpoints, including replica 0's, and issues freely.
+    for low in 3..=5 {
+        assert!(indexes.insert(r1.issue(&request(low).one_time()).unwrap().index));
+    }
+    // Replica 0's node voted for those commits (its frontier moved), even
+    // though replica 0 itself cannot coordinate.
+    assert_eq!(set.counter_node(0).committed(), 4);
+
+    // Heal the links: replica 0 coordinates again, still duplicate-free.
+    set.faults(0).heal_addr(vote_addr(1));
+    set.faults(0).heal_addr(vote_addr(2));
+    assert!(indexes.insert(r0.issue(&request(6).one_time()).unwrap().index));
+    assert_eq!(indexes.len(), 5);
+    set.shutdown();
+}
+
+/// Invariant 8: delayed (reordered relative to the other peer) and
+/// duplicated vote deliveries are no-ops for uniqueness — concurrent
+/// issuance through two coordinators stays duplicate-free.
+#[test]
+fn delayed_and_duplicated_votes_never_duplicate_an_index() {
+    let set = set();
+    let vote_addr = |id| set.counter_addr(id).expect("wire mode");
+    // Replica 0's votes to replica 1 lag behind its votes to replica 2,
+    // and both coordinators double-send a budget of votes.
+    set.faults(0)
+        .delay_votes_to(vote_addr(1), Duration::from_millis(20));
+    set.faults(0).duplicate_votes(16);
+    set.faults(1).duplicate_votes(16);
+
+    let mut handles = Vec::new();
+    for (t, addr) in [set.addrs()[0], set.addrs()[1]].into_iter().enumerate() {
+        handles.push(std::thread::spawn(move || {
+            let client = HttpClient::connect(addr);
+            (0..10u64)
+                .map(|i| {
+                    client
+                        .issue(&request(100 + t as u64 * 100 + i).one_time())
+                        .unwrap()
+                        .index
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut seen = HashSet::new();
+    for handle in handles {
+        for index in handle.join().unwrap() {
+            assert!(seen.insert(index), "duplicate one-time index {index}");
+        }
+    }
+    assert_eq!(seen.len(), 20);
+    set.shutdown();
+}
+
+/// Invariant 9 (torn write): a replica crashes with a torn/corrupted WAL
+/// tail. Recovery discards the unverifiable tail rather than trusting it,
+/// then re-fetches the lost frontier from its peers via `counter_catchup`
+/// — so even state the local disk lost cannot be re-issued.
+#[test]
+fn torn_wal_tail_is_discarded_and_refetched_over_the_wire() {
+    let wal_dir = std::env::temp_dir().join(format!("smacs-chaos-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let mut set = ReplicaSet::start(
+        Keypair::from_seed(4242),
+        RuleBook::permissive(),
+        ReplicaSetConfig {
+            wal_dir: Some(wal_dir.clone()),
+            ..ReplicaSetConfig::default()
+        },
+    )
+    .unwrap();
+    let client = fast_client(&set);
+    for low in 1..=5 {
+        client.issue(&request(low).one_time()).unwrap();
+    }
+    set.kill(0);
+
+    // The crash tore replica 0's log: its final record is half-written
+    // garbage, and the record before that lost a bit of its checksum.
+    let wal_path = wal_dir.join("counter-0.wal");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    assert_eq!(bytes.len(), 5 * 12, "five records of twelve bytes");
+    let crc_byte = bytes.len() - 4;
+    bytes[crc_byte] ^= 0x40;
+    bytes.truncate(bytes.len() - 5);
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    set.recover(0).unwrap();
+    // WAL replay alone could only prove 4 commits (the corrupted fifth
+    // record and the torn tail are discarded) — the wire catch-up closed
+    // the gap back to 5.
+    assert_eq!(
+        set.counter_node(0).committed(),
+        5,
+        "recovery must re-fetch what the torn tail lost"
+    );
+    let token = client.issue(&request(9).one_time()).unwrap();
+    assert_eq!(token.index, 5, "no index may come back from the dead");
+    set.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
 /// Full-path integration: discovery hands a wallet the replica directory,
