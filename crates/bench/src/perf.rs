@@ -719,7 +719,7 @@ pub fn ts_failover_wire_throughput(tokens_per_phase: usize) -> WireQuorumThrough
     let steady = one_time_round(&client, tokens_per_phase, 70_000);
     set.partition_counter(0);
     let partitioned = one_time_round(&client, tokens_per_phase, 80_000);
-    set.heal_counter(0);
+    set.heal_counter(0).expect("counter heal");
     let recovered = one_time_round(&client, tokens_per_phase, 90_000);
 
     let result = WireQuorumThroughput {

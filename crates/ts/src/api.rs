@@ -29,9 +29,12 @@
 //! | `ping`        | _absent_                                | `{"pong": true}`            |
 //!
 //! Replicas additionally speak the **counter op family** to each other —
-//! the one-time counter quorum's votes on the wire (served on each
-//! replica's dedicated counter endpoint; answered with
-//! `counter_unavailable` by a front end that has no counter node):
+//! the one-time counter quorum's votes on the wire. These ops are
+//! replica-internal: they are dispatched *only* on each replica's
+//! dedicated vote endpoint ([`crate::front::EndpointScope::Vote`]); the
+//! client-facing endpoint — and any front end with no counter node —
+//! refuses them with `counter_unavailable`, so an outside client can
+//! never burn or skip one-time index ranges:
 //!
 //! | op                | body               | ok body                              |
 //! |-------------------|--------------------|--------------------------------------|

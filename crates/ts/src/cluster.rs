@@ -29,8 +29,11 @@
 //! messages: each replica serves the `counter_prepare` / `counter_commit`
 //! / `counter_catchup` op family on a **dedicated vote endpoint** (its
 //! own `HttpServer` with a small private pool, so issuance load can never
-//! starve vote processing into a distributed deadlock), and each
-//! replica's coordinator reaches its peers through a wire
+//! starve vote processing into a distributed deadlock). The vote op
+//! family is served *only* there: the client-facing listeners run with
+//! [`crate::front::EndpointScope::Public`] and refuse `counter_*` with
+//! `counter_unavailable`, so a hostile client cannot vote indexes burned
+//! or skipped. Each replica's coordinator reaches its peers through a wire
 //! [`CounterTransport`] — its own node stays a [`LocalTransport`], since
 //! a replica never loses the network to itself. Every node write-ahead
 //! logs its commits ([`crate::wal::Wal`], fsync before ack), so
@@ -73,7 +76,7 @@ use smacs_primitives::Address;
 use crate::api::{CounterCommitBody, CounterStateBody, CounterVoteBody};
 use crate::discovery::ContractMetadata;
 use crate::fault::FaultPlan;
-use crate::front::FrontEnd;
+use crate::front::{EndpointScope, FrontEnd};
 use crate::http::{HttpClient, HttpClientConfig, HttpServer, HttpServerConfig};
 use crate::replica::{CommitReply, CounterCluster, CounterNode, CounterTransport, LocalTransport};
 use crate::rules::RuleBook;
@@ -112,7 +115,9 @@ pub struct ReplicaSetConfig {
     /// Per-replica service tuning.
     pub service: TokenServiceConfig,
     /// Per-replica HTTP server tuning. `bind` and `faults` are managed by
-    /// the set and must be left `None`.
+    /// the set and must be left `None`; `scope` must stay
+    /// [`EndpointScope::Public`] (these are the client-facing listeners —
+    /// the set builds its own vote endpoints).
     pub http: HttpServerConfig,
     /// Initial TS-local clock.
     pub now: u64,
@@ -155,11 +160,14 @@ fn vote_client_config() -> HttpClientConfig {
 /// Pool sizing for the dedicated vote endpoints: vote handling is a
 /// mutex-guarded counter bump plus a WAL append — two workers keep a
 /// coordinator and a recovering peer served without stealing cores from
-/// issuance.
+/// issuance. [`EndpointScope::Vote`] is what admits the `counter_*` op
+/// family: the client-facing listeners stay [`EndpointScope::Public`]
+/// and refuse those ops, so outsiders cannot burn index ranges.
 fn vote_server_config() -> HttpServerConfig {
     HttpServerConfig {
         workers: 2,
         queue_capacity: 64,
+        scope: EndpointScope::Vote,
         ..HttpServerConfig::default()
     }
 }
@@ -544,7 +552,7 @@ impl ReplicaSet {
         // `committed()` polls every member (self locally, peers over the
         // wire) — the max is the cluster frontier to adopt.
         let frontier = replica.cluster.committed();
-        replica.node.adopt(frontier);
+        replica.node.adopt(frontier)?;
 
         if let (None, Some(addr)) = (&replica.counter_server, replica.counter_addr) {
             let server = Self::rebind(
@@ -575,7 +583,7 @@ impl ReplicaSet {
         let mut last_err = None;
         for _ in 0..50 {
             match HttpServer::start_with(front.clone(), config.clone()) {
-                Ok(server) => return Err(last_err).or(Ok(server)),
+                Ok(server) => return Ok(server),
                 Err(e) => {
                     last_err = Some(e);
                     std::thread::sleep(Duration::from_millis(10));
@@ -594,11 +602,13 @@ impl ReplicaSet {
         self.replicas[id].node.crash();
     }
 
-    /// Heal a counter partition: the node rejoins and catches up.
-    pub fn heal_counter(&self, id: usize) {
+    /// Heal a counter partition: the node rejoins and catches up. Errs if
+    /// the caught-up frontier cannot be made durable (the node then keeps
+    /// its old state — fail closed).
+    pub fn heal_counter(&self, id: usize) -> std::io::Result<()> {
         self.replicas[id].node.revive();
         let frontier = self.replicas[id].cluster.committed();
-        self.replicas[id].node.adopt(frontier);
+        self.replicas[id].node.adopt(frontier)
     }
 
     /// Whether the counter group currently has quorum (one-time issuance
@@ -833,6 +843,38 @@ mod tests {
         assert!(commit(0).accepted);
         assert!(!commit(0).accepted, "duplicate vote rejected over the wire");
         assert_eq!(commit(0).committed, 1);
+        set.shutdown();
+    }
+
+    #[test]
+    fn public_endpoints_refuse_the_counter_op_family() {
+        // The vote ops are replica-internal. A client aiming them at the
+        // *public* address must get `counter_unavailable` — otherwise any
+        // outsider could burn or skip one-time index ranges and subvert
+        // the quorum the chaos suite certifies.
+        let set = small_set(3);
+        let client = HttpClient::connect(set.addrs()[1]);
+        let err = client
+            .call_detailed(
+                "counter_commit",
+                Some(CounterCommitBody { value: 0 }.to_json()),
+                false,
+            )
+            .expect_err("public endpoint must refuse vote ops")
+            .into_api();
+        assert_eq!(err.code, ErrorCode::CounterUnavailable);
+        for op in ["counter_prepare", "counter_catchup"] {
+            let err = client
+                .call_detailed(op, None, true)
+                .expect_err("public endpoint must refuse vote ops")
+                .into_api();
+            assert_eq!(err.code, ErrorCode::CounterUnavailable);
+        }
+        // Nothing was burned or skipped by the refused commit: the next
+        // legitimate one-time issuance still gets index 0.
+        assert_eq!(set.counter().committed(), 0);
+        let token = client.issue(&request(1).one_time()).unwrap();
+        assert_eq!(token.index, 0);
         set.shutdown();
     }
 

@@ -32,6 +32,23 @@ use crate::rules::RuleBook;
 use crate::service::TokenService;
 use std::sync::Arc;
 
+/// Which op families a network endpoint dispatches.
+///
+/// The `counter_*` vote ops are replica-internal: a hostile client that
+/// could reach them would burn or skip arbitrary one-time index ranges
+/// and subvert the quorum. Only the dedicated vote endpoint serves them;
+/// the client-facing endpoint refuses them with `counter_unavailable`
+/// even when the front end has a counter node attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EndpointScope {
+    /// Client-facing endpoint: the `counter_*` ops are refused.
+    #[default]
+    Public,
+    /// Replica-internal vote endpoint: full dispatch, `counter_*`
+    /// included.
+    Vote,
+}
+
 /// A structured v2 API request — the transport-independent form both
 /// [`crate::api::InProcessClient`] and the HTTP server dispatch.
 #[derive(Clone, Debug)]
@@ -229,8 +246,10 @@ pub struct FrontEnd {
     now: std::sync::atomic::AtomicU64,
     directory: RwLock<ServiceDirectory>,
     /// This replica's counter node, when it participates in a wire-level
-    /// counter quorum: the `counter_*` ops vote against it. `None` (the
-    /// single-service case) answers those ops `counter_unavailable`.
+    /// counter quorum: the `counter_*` ops vote against it — but only
+    /// through a [`EndpointScope::Vote`] dispatch; the public endpoint
+    /// never reaches it. `None` (the single-service case) answers those
+    /// ops `counter_unavailable` everywhere.
     counter: Option<Arc<CounterNode>>,
 }
 
@@ -379,12 +398,21 @@ impl FrontEnd {
         }
     }
 
+    /// Handle one raw JSON request body with [`EndpointScope::Public`]
+    /// dispatch — the safe default for anything a client can reach.
+    pub fn handle_json(&self, body: &str) -> String {
+        self.handle_json_scoped(body, EndpointScope::Public)
+    }
+
     /// Handle one raw JSON request body, dispatching on protocol version:
     /// a `"v"` member marks a v2 envelope; anything else takes the v1
-    /// legacy path (including its free-text error responses).
-    pub fn handle_json(&self, body: &str) -> String {
+    /// legacy path (including its free-text error responses). `scope`
+    /// selects which op families this endpoint serves — only
+    /// [`EndpointScope::Vote`] (the replica-internal vote endpoint)
+    /// dispatches the `counter_*` family.
+    pub fn handle_json_scoped(&self, body: &str, scope: EndpointScope) -> String {
         match Json::parse(body) {
-            Ok(json) if json.get("v").is_some() => self.handle_v2_json(&json).render(),
+            Ok(json) if json.get("v").is_some() => self.handle_v2_json(&json, scope).render(),
             Ok(json) => {
                 let response = match FrontRequest::from_json(&json) {
                     Ok(req) => self.handle(req),
@@ -401,10 +429,27 @@ impl FrontEnd {
     }
 
     /// Decode a v2 envelope, dispatch it, and encode the response envelope.
-    fn handle_v2_json(&self, json: &Json) -> Json {
-        let result = decode_v2_request(json).and_then(|req| self.handle_api(req));
+    fn handle_v2_json(&self, json: &Json, scope: EndpointScope) -> Json {
+        let result = decode_v2_request(json).and_then(|req| {
+            if scope == EndpointScope::Public && is_counter_op(&req) {
+                Err(ApiError::new(
+                    ErrorCode::CounterUnavailable,
+                    "counter votes are replica-internal: not served on this endpoint",
+                ))
+            } else {
+                self.handle_api(req)
+            }
+        });
         encode_v2_response(&result)
     }
+}
+
+/// Whether a request belongs to the replica-internal `counter_*` family.
+fn is_counter_op(request: &ApiRequest) -> bool {
+    matches!(
+        request,
+        ApiRequest::CounterPrepare | ApiRequest::CounterCommit { .. } | ApiRequest::CounterCatchup
+    )
 }
 
 /// Parse a v2 envelope into an [`ApiRequest`].
@@ -641,6 +686,38 @@ mod tests {
             let err = front.handle_api(request).unwrap_err();
             assert_eq!(err.code, ErrorCode::CounterUnavailable);
         }
+    }
+
+    #[test]
+    fn public_scope_refuses_counter_ops_even_with_a_node_attached() {
+        let service = TokenService::new(
+            Keypair::from_seed(1),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        );
+        let node = CounterNode::new();
+        let front = FrontEnd::new(service, "hunter2", 1_000).with_counter(node.clone());
+        let commit = r#"{"v":2,"op":"counter_commit","body":{"value":0}}"#;
+
+        // Public dispatch (what the client-facing listener uses) must not
+        // let an outsider burn indexes…
+        let response = front.handle_json_scoped(commit, EndpointScope::Public);
+        assert!(
+            response.contains("counter_unavailable"),
+            "public endpoint served a vote op: {response}"
+        );
+        assert_eq!(node.committed(), 0, "refused vote must not touch state");
+        // …and `handle_json` defaults to the public scope.
+        assert!(front.handle_json(commit).contains("counter_unavailable"));
+
+        // The vote scope (the dedicated replica-internal endpoint) serves
+        // the same envelope.
+        let response = front.handle_json_scoped(commit, EndpointScope::Vote);
+        assert!(
+            response.contains("\"accepted\""),
+            "vote refused: {response}"
+        );
+        assert_eq!(node.committed(), 1);
     }
 
     #[test]

@@ -57,7 +57,7 @@ use crate::api::{
 };
 use crate::discovery::ContractMetadata;
 use crate::fault::FaultPlan;
-use crate::front::{decode_token_hex, FrontEnd};
+use crate::front::{decode_token_hex, EndpointScope, FrontEnd};
 use crate::rules::RuleBook;
 
 /// Request bodies above this size are refused (HTTP 413). Generous: a
@@ -115,6 +115,12 @@ pub struct HttpServerConfig {
     /// Transport/service fault injection for availability tests. `None`
     /// (the default) serves faithfully.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Which op families this listener dispatches. The default
+    /// ([`EndpointScope::Public`]) refuses the replica-internal
+    /// `counter_*` vote ops; only a dedicated vote endpoint
+    /// ([`crate::cluster::ReplicaSet`]'s counter listeners) runs with
+    /// [`EndpointScope::Vote`].
+    pub scope: EndpointScope,
 }
 
 impl Default for HttpServerConfig {
@@ -131,6 +137,7 @@ impl Default for HttpServerConfig {
             pool: None,
             bind: None,
             faults: None,
+            scope: EndpointScope::Public,
         }
     }
 }
@@ -173,6 +180,7 @@ struct ServerShared {
     poll_interval: Duration,
     idle_timeout: Option<Duration>,
     faults: Option<Arc<FaultPlan>>,
+    scope: EndpointScope,
 }
 
 /// A running HTTP front-end server.
@@ -215,6 +223,7 @@ impl HttpServer {
             poll_interval: config.poll_interval,
             idle_timeout: config.idle_timeout,
             faults: config.faults,
+            scope: config.scope,
         });
 
         let accept_shared = shared.clone();
@@ -596,7 +605,7 @@ fn serve_one_request(conn: &mut Conn, shared: &ServerShared) -> std::io::Result<
         }
     }
 
-    let response = front.handle_json(&body);
+    let response = front.handle_json_scoped(&body, shared.scope);
 
     // Post-dispatch faults: the service's effects (minted tokens, burned
     // one-time indexes) are real; only the answer is delayed or lost.

@@ -81,7 +81,10 @@
 //! - **How the counter quorum votes.** By default the counter is a real
 //!   distributed protocol ([`cluster::CounterMode::Wire`]): each replica
 //!   serves the protocol-v2 `counter_*` op family on a dedicated vote
-//!   endpoint, and allocating one index is two wire rounds driven by the
+//!   endpoint — and *only* there: the client-facing listener runs with
+//!   [`front::EndpointScope::Public`] and refuses vote ops with
+//!   `counter_unavailable`, so a hostile client cannot burn or skip
+//!   index ranges. Allocating one index is two wire rounds driven by the
 //!   issuing replica as coordinator:
 //!
 //!   ```text

@@ -142,7 +142,11 @@ impl CounterNode {
             return None;
         }
         let mut state = self.state.lock();
-        if value < state.committed {
+        // `u64::MAX` has no successor: accepting it would wrap the
+        // frontier to 0 and reopen every burned index. An exhausted
+        // counter fails closed instead (the index space outlives any
+        // realistic deployment; this guards the network-reachable op).
+        if value < state.committed || value == u64::MAX {
             return Some(CommitReply {
                 accepted: false,
                 committed: state.committed,
@@ -180,17 +184,23 @@ impl CounterNode {
     }
 
     /// Max-merge a frontier learned from peers (`counter_catchup`); logs
-    /// the adopted frontier so it, too, survives a crash.
-    pub fn adopt(&self, committed: u64) {
+    /// the adopted frontier *before* applying it so it, too, survives a
+    /// crash. Fail-closed like [`CounterNode::commit`]: a WAL error
+    /// leaves the in-memory frontier untouched and surfaces to the
+    /// caller, rather than silently holding state that isn't durable.
+    /// (Keeping the old, lower frontier is safe — it is the ordinary
+    /// lagging-node state, caught up by the next vote or adopt.)
+    pub fn adopt(&self, committed: u64) -> io::Result<()> {
         let mut state = self.state.lock();
         if committed > state.committed {
             if let Some(wal) = state.wal.as_mut() {
                 // Log only the frontier (committed - 1): the skipped range
                 // was never acked here, so durability isn't owed for it.
-                let _ = wal.append(committed - 1);
+                wal.append(committed - 1)?;
             }
             state.committed = committed;
         }
+        Ok(())
     }
 
     /// Simulate a crash-restart: discard in-memory state and rebuild it
@@ -353,7 +363,9 @@ impl CounterCluster {
 
     /// Recover node `id` (single-process clusters only): it rejoins and
     /// catches up to the highest committed value among reachable members.
-    pub fn recover(&self, id: usize) {
+    /// Errs if the caught-up frontier cannot be WAL-logged (the node then
+    /// rejoins with its old state — safe, just lagging).
+    pub fn recover(&self, id: usize) -> io::Result<()> {
         let _guard = self.proposal_lock.lock();
         self.nodes[id].revive();
         let frontier = self
@@ -362,7 +374,7 @@ impl CounterCluster {
             .filter_map(|t| t.catchup())
             .max()
             .unwrap_or(0);
-        self.nodes[id].adopt(frontier);
+        self.nodes[id].adopt(frontier)
     }
 
     /// The highest committed counter value across reachable members — how
@@ -422,8 +434,11 @@ impl CounterCluster {
             // A concurrent coordinator won `value` (or a stale minority
             // burn skipped it): move to the observed frontier. Guard
             // against a frontier that didn't move so the loop always
-            // makes progress toward the round bound.
-            value = frontier.max(value + 1);
+            // makes progress toward the round bound; saturate so an
+            // exhausted counter (frontier at `u64::MAX`, which every node
+            // refuses) retries to the bound and fails closed instead of
+            // wrapping to 0.
+            value = frontier.max(value.saturating_add(1));
         }
         None
     }
@@ -527,7 +542,7 @@ mod tests {
         for _ in 0..5 {
             cluster.next_index().unwrap();
         }
-        cluster.recover(2);
+        cluster.recover(2).unwrap();
         // Kill the nodes that saw all the traffic; the recovered node must
         // carry the state forward without reissuing.
         cluster.kill(0);
@@ -566,6 +581,42 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_cluster_panics() {
         CounterCluster::new(0);
+    }
+
+    #[test]
+    fn commit_at_u64_max_is_refused_not_wrapped() {
+        // Accepting u64::MAX would set the frontier to MAX + 1 = 0 and
+        // reopen every burned index. The vote is network-reachable, so
+        // this must be a refusal, not an overflow.
+        let node = CounterNode::new();
+        assert!(node.commit(0).unwrap().accepted);
+        let reply = node.commit(u64::MAX).unwrap();
+        assert!(!reply.accepted);
+        assert_eq!(reply.committed, 1, "frontier must be untouched");
+        assert_eq!(node.committed(), 1);
+        // The node still votes normally afterwards.
+        assert!(node.commit(1).unwrap().accepted);
+
+        // A node already at the end of the index space refuses forever
+        // (fails closed) rather than wrapping.
+        assert!(node.commit(u64::MAX - 1).unwrap().accepted);
+        assert_eq!(node.committed(), u64::MAX);
+        assert!(!node.commit(u64::MAX).unwrap().accepted);
+        assert_eq!(node.committed(), u64::MAX);
+    }
+
+    #[test]
+    fn exhausted_cluster_fails_closed_instead_of_reissuing() {
+        // Drive every node's frontier to u64::MAX: allocation must answer
+        // None (counter exhausted), never an index from the burned past.
+        let cluster = CounterCluster::new(3);
+        for id in 0..3 {
+            // Direct minority burns, as a stale coordinator could send.
+            assert!(cluster.nodes[id].commit(u64::MAX - 1).unwrap().accepted);
+        }
+        assert_eq!(cluster.committed(), u64::MAX);
+        assert_eq!(cluster.next_index(), None);
+        assert_eq!(cluster.committed(), u64::MAX, "no frontier wrapped");
     }
 
     #[test]

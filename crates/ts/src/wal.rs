@@ -34,7 +34,10 @@
 //!   frontier via `counter_catchup`);
 //! - recovery never *loses* an acked commit: `append` returns only after
 //!   `sync_data`, so every record a vote was acknowledged against is a
-//!   complete, checksummed 12 bytes before the torn tail.
+//!   complete, checksummed 12 bytes before the torn tail — and
+//!   [`Wal::open`] fsyncs the parent directory, so the file's very
+//!   existence (a fresh log's creation, a recovery's truncation) is as
+//!   durable as its records.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -57,6 +60,16 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         }
     }
     !crc
+}
+
+/// Fsync the directory holding `path`, so the file's directory entry (a
+/// creation or truncation) is as durable as its contents. A relative
+/// path with no parent component lives in the current directory.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => File::open(dir)?.sync_all(),
+        _ => File::open(".")?.sync_all(),
+    }
 }
 
 /// Encode one record for `value`.
@@ -123,6 +136,12 @@ impl Wal {
             file.sync_data()?;
         }
         file.seek(SeekFrom::Start(good as u64))?;
+        // Make the directory entry itself durable: a freshly created (or
+        // just-truncated) log otherwise exists only in the unsynced parent
+        // directory and can vanish wholesale on power failure — taking
+        // fsynced records with it and breaking "an acked vote survives a
+        // crash" for a node's earliest commits.
+        sync_parent_dir(path)?;
 
         let recovery = Recovery {
             committed: last.map_or(0, |v| v + 1),
@@ -141,8 +160,17 @@ impl Wal {
 
     /// Durably log index `value` as committed. Returns only after the
     /// record is written **and** fsynced — callers may ack the vote once
-    /// this returns. `value` must exceed every previously logged value.
+    /// this returns. `value` must exceed every previously logged value,
+    /// and `u64::MAX` is refused outright: its recovered frontier
+    /// (`value + 1`) is unrepresentable, so a record for it could never
+    /// be replayed faithfully.
     pub fn append(&mut self, value: u64) -> io::Result<()> {
+        if value == u64::MAX {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "index u64::MAX is unloggable (recovered frontier would overflow)",
+            ));
+        }
         debug_assert!(
             self.last.is_none_or(|prev| value > prev),
             "WAL values must be strictly increasing (last {:?}, got {value})",
@@ -321,6 +349,23 @@ mod tests {
         }
         // The undamaged log still recovers whole.
         check(&pristine, "pristine");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appending_u64_max_is_refused() {
+        let path = temp_path("max");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(3).unwrap();
+        let err = wal.append(u64::MAX).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // The refusal left no record behind, and the log still works.
+        drop(wal);
+        let (mut wal, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.committed, 4);
+        assert_eq!(rec.records, 1);
+        wal.append(4).unwrap();
+        drop(wal);
         fs::remove_file(&path).unwrap();
     }
 

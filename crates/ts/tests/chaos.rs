@@ -156,8 +156,8 @@ fn quorum_loss_fails_closed_and_recovers() {
 
     // Heal: quorum returns, one-time issuance resumes, and the recovered
     // nodes are caught up (no index reuse).
-    set.heal_counter(1);
-    set.heal_counter(2);
+    set.heal_counter(1).unwrap();
+    set.heal_counter(2).unwrap();
     assert!(set.has_quorum());
     let before = set.counter().committed();
     let token = client.issue(&request(4).one_time()).unwrap();
