@@ -116,6 +116,39 @@ fn main() {
     let airdrop = openloop::airdrop_over_replicas(openloop::SMOKE_EVENTS, openloop::SMOKE_RPS);
     println!("airdrop/quorum  {}", openloop::report_line(&airdrop));
 
+    println!("\n== Open-loop issue → token-bearing call → receipt ==");
+    let chain_call =
+        openloop::chain_calls_over_http(openloop::CHAIN_SMOKE_EVENTS, openloop::CHAIN_SMOKE_RPS);
+    println!("issue+call/http {}", openloop::report_line(&chain_call));
+
+    println!("\n== Parallel block execution (optimistic, 1/2/4-thread) ==");
+    // Caveat: on the 1-CPU reference container these parallel legs
+    // measure pipeline overhead, not speedup; the scaling gate lives in
+    // tests/shapes.rs and self-arms only on real multi-core hardware.
+    const PB_BLOCKS: usize = 8;
+    const PB_TXS: usize = 64;
+    let parallel_points =
+        smacs_bench::perf::parallel_block_execution(PB_BLOCKS, PB_TXS, &[1, 2, 4], &[0, 50, 100]);
+    for p in &parallel_points {
+        print!(
+            "conflict {:>3}%: seq {:>8.0} tx/s  ",
+            p.conflict_pct, p.sequential_txs_per_sec
+        );
+        for &(t, tps) in &p.by_threads {
+            print!("{t}T {tps:>8.0} tx/s  ");
+        }
+        println!();
+    }
+
+    println!("\n== TouchSet recording overhead (overlay hot path) ==");
+    let touchset = smacs_bench::perf::touchset_overhead_ns(SLOTS, 32);
+    println!(
+        "plain {:>7.1} ns/op   recording {:>7.1} ns/op   overhead {:>6.1} ns/op",
+        touchset.plain_op_ns,
+        touchset.recorded_op_ns,
+        (touchset.recorded_op_ns - touchset.plain_op_ns).max(0.0)
+    );
+
     println!("\n== WorldState::commit rebuild-threshold sweep ==");
     const THRESHOLDS: &[usize] = &[1_024, 4_096, 8_192, 16_384, 65_536];
     let threshold_points = smacs_bench::perf::commit_threshold_sweep(SLOTS, THRESHOLDS);
@@ -159,6 +192,18 @@ fn main() {
         members.push((
             "open_loop_airdrop".into(),
             smacs_driver::loadgen::report_to_json(&airdrop),
+        ));
+        members.push((
+            "open_loop_chain_call".into(),
+            smacs_driver::loadgen::report_to_json(&chain_call),
+        ));
+        members.push((
+            "parallel_block_execution".into(),
+            smacs_bench::perf::parallel_block_to_json(PB_BLOCKS, PB_TXS, &parallel_points),
+        ));
+        members.push((
+            "touchset_overhead".into(),
+            smacs_bench::perf::touchset_overhead_to_json(&touchset),
         ));
         members.push((
             "commit_threshold_sweep".into(),

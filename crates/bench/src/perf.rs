@@ -12,11 +12,12 @@
 
 use crate::setup::World;
 use smacs_chain::state::WorldState;
-use smacs_contracts::{BenchTarget, ChainLink};
+use smacs_chain::{BlockMode, Chain, SignedTransaction, Transaction};
+use smacs_contracts::{BenchTarget, ChainLink, SmacsAmm};
 use smacs_core::client::build_chain_call_data;
 use smacs_crypto::Keypair;
 use smacs_primitives::json::Json;
-use smacs_primitives::{Address, H256, U256};
+use smacs_primitives::{Address, Bytes, WorkerPool, H256, U256};
 use smacs_token::{Token, TokenRequest, TokenType};
 use smacs_ts::front::{FrontEnd, FrontRequest, FrontResponse};
 use smacs_ts::http::{post_json, HttpClient, HttpServer};
@@ -338,8 +339,6 @@ pub fn wire_throughput_to_json(wire: &WireThroughput) -> Json {
 }
 
 // ---- concurrent issuance: signing fan-out scaling + connection scaling ----
-
-use smacs_primitives::WorkerPool;
 
 /// Throughput at one parallelism degree.
 pub struct ScalePoint {
@@ -900,6 +899,251 @@ pub fn threshold_sweep_to_json(world_slots: u64, points: &[ThresholdPoint]) -> J
     Json::Obj(members)
 }
 
+// ---- Optimistic parallel block execution ----
+
+/// Senders in the parallel-block workload. Enough that the low-conflict
+/// regime keeps every pool worker fed with independent transactions.
+const BLOCK_SENDERS: usize = 16;
+
+/// Build a chain (funded senders, one seeded AMM) plus `blocks`
+/// pre-generated, pre-signed blocks of `txs_per_block` transactions.
+/// Transaction `j` of every block is an AMM swap when
+/// `(j * 61) % 100 < conflict_pct` — all swaps touch the shared reserves,
+/// so they conflict and re-execute — and a disjoint EOA transfer
+/// otherwise, which validates and commits straight from its delta. The
+/// `* 61` interleaves the two kinds instead of clustering them.
+fn block_workload(
+    conflict_pct: u64,
+    blocks: usize,
+    txs_per_block: usize,
+) -> (Chain, Vec<Vec<SignedTransaction>>) {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let senders: Vec<Keypair> = (0..BLOCK_SENDERS)
+        .map(|i| chain.funded_keypair(100 + i as u64, 10u128.pow(24)))
+        .collect();
+    let (amm, _) = chain
+        .deploy(&owner, Arc::new(SmacsAmm))
+        .expect("deploy amm");
+    chain
+        .call_contract(
+            &owner,
+            amm.address,
+            0,
+            SmacsAmm::seed_payload(1_000_000_000, 1_000_000_000),
+        )
+        .expect("seed amm");
+    chain.seal_block();
+    let mut nonces: Vec<u64> = senders
+        .iter()
+        .map(|kp| chain.state().nonce(kp.address()))
+        .collect();
+    let prebuilt = (0..blocks)
+        .map(|b| {
+            (0..txs_per_block)
+                .map(|j| {
+                    let s = (b * txs_per_block + j) % senders.len();
+                    let nonce = nonces[s];
+                    nonces[s] += 1;
+                    let tx = if (j as u64 * 61) % 100 < conflict_pct {
+                        Transaction::call(
+                            nonce,
+                            amm.address,
+                            0,
+                            SmacsAmm::swap_payload(1 + j as u64, 0),
+                        )
+                    } else {
+                        Transaction::call(
+                            nonce,
+                            Address::from_low_u64(0x9_0000 + (b * txs_per_block + j) as u64),
+                            1,
+                            Bytes::new(),
+                        )
+                    };
+                    // Reassemble from parts: `sign` pre-seeds the sender
+                    // cache for the local-wallet path, but a block
+                    // arriving off the wire carries no such warm cache —
+                    // and the per-tx ECDSA recovery is exactly the work
+                    // the parallel pipeline exists to spread across cores.
+                    let signed = tx.sign(&senders[s]);
+                    SignedTransaction::from_parts(signed.tx.clone(), signed.signature)
+                })
+                .collect()
+        })
+        .collect();
+    (chain, prebuilt)
+}
+
+/// Transactions per second executing the pre-built workload through the
+/// unified block path — sequential when `pool` is `None`, optimistic
+/// parallel otherwise. The workload's sender caches are cold (see
+/// [`block_workload`]), so every tx pays its ECDSA recovery inside the
+/// measured (and, in parallel mode, speculated) region, as on a real
+/// node ingesting foreign blocks.
+fn block_throughput(
+    conflict_pct: u64,
+    blocks: usize,
+    txs_per_block: usize,
+    pool: Option<&WorkerPool>,
+) -> f64 {
+    let (mut chain, prebuilt) = block_workload(conflict_pct, blocks, txs_per_block);
+    let start = Instant::now();
+    for txs in &prebuilt {
+        let results = match pool {
+            Some(p) => chain.execute_block_with(txs, BlockMode::Parallel(p)),
+            None => chain.execute_block_with(txs, BlockMode::Sequential),
+        };
+        debug_assert!(results.iter().all(|r| r.is_ok()), "workload tx failed");
+        std::hint::black_box(&results);
+        chain.seal_block();
+    }
+    (blocks * txs_per_block) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// One conflict regime of the parallel-block sweep.
+pub struct ParallelBlockPoint {
+    /// Percentage of transactions per block that hit the shared AMM.
+    pub conflict_pct: u64,
+    /// Throughput through `BlockMode::Sequential`.
+    pub sequential_txs_per_sec: f64,
+    /// `(pool threads, throughput)` through `BlockMode::Parallel`.
+    pub by_threads: Vec<(usize, f64)>,
+}
+
+/// Sweep optimistic parallel block execution across pool sizes and
+/// conflict rates, with the sequential path as the baseline at each
+/// conflict rate. Caveat: on the 1-CPU reference container the parallel
+/// numbers measure overhead, not speedup — the scaling gate in
+/// `tests/shapes.rs` self-arms only where the cores exist.
+pub fn parallel_block_execution(
+    blocks: usize,
+    txs_per_block: usize,
+    threads: &[usize],
+    conflict_pcts: &[u64],
+) -> Vec<ParallelBlockPoint> {
+    conflict_pcts
+        .iter()
+        .map(|&pct| {
+            let sequential_txs_per_sec = block_throughput(pct, blocks, txs_per_block, None);
+            let by_threads = threads
+                .iter()
+                .map(|&t| {
+                    let pool = WorkerPool::new(t, 1024);
+                    let tps = block_throughput(pct, blocks, txs_per_block, Some(&pool));
+                    pool.shutdown();
+                    (t, tps)
+                })
+                .collect();
+            ParallelBlockPoint {
+                conflict_pct: pct,
+                sequential_txs_per_sec,
+                by_threads,
+            }
+        })
+        .collect()
+}
+
+/// Render the parallel-block sweep for `BENCH_results.json`. Per regime:
+/// `c{pct}_seq_txs_per_sec`, one `c{pct}_t{n}_txs_per_sec` per pool size
+/// (all higher-is-better under `perf_regression`), and the widest pool's
+/// `c{pct}_t{n}_speedup_x100` vs sequential. `available_parallelism`
+/// records the hardware so 1-CPU-container numbers aren't compared
+/// against multi-core ones by eye.
+pub fn parallel_block_to_json(
+    blocks: usize,
+    txs_per_block: usize,
+    points: &[ParallelBlockPoint],
+) -> Json {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut members: Vec<(String, Json)> = vec![
+        ("blocks".into(), Json::Int(blocks as i128)),
+        ("txs_per_block".into(), Json::Int(txs_per_block as i128)),
+        ("available_parallelism".into(), Json::Int(cores as i128)),
+    ];
+    for p in points {
+        members.push((
+            format!("c{}_seq_txs_per_sec", p.conflict_pct),
+            Json::Int(p.sequential_txs_per_sec as i128),
+        ));
+        for &(t, tps) in &p.by_threads {
+            members.push((
+                format!("c{}_t{}_txs_per_sec", p.conflict_pct, t),
+                Json::Int(tps as i128),
+            ));
+        }
+        if let Some(&(t, tps)) = p.by_threads.last() {
+            members.push((
+                format!("c{}_t{}_speedup_x100", p.conflict_pct, t),
+                Json::Int((tps / p.sequential_txs_per_sec.max(1.0) * 100.0) as i128),
+            ));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// The cost of `TouchSet` recording on the overlay hot path.
+pub struct TouchsetOverhead {
+    /// ns per overlay operation with recording off (the sequential path).
+    pub plain_op_ns: f64,
+    /// ns per overlay operation with recording on (the speculation path).
+    pub recorded_op_ns: f64,
+}
+
+/// Measure per-operation overhead of read/write-set recording: the same
+/// mix of tracked reads and writes against a fork of a `slots`-slot
+/// world, with and without `begin_touch_recording`. The delta is what
+/// every speculated transaction pays so the commit stage can validate it.
+pub fn touchset_overhead_ns(slots: u64, iters: u32) -> TouchsetOverhead {
+    const ROUNDS: u64 = 256;
+    const OPS_PER_ROUND: u64 = 4; // tracked read, write, balance read, credit
+    let world = populated_world(slots);
+    let run = |record: bool| {
+        time_per_iter(iters, || {
+            let mut fork = world.fork();
+            if record {
+                fork.begin_touch_recording();
+            }
+            for i in 0..ROUNDS {
+                let a = addr(i % 64);
+                std::hint::black_box(fork.storage_get_tracked(a, key(i)));
+                fork.storage_set(a, key(i), key(i + 2));
+                std::hint::black_box(fork.balance_tracked(a));
+                fork.credit(a, 1);
+            }
+            if record {
+                std::hint::black_box(fork.take_touch_set());
+            }
+            std::hint::black_box(&fork);
+        }) / (ROUNDS * OPS_PER_ROUND) as f64
+    };
+    TouchsetOverhead {
+        plain_op_ns: run(false),
+        recorded_op_ns: run(true),
+    }
+}
+
+/// Render the touch-set overhead probe: both `*_op_ns` legs gate
+/// lower-is-better, and `touchset_overhead_ns` is the recorded-minus-plain
+/// delta (clamped at zero — timing noise can invert tiny gaps).
+pub fn touchset_overhead_to_json(o: &TouchsetOverhead) -> Json {
+    Json::Obj(vec![
+        (
+            "plain_overlay_op_ns".into(),
+            Json::Int(o.plain_op_ns as i128),
+        ),
+        (
+            "recorded_overlay_op_ns".into(),
+            Json::Int(o.recorded_op_ns as i128),
+        ),
+        (
+            "touchset_overhead_ns".into(),
+            Json::Int((o.recorded_op_ns - o.plain_op_ns).max(0.0) as i128),
+        ),
+    ])
+}
+
 /// One labeled measurement in the machine-readable summary.
 pub struct PerfRow {
     /// Metric name.
@@ -999,6 +1243,29 @@ mod tests {
         assert!(json.get("snapshot_speedup_vs_clone").is_some());
         assert!(json.get("call_chain_depth16_ns").is_some());
         assert!(json.get("ecdsa_recover_ns").is_some());
+    }
+
+    #[test]
+    fn parallel_block_probe_runs_all_modes() {
+        let points = parallel_block_execution(2, 8, &[1, 2], &[0, 100]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.sequential_txs_per_sec > 0.0);
+            assert_eq!(p.by_threads.len(), 2);
+            assert!(p.by_threads.iter().all(|&(_, tps)| tps > 0.0));
+        }
+        let json = parallel_block_to_json(2, 8, &points);
+        assert!(json.get("c0_seq_txs_per_sec").is_some());
+        assert!(json.get("c100_t2_txs_per_sec").is_some());
+        assert!(json.get("c100_t2_speedup_x100").is_some());
+    }
+
+    #[test]
+    fn touchset_probe_measures_both_legs() {
+        let o = touchset_overhead_ns(2_000, 4);
+        assert!(o.plain_op_ns > 0.0 && o.recorded_op_ns > 0.0);
+        let json = touchset_overhead_to_json(&o);
+        assert!(json.get("touchset_overhead_ns").is_some());
     }
 
     #[test]

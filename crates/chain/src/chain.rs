@@ -2,6 +2,7 @@
 //! dry runs, forking, and reorgs.
 
 use smacs_crypto::{keccak256, Keypair};
+use smacs_primitives::pool::WorkerPool;
 use smacs_primitives::rlp::{self, Item, ToRlp};
 use smacs_primitives::{Address, Bytes, H256};
 use std::collections::HashMap;
@@ -12,8 +13,8 @@ use crate::block::{Block, BlockEnv};
 use crate::contract::{Contract, ContractRegistry, DeployedContract};
 use crate::exec::{Executor, MessageCall, VmError};
 use crate::gas::{GasBreakdown, GasSchedule};
-use crate::receipt::{ExecStatus, Receipt};
-use crate::state::WorldState;
+use crate::receipt::{ExecStatus, Log, Receipt};
+use crate::state::{AccountInfo, TouchSet, WorldState};
 use crate::trace::CallTrace;
 use crate::tx::{SignedTransaction, Transaction};
 
@@ -75,6 +76,76 @@ impl fmt::Display for ChainError {
 }
 
 impl std::error::Error for ChainError {}
+
+/// Everything a transaction execution produces besides its chain-level
+/// bookkeeping (receipt assembly, pending-block membership). Produced by
+/// the core execution routine so it can run identically on the canonical
+/// state and on per-transaction forks.
+struct TxOutcome {
+    status: ExecStatus,
+    return_data: Bytes,
+    logs: Vec<Log>,
+    trace: CallTrace,
+    gas_used: u64,
+    breakdown: GasBreakdown,
+}
+
+/// How [`Chain::execute_block_with`] schedules a block's transactions.
+pub enum BlockMode<'p> {
+    /// One at a time on the canonical state — the reference semantics.
+    Sequential,
+    /// Optimistic Block-STM-style parallel execution on the given pool;
+    /// results are bit-identical to [`BlockMode::Sequential`].
+    Parallel(&'p WorkerPool),
+}
+
+/// The net state effect of a validated speculation: the final value of
+/// every account/slot its transaction wrote, read off the transaction's
+/// fork. Applying these to the canonical state reproduces a sequential
+/// execution exactly, because validation guaranteed every value the
+/// speculation *read* matches the canonical state at apply time.
+struct TxDelta {
+    /// `None` means the account ended absent (all its writes reverted and
+    /// it never existed in the pre-state) — nothing to apply.
+    accounts: Vec<(Address, Option<AccountInfo>)>,
+    storage: Vec<(Address, H256, H256)>,
+}
+
+impl TxDelta {
+    fn capture(fork: &WorldState, touch: &TouchSet) -> TxDelta {
+        let mut accounts: Vec<_> = touch
+            .account_writes
+            .iter()
+            .map(|&addr| (addr, fork.account(addr).cloned()))
+            .collect();
+        accounts.sort_by_key(|(addr, _)| *addr);
+        let mut storage: Vec<_> = touch
+            .storage_writes
+            .iter()
+            .map(|&(addr, key)| (addr, key, fork.storage_get(addr, key)))
+            .collect();
+        storage.sort_by_key(|(addr, key, _)| (*addr, *key));
+        TxDelta { accounts, storage }
+    }
+
+    fn apply(self, state: &mut WorldState) {
+        for (addr, info) in self.accounts {
+            if let Some(info) = info {
+                state.apply_account(addr, info);
+            }
+        }
+        for (addr, key, value) in self.storage {
+            state.storage_set(addr, key, value);
+        }
+    }
+}
+
+/// One transaction's parallel-phase result, pending in-order validation.
+struct Speculation {
+    outcome: Result<TxOutcome, ChainError>,
+    touch: TouchSet,
+    delta: TxDelta,
+}
 
 /// The simulated chain: state, contracts, blocks, receipts.
 ///
@@ -251,9 +322,39 @@ impl Chain {
     }
 
     fn execute_transaction(&mut self, signed: &SignedTransaction) -> Result<Receipt, ChainError> {
+        let env = self.pending_env();
+        let outcome = Self::execute_tx_on(
+            &mut self.state,
+            &self.registry,
+            &self.config.schedule,
+            env,
+            signed,
+            true,
+        )?;
+        Ok(self.record_tx(signed, outcome))
+    }
+
+    /// The core per-transaction execution routine, usable on the canonical
+    /// state (sequential / conflict re-execution) and on per-transaction
+    /// forks (parallel speculation). `commit` controls whether the state's
+    /// journal is flushed at the usual points — `false` on forks, whose
+    /// net effect is harvested as a [`TxDelta`] instead.
+    ///
+    /// Validation reads (sender nonce/balance) go through the tracked
+    /// accessors so a speculation that failed validation on a stale fork
+    /// still conflicts with the earlier transaction that changed the
+    /// sender's account, and gets re-executed.
+    fn execute_tx_on(
+        state: &mut WorldState,
+        registry: &ContractRegistry,
+        schedule: &GasSchedule,
+        env: BlockEnv,
+        signed: &SignedTransaction,
+        commit: bool,
+    ) -> Result<TxOutcome, ChainError> {
         let sender = signed.sender().ok_or(ChainError::InvalidSignature)?;
         let tx = &signed.tx;
-        let expected_nonce = self.state.nonce(sender);
+        let expected_nonce = state.nonce_tracked(sender);
         if tx.nonce != expected_nonce {
             return Err(ChainError::BadNonce {
                 expected: expected_nonce,
@@ -262,29 +363,23 @@ impl Chain {
         }
         let gas_cost = tx.gas_limit as u128 * tx.gas_price;
         let upfront = gas_cost.saturating_add(tx.value);
-        if self.state.balance(sender) < upfront {
+        if state.balance_tracked(sender) < upfront {
             return Err(ChainError::InsufficientFunds);
         }
         let is_create = tx.to.is_none();
-        let intrinsic = self.config.schedule.intrinsic_gas(&tx.data, is_create);
+        let intrinsic = schedule.intrinsic_gas(&tx.data, is_create);
         if intrinsic > tx.gas_limit {
             return Err(ChainError::IntrinsicGasTooLow);
         }
 
         // Buy gas and bump the nonce (irrevocable even on revert).
-        self.state.debit(sender, gas_cost);
-        self.state.bump_nonce(sender);
-        self.state.commit();
+        state.debit(sender, gas_cost);
+        state.bump_nonce(sender);
+        if commit {
+            state.commit();
+        }
 
-        let env = self.pending_env();
-        let mut executor = Executor::new(
-            &mut self.state,
-            &self.registry,
-            &self.config.schedule,
-            env,
-            sender,
-            tx.gas_limit,
-        );
+        let mut executor = Executor::new(state, registry, schedule, env, sender, tx.gas_limit);
         executor
             .meter
             .charge(intrinsic)
@@ -292,15 +387,14 @@ impl Chain {
 
         let (status, return_data, logs, trace, gas_used, breakdown) = if is_create {
             let address = Self::contract_address(sender, expected_nonce);
-            let logic = self
-                .registry
+            let logic = registry
                 .get(address)
                 .expect("deploy registers logic before executing");
             let outcome = (|| {
                 executor
                     .meter
                     .charge(logic.code_len() as u64 * executor.schedule.code_deposit)?;
-                executor.construct(sender, address, tx.value, logic.as_ref())
+                executor.construct(sender, address, tx.value, logic.clone())
             })();
             let logs = executor.take_logs();
             let trace = executor.take_trace();
@@ -308,7 +402,7 @@ impl Chain {
             let gas_used = executor.meter.effective_used();
             match outcome {
                 Ok(()) => {
-                    self.state.set_contract(address, logic.code_len());
+                    state.set_contract(address, logic.code_len());
                     (
                         ExecStatus::Success,
                         Bytes::new(),
@@ -354,22 +448,135 @@ impl Chain {
 
         // Refund unused gas.
         let refund_wei = (tx.gas_limit - gas_used) as u128 * tx.gas_price;
-        self.state.credit(sender, refund_wei);
-        self.state.commit();
+        state.credit(sender, refund_wei);
+        if commit {
+            state.commit();
+        }
 
+        Ok(TxOutcome {
+            status,
+            return_data,
+            logs,
+            trace,
+            gas_used,
+            breakdown,
+        })
+    }
+
+    /// Chain-level bookkeeping for an executed transaction: build the
+    /// receipt, add the transaction to the pending block, index the receipt.
+    fn record_tx(&mut self, signed: &SignedTransaction, outcome: TxOutcome) -> Receipt {
         let receipt = Receipt {
             tx_hash: signed.hash(),
             block_number: self.height() + 1,
-            status,
-            gas_used,
-            breakdown,
-            logs,
-            return_data,
-            trace,
+            status: outcome.status,
+            gas_used: outcome.gas_used,
+            breakdown: outcome.breakdown,
+            logs: outcome.logs,
+            return_data: outcome.return_data,
+            trace: outcome.trace,
         };
         self.pending.push(signed.clone());
         self.receipts.insert(receipt.tx_hash, receipt.clone());
-        Ok(receipt)
+        receipt
+    }
+
+    /// The single block-execution entry point: run `txs` into the pending
+    /// block under the given [`BlockMode`]. Per-transaction failures never
+    /// abort the block — each transaction gets its own `Result`, and
+    /// callers that replay history simply ignore the errors, as miners do.
+    pub fn execute_block_with(
+        &mut self,
+        txs: &[SignedTransaction],
+        mode: BlockMode<'_>,
+    ) -> Vec<Result<Receipt, ChainError>> {
+        match mode {
+            BlockMode::Sequential => txs
+                .iter()
+                .map(|signed| self.execute_transaction(signed))
+                .collect(),
+            BlockMode::Parallel(pool) => self.execute_block_parallel(txs, pool),
+        }
+    }
+
+    /// Execute `txs` into the pending block and seal it — block production
+    /// through one pipeline, sequential or parallel.
+    pub fn seal_block_with(
+        &mut self,
+        txs: &[SignedTransaction],
+        mode: BlockMode<'_>,
+    ) -> (Vec<Result<Receipt, ChainError>>, &Block) {
+        let results = self.execute_block_with(txs, mode);
+        (results, self.seal_block())
+    }
+
+    /// Optimistic Block-STM-style parallel block execution.
+    ///
+    /// Phase 1 (parallel): every transaction runs speculatively on its own
+    /// [`WorldState::fork`] of the pre-block state, with touch recording
+    /// on; its net effect is harvested as a [`TxDelta`].
+    ///
+    /// Phase 2 (sequential, in transaction order): a speculation is valid
+    /// iff its read set does not overlap the writes of any earlier
+    /// transaction in the block ([`TouchSet::conflicts_with_writes`]) —
+    /// then its delta applies to the canonical state verbatim. Conflicting
+    /// transactions re-execute on the canonical state. Results — receipts,
+    /// traces, logs, gas, final state — are bit-identical to
+    /// [`BlockMode::Sequential`]; the differential suite pins this.
+    pub fn execute_block_parallel(
+        &mut self,
+        txs: &[SignedTransaction],
+        pool: &WorkerPool,
+    ) -> Vec<Result<Receipt, ChainError>> {
+        if txs.is_empty() {
+            return Vec::new();
+        }
+        let env = self.pending_env();
+        let base = &self.state;
+        let registry = &self.registry;
+        let schedule = &self.config.schedule;
+        let speculations: Vec<Speculation> = pool.scope_map(txs.len(), |i| {
+            let mut fork = base.fork();
+            fork.begin_touch_recording();
+            let outcome = Self::execute_tx_on(&mut fork, registry, schedule, env, &txs[i], false);
+            let touch = fork.take_touch_set();
+            let delta = TxDelta::capture(&fork, &touch);
+            Speculation {
+                outcome,
+                touch,
+                delta,
+            }
+        });
+
+        let mut committed = TouchSet::default();
+        let mut results = Vec::with_capacity(txs.len());
+        for (i, spec) in speculations.into_iter().enumerate() {
+            let outcome = if spec.touch.conflicts_with_writes(&committed) {
+                // An earlier transaction wrote something this speculation
+                // read: its fork view was stale. Re-execute on the
+                // canonical state (recording, so its real writes join the
+                // committed set).
+                self.state.begin_touch_recording();
+                let outcome = Self::execute_tx_on(
+                    &mut self.state,
+                    &self.registry,
+                    &self.config.schedule,
+                    env,
+                    &txs[i],
+                    true,
+                );
+                let touch = self.state.take_touch_set();
+                committed.absorb_writes(&touch);
+                outcome
+            } else {
+                spec.delta.apply(&mut self.state);
+                self.state.commit();
+                committed.absorb_writes(&spec.touch);
+                spec.outcome
+            };
+            results.push(outcome.map(|o| self.record_tx(&txs[i], o)));
+        }
+        results
     }
 
     /// Seal the pending block and start a new one.
@@ -478,12 +685,10 @@ impl Chain {
         self.receipts.clear();
 
         for block in replay {
-            for tx in block.transactions {
-                // Failed replays are possible if the adversary reordered
-                // dependencies; ignore per-tx errors like miners do.
-                let _ = self.execute_transaction(&tx);
-            }
-            self.seal_block();
+            // Failed replays are possible if the adversary reordered
+            // dependencies; the block pipeline returns per-tx results and
+            // never aborts, so dropping them ignores errors like miners do.
+            let _ = self.seal_block_with(&block.transactions, BlockMode::Sequential);
         }
         Ok(dropped)
     }

@@ -42,11 +42,11 @@ pub mod tx;
 
 pub use abi::{selector, AbiValue, Selector};
 pub use block::{Block, BlockEnv};
-pub use chain::{Chain, ChainConfig, ChainError};
+pub use chain::{BlockMode, Chain, ChainConfig, ChainError};
 pub use contract::{Contract, ContractRegistry, DeployedContract};
 pub use exec::{CallContext, Executor, MessageCall, VmError};
 pub use gas::{GasBreakdown, GasMeter, GasSchedule, OutOfGas};
 pub use receipt::{ExecStatus, Log, Receipt};
-pub use state::WorldState;
+pub use state::{TouchSet, WorldState};
 pub use trace::{CallTrace, TraceFrame};
 pub use tx::{SignedTransaction, Transaction};

@@ -46,9 +46,72 @@
 //! journaled here, which is slightly *stronger* than the seed's behaviour
 //! (their effects used to survive reverts).
 
+use smacs_crypto::keccak256;
 use smacs_primitives::{Address, H256, U256};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+
+/// The read/write footprint of one transaction, recorded while
+/// [`WorldState::begin_touch_recording`] is active.
+///
+/// Accounts are touched as a unit (nonce, balance, code flags all live in
+/// one [`AccountInfo`]), storage per `(contract, slot)`. The parallel block
+/// pipeline in [`crate::chain`] uses these sets Block-STM-style: a
+/// speculative transaction is valid iff its *reads* don't overlap the
+/// *writes* of any earlier transaction in the block. Every write path here
+/// performs a recorded read first (copy-up reads the current value; `debit`
+/// checks the balance), so read-vs-write overlap subsumes write-write
+/// conflicts.
+#[derive(Clone, Debug, Default)]
+pub struct TouchSet {
+    /// Accounts whose info was read (balance, nonce, existence, copy-up).
+    pub account_reads: HashSet<Address>,
+    /// Accounts whose info was written.
+    pub account_writes: HashSet<Address>,
+    /// Storage slots read.
+    pub storage_reads: HashSet<(Address, H256)>,
+    /// Storage slots written.
+    pub storage_writes: HashSet<(Address, H256)>,
+}
+
+impl TouchSet {
+    /// True iff any of `self`'s reads hits one of `writes`' writes — the
+    /// Block-STM validation rule (would this speculation have observed a
+    /// value the earlier transactions changed?).
+    pub fn conflicts_with_writes(&self, writes: &TouchSet) -> bool {
+        self.account_reads
+            .iter()
+            .any(|a| writes.account_writes.contains(a))
+            || self
+                .storage_reads
+                .iter()
+                .any(|s| writes.storage_writes.contains(s))
+    }
+
+    /// Fold another transaction's writes into this (accumulator) set.
+    pub fn absorb_writes(&mut self, other: &TouchSet) {
+        self.account_writes
+            .extend(other.account_writes.iter().copied());
+        self.storage_writes
+            .extend(other.storage_writes.iter().copied());
+    }
+
+    /// True iff nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.account_reads.is_empty()
+            && self.account_writes.is_empty()
+            && self.storage_reads.is_empty()
+            && self.storage_writes.is_empty()
+    }
+
+    /// Total number of recorded touches (diagnostics).
+    pub fn len(&self) -> usize {
+        self.account_reads.len()
+            + self.account_writes.len()
+            + self.storage_reads.len()
+            + self.storage_writes.len()
+    }
+}
 
 /// Per-account data.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -104,6 +167,11 @@ pub struct WorldState {
     /// Overlay size at which `commit` rebuilds a fork-shared base; see
     /// [`WorldState::SHARED_BASE_REBUILD_THRESHOLD`].
     rebuild_threshold: usize,
+    /// Active read/write-set recorder (`None` = recording off, the normal
+    /// sequential-execution mode — recording costs one null check when
+    /// off). Boxed to keep the idle `WorldState` small; a `fork()` always
+    /// starts with recording off.
+    touch: Option<Box<TouchSet>>,
 }
 
 impl Default for WorldState {
@@ -114,6 +182,7 @@ impl Default for WorldState {
             overlay_storage: HashMap::new(),
             journal: Vec::new(),
             rebuild_threshold: Self::SHARED_BASE_REBUILD_THRESHOLD,
+            touch: None,
         }
     }
 }
@@ -156,10 +225,83 @@ impl WorldState {
         self.account(addr).map(|a| a.is_contract).unwrap_or(false)
     }
 
+    // ---- Touch recording (parallel block execution support) ----
+
+    /// Start recording this state's read/write footprint into a fresh
+    /// [`TouchSet`] (retrieved with [`Self::take_touch_set`]). Used by the
+    /// parallel block pipeline on per-transaction forks.
+    pub fn begin_touch_recording(&mut self) {
+        self.touch = Some(Box::default());
+    }
+
+    /// Stop recording and return the footprint accumulated since
+    /// [`Self::begin_touch_recording`] (empty set if recording was off).
+    pub fn take_touch_set(&mut self) -> TouchSet {
+        self.touch.take().map(|b| *b).unwrap_or_default()
+    }
+
+    #[inline]
+    fn touch_account_read(&mut self, addr: Address) {
+        if let Some(touch) = &mut self.touch {
+            touch.account_reads.insert(addr);
+        }
+    }
+
+    #[inline]
+    fn touch_account_write(&mut self, addr: Address) {
+        if let Some(touch) = &mut self.touch {
+            touch.account_writes.insert(addr);
+        }
+    }
+
+    #[inline]
+    fn touch_storage_read(&mut self, addr: Address, key: H256) {
+        if let Some(touch) = &mut self.touch {
+            touch.storage_reads.insert((addr, key));
+        }
+    }
+
+    #[inline]
+    fn touch_storage_write(&mut self, addr: Address, key: H256) {
+        if let Some(touch) = &mut self.touch {
+            touch.storage_writes.insert((addr, key));
+        }
+    }
+
+    /// [`Self::balance`] with touch recording — the execution path's read.
+    pub fn balance_tracked(&mut self, addr: Address) -> u128 {
+        self.touch_account_read(addr);
+        self.balance(addr)
+    }
+
+    /// [`Self::nonce`] with touch recording.
+    pub fn nonce_tracked(&mut self, addr: Address) -> u64 {
+        self.touch_account_read(addr);
+        self.nonce(addr)
+    }
+
+    /// [`Self::exists`] with touch recording.
+    pub fn exists_tracked(&mut self, addr: Address) -> bool {
+        self.touch_account_read(addr);
+        self.exists(addr)
+    }
+
+    /// [`Self::storage_get`] with touch recording — the execution path's
+    /// slot read.
+    pub fn storage_get_tracked(&mut self, addr: Address, key: H256) -> H256 {
+        self.touch_storage_read(addr, key);
+        self.storage_get(addr, key)
+    }
+
     /// Journal the current overlay entry for `addr` and return a mutable
     /// overlay slot holding the account's current value (copied up from the
     /// base, or fresh for new accounts).
+    ///
+    /// Records both a touch *read* and *write*: the copy-up observes the
+    /// account's current value, and callers mutate the returned slot.
     fn account_mut(&mut self, addr: Address) -> &mut AccountInfo {
+        self.touch_account_read(addr);
+        self.touch_account_write(addr);
         let prev = self.overlay_accounts.get(&addr).cloned();
         self.journal
             .push(JournalEntry::AccountChanged { addr, prev });
@@ -196,6 +338,9 @@ impl WorldState {
     /// Debit wei from an account; `false` (and no change) on insufficient
     /// funds.
     pub fn debit(&mut self, addr: Address, amount: u128) -> bool {
+        // The balance check is a semantic read even on the refusal path: a
+        // speculation that failed here must conflict with an earlier credit.
+        self.touch_account_read(addr);
         let current = self.balance(addr);
         if current < amount {
             return false;
@@ -220,6 +365,7 @@ impl WorldState {
 
     /// Write a storage slot (journaled). Writing zero clears the slot.
     pub fn storage_set(&mut self, addr: Address, key: H256, value: H256) {
+        self.touch_storage_write(addr, key);
         let slot = (addr, key);
         let prev = self.overlay_storage.get(&slot).copied();
         self.journal
@@ -366,7 +512,48 @@ impl WorldState {
             overlay_storage: self.overlay_storage.clone(),
             journal: Vec::new(),
             rebuild_threshold: self.rebuild_threshold,
+            touch: None,
         }
+    }
+
+    /// Overwrite an account's full info (journaled). Used by the parallel
+    /// block pipeline to apply a validated speculation's writes to the
+    /// canonical state.
+    pub fn apply_account(&mut self, addr: Address, info: AccountInfo) {
+        *self.account_mut(addr) = info;
+    }
+
+    /// A deterministic digest of the complete merged state (accounts +
+    /// non-zero storage, sorted) — the simulator's stand-in for a state
+    /// root. O(world size): a test/diagnostic helper, never on the
+    /// execution path.
+    pub fn state_digest(&self) -> H256 {
+        let mut accounts: BTreeMap<Address, &AccountInfo> = BTreeMap::new();
+        for (addr, info) in self.base.accounts.iter().chain(&self.overlay_accounts) {
+            accounts.insert(*addr, info); // overlay chained last: it wins
+        }
+        let mut storage: BTreeMap<(Address, H256), H256> = BTreeMap::new();
+        for (&slot, &value) in self.base.storage.iter().chain(&self.overlay_storage) {
+            if value.is_zero() {
+                storage.remove(&slot); // overlay tombstone masks the base
+            } else {
+                storage.insert(slot, value);
+            }
+        }
+        let mut buf = Vec::with_capacity(accounts.len() * 41 + storage.len() * 84);
+        for (addr, info) in accounts {
+            buf.extend_from_slice(addr.as_bytes());
+            buf.extend_from_slice(&info.nonce.to_be_bytes());
+            buf.extend_from_slice(&info.balance.to_be_bytes());
+            buf.extend_from_slice(&(info.code_len as u64).to_be_bytes());
+            buf.push(info.is_contract as u8);
+        }
+        for ((addr, key), value) in storage {
+            buf.extend_from_slice(addr.as_bytes());
+            buf.extend_from_slice(key.as_bytes());
+            buf.extend_from_slice(value.as_bytes());
+        }
+        keccak256(&buf)
     }
 
     /// Number of uncommitted-or-unflattened overlay entries (diagnostics).
@@ -548,6 +735,71 @@ mod tests {
         assert_eq!(state.nonce(addr(1)), 0);
         // The copy-up was rolled back entirely: reads go to the base again.
         assert_eq!(state.overlay_len(), 0);
+    }
+
+    #[test]
+    fn touch_recording_captures_reads_and_writes() {
+        let mut state = WorldState::new();
+        state.credit(addr(1), 100);
+        state.storage_set_u256(addr(2), key(5), U256::from_u64(9));
+        state.commit();
+
+        state.begin_touch_recording();
+        let _ = state.balance_tracked(addr(1));
+        let _ = state.storage_get_tracked(addr(2), key(5));
+        state.debit(addr(1), 10); // read (check) + write via account_mut
+        state.storage_set_u256(addr(2), key(6), U256::from_u64(1));
+        let touch = state.take_touch_set();
+
+        assert!(touch.account_reads.contains(&addr(1)));
+        assert!(touch.account_writes.contains(&addr(1)));
+        assert!(touch.storage_reads.contains(&(addr(2), key(5))));
+        assert!(touch.storage_writes.contains(&(addr(2), key(6))));
+        assert!(!touch.storage_writes.contains(&(addr(2), key(5))));
+
+        // Recording stopped: further ops leave no trace.
+        state.credit(addr(3), 1);
+        assert!(state.take_touch_set().is_empty());
+    }
+
+    #[test]
+    fn touch_conflict_rule() {
+        let mut a = TouchSet::default();
+        a.storage_reads.insert((addr(1), key(0)));
+        let mut writes = TouchSet::default();
+        assert!(!a.conflicts_with_writes(&writes));
+        writes.storage_writes.insert((addr(1), key(0)));
+        assert!(a.conflicts_with_writes(&writes));
+
+        let mut b = TouchSet::default();
+        b.account_reads.insert(addr(7));
+        assert!(!b.conflicts_with_writes(&writes));
+        let mut other = TouchSet::default();
+        other.account_writes.insert(addr(7));
+        writes.absorb_writes(&other);
+        assert!(b.conflicts_with_writes(&writes));
+    }
+
+    #[test]
+    fn state_digest_tracks_merged_view() {
+        let mut a = WorldState::new();
+        a.credit(addr(1), 5);
+        a.storage_set_u256(addr(2), key(0), U256::from_u64(3));
+        a.commit();
+        // Same logical state reached by a different path (overlay vs base).
+        let mut b = WorldState::new();
+        b.storage_set_u256(addr(2), key(0), U256::from_u64(3));
+        b.credit(addr(1), 2);
+        b.credit(addr(1), 3);
+        assert_eq!(a.state_digest(), b.state_digest());
+
+        b.storage_set_u256(addr(2), key(0), U256::from_u64(4));
+        assert_ne!(a.state_digest(), b.state_digest());
+        // Clearing a slot equals never writing it.
+        b.storage_set_u256(addr(2), key(0), U256::ZERO);
+        let mut c = WorldState::new();
+        c.credit(addr(1), 5);
+        assert_eq!(b.state_digest(), c.state_digest());
     }
 
     #[test]

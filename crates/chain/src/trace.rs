@@ -55,7 +55,14 @@ pub enum TraceEvent {
 }
 
 /// One message-call frame.
-#[derive(Clone, Debug)]
+///
+/// Call trees can be [`MAX_CALL_DEPTH`](crate::exec::MAX_CALL_DEPTH)-deep
+/// (1024), and executors run on small pool-worker stacks, so every
+/// whole-tree operation that structurally recurses — `Clone`, `Drop`,
+/// [`TraceFrame::walk`], [`TraceFrame::reenters`] — is implemented
+/// iteratively with an explicit worklist. (`Debug` and `PartialEq` remain
+/// derived: they only run in tests/diagnostics on full-size stacks.)
+#[derive(PartialEq, Debug)]
 pub struct TraceFrame {
     /// The contract (or EOA) that received the call.
     pub callee: Address,
@@ -76,12 +83,70 @@ pub struct TraceFrame {
     pub status: FrameStatus,
 }
 
+impl Clone for TraceFrame {
+    fn clone(&self) -> Self {
+        struct Work<'a> {
+            src: &'a TraceFrame,
+            dst: TraceFrame,
+            next_child: usize,
+        }
+        fn shallow(f: &TraceFrame) -> TraceFrame {
+            TraceFrame {
+                callee: f.callee,
+                caller: f.caller,
+                selector: f.selector,
+                value: f.value,
+                depth: f.depth,
+                events: f.events.clone(),
+                children: Vec::with_capacity(f.children.len()),
+                status: f.status,
+            }
+        }
+        let mut stack = vec![Work {
+            src: self,
+            dst: shallow(self),
+            next_child: 0,
+        }];
+        loop {
+            let top = stack.last_mut().expect("returns before emptying");
+            if top.next_child < top.src.children.len() {
+                let child = &top.src.children[top.next_child];
+                top.next_child += 1;
+                stack.push(Work {
+                    src: child,
+                    dst: shallow(child),
+                    next_child: 0,
+                });
+            } else {
+                let done = stack.pop().expect("non-empty");
+                match stack.last_mut() {
+                    Some(parent) => parent.dst.children.push(done.dst),
+                    None => return done.dst,
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TraceFrame {
+    fn drop(&mut self) {
+        // Hoist descendants into a flat worklist so the compiler-generated
+        // recursive drop glue only ever sees empty `children`.
+        let mut stack = std::mem::take(&mut self.children);
+        while let Some(mut frame) = stack.pop() {
+            stack.append(&mut frame.children);
+        }
+    }
+}
+
 impl TraceFrame {
     /// All frames (this one and descendants), pre-order.
     pub fn walk(&self) -> Vec<&TraceFrame> {
-        let mut out = vec![self];
-        for child in &self.children {
-            out.extend(child.walk());
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(frame) = stack.pop() {
+            out.push(frame);
+            stack.extend(frame.children.iter().rev());
         }
         out
     }
@@ -114,21 +179,22 @@ impl TraceFrame {
     /// `addr` — i.e. calls back into a contract that already has a live
     /// frame above it.
     pub fn reenters(&self, addr: Address) -> bool {
-        fn inner(frame: &TraceFrame, addr: Address, live: bool) -> bool {
+        // (frame, live) where `live` = frame or an ancestor is `addr`.
+        let mut stack = vec![(self, self.callee == addr)];
+        while let Some((frame, live)) = stack.pop() {
             for child in &frame.children {
-                let hit = child.callee == addr && live;
-                if hit || inner(child, addr, live || frame.callee == addr) {
+                if live && child.callee == addr {
                     return true;
                 }
+                stack.push((child, live || child.callee == addr));
             }
-            false
         }
-        inner(self, addr, self.callee == addr)
+        false
     }
 }
 
 /// The complete trace of one transaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct CallTrace {
     /// The top-level frame (absent for plain EOA→EOA transfers).
     pub root: Option<TraceFrame>,

@@ -402,11 +402,15 @@ impl Contract for Recursor {
 }
 
 #[test]
-fn call_depth_limit_enforced() {
-    // 1024 nested executor frames need more stack than the default test
-    // thread provides (the EVM's depth limit exists for the same reason).
+fn call_depth_limit_enforced_on_64kib_stack() {
+    // The frame-stack executor keeps call frames on the heap, so driving
+    // execution all the way to the depth limit must work on a deliberately
+    // tiny thread stack — impossible under the old recursive executor,
+    // which needed tens of MB for 1024 nested host frames. This is also
+    // what lets executors run on pool-worker threads in the parallel block
+    // pipeline.
     std::thread::Builder::new()
-        .stack_size(64 * 1024 * 1024)
+        .stack_size(64 * 1024)
         .spawn(|| {
             let mut chain = Chain::default_chain();
             let owner = chain.funded_keypair(90, 10u128.pow(24));

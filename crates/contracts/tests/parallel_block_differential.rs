@@ -1,0 +1,238 @@
+//! Differential suite: `Chain::execute_block_parallel` must be
+//! bit-identical to sequential execution — same receipts (status, gas,
+//! logs, return data, full call traces), same per-tx errors, same final
+//! state digest — across randomized workloads in three conflict regimes:
+//!
+//! - **low**: disjoint EOA transfers — every speculation validates, the
+//!   whole block commits from deltas;
+//! - **high**: every transaction swaps on one AMM — every speculation
+//!   after the first conflicts on the reserves and re-executes;
+//! - **medium**: a randomized mix of transfers, swaps, cross-contract
+//!   `forward_call` chains (`LendingPool::leverageSwap` → `SmacsAmm`),
+//!   same-sender nonce chains, deliberate nonce errors, and reverting
+//!   swaps (`minOut` set above the quote).
+//!
+//! Same deterministic-PRNG approach as `state_differential.rs` in the
+//! chain crate, lifted to whole blocks.
+
+use smacs_chain::{BlockMode, Chain, ChainError, Receipt, Transaction};
+use smacs_contracts::{LendingPool, SmacsAmm};
+use smacs_crypto::Keypair;
+use smacs_primitives::pool::WorkerPool;
+use smacs_primitives::{Address, Bytes};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Deterministic xorshift* PRNG so failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Fixture {
+    chain: Chain,
+    senders: Vec<Keypair>,
+    amm: Address,
+    pool: Address,
+}
+
+/// Deterministic world: funded senders, a seeded AMM, and a lending pool
+/// routing to it. Built identically for the sequential and parallel runs.
+fn fixture(n_senders: usize) -> Fixture {
+    let mut chain = Chain::default_chain();
+    let owner = chain.funded_keypair(1, 10u128.pow(24));
+    let senders: Vec<Keypair> = (0..n_senders)
+        .map(|i| chain.funded_keypair(100 + i as u64, 10u128.pow(24)))
+        .collect();
+    let (amm, _) = chain
+        .deploy(&owner, Arc::new(SmacsAmm))
+        .expect("deploy amm");
+    let (pool, _) = chain
+        .deploy(&owner, Arc::new(LendingPool::routing_to(amm.address)))
+        .expect("deploy pool");
+    chain
+        .call_contract(
+            &owner,
+            amm.address,
+            0,
+            SmacsAmm::seed_payload(1_000_000_000, 1_000_000_000),
+        )
+        .expect("seed amm");
+    chain.seal_block();
+    Fixture {
+        chain,
+        senders,
+        amm: amm.address,
+        pool: pool.address,
+    }
+}
+
+enum Regime {
+    Low,
+    Medium,
+    High,
+}
+
+/// Generate one block of signed transactions for the regime. Nonces are
+/// tracked per sender so same-sender chains stay valid — except for the
+/// deliberate bad-nonce transactions the medium regime injects.
+fn generate_block(
+    fixture: &Fixture,
+    regime: &Regime,
+    rng: &mut Rng,
+    txs_per_block: usize,
+) -> Vec<smacs_chain::SignedTransaction> {
+    let senders = &fixture.senders;
+    let mut nonces: HashMap<Address, u64> = senders
+        .iter()
+        .map(|kp| (kp.address(), fixture.chain.state().nonce(kp.address())))
+        .collect();
+    let take_nonce = |addr: Address, nonces: &mut HashMap<Address, u64>| {
+        let n = nonces.get_mut(&addr).expect("known sender");
+        let v = *n;
+        *n += 1;
+        v
+    };
+    (0..txs_per_block)
+        .map(|i| {
+            let kp = match regime {
+                // Low: one tx per sender, strictly disjoint accounts.
+                Regime::Low => &senders[i % senders.len()],
+                _ => &senders[rng.below(senders.len() as u64) as usize],
+            };
+            let sender = kp.address();
+            let kind = match regime {
+                Regime::Low => 0,
+                Regime::High => 1,
+                Regime::Medium => rng.below(10),
+            };
+            let tx = match kind {
+                // Disjoint transfer to a fresh address derived from the tx
+                // index (low regime) or the sender (medium).
+                0 | 2 | 3 | 4 => {
+                    let to = match regime {
+                        Regime::Low => Address::from_low_u64(0x9000 + i as u64),
+                        _ => Address::from_low_u64(0xA000 + rng.below(64)),
+                    };
+                    Transaction::call(
+                        take_nonce(sender, &mut nonces),
+                        to,
+                        1 + rng.below(1000) as u128,
+                        Bytes::new(),
+                    )
+                }
+                // AMM swap; occasionally with minOut above any possible
+                // quote so it reverts — receipts must match exactly.
+                1 | 5 | 6 => {
+                    let min_out = if matches!(regime, Regime::Medium) && rng.below(4) == 0 {
+                        u64::MAX
+                    } else {
+                        0
+                    };
+                    Transaction::call(
+                        take_nonce(sender, &mut nonces),
+                        fixture.amm,
+                        0,
+                        SmacsAmm::swap_payload(1 + rng.below(10_000), min_out),
+                    )
+                }
+                // Cross-contract forward_call chain: pool → AMM.
+                7 | 8 => Transaction::call(
+                    take_nonce(sender, &mut nonces),
+                    fixture.pool,
+                    0,
+                    LendingPool::leverage_payload(1 + rng.below(10_000), 0),
+                ),
+                // Deliberate bad nonce: rejected with ChainError::BadNonce,
+                // whose `expected` field depends on earlier txs in the
+                // block — a validation-read conflict the pipeline must
+                // re-execute to get right.
+                _ => Transaction::call(
+                    nonces[&sender] + 1 + rng.below(3),
+                    Address::from_low_u64(0xB000),
+                    1,
+                    Bytes::new(),
+                ),
+            };
+            tx.sign(kp)
+        })
+        .collect()
+}
+
+fn run_regime(regime: Regime, seeds: &[u64], n_senders: usize, txs_per_block: usize) {
+    let pool = WorkerPool::new(4, 1024);
+    for &seed in seeds {
+        let mut rng = Rng(seed);
+        let mut seq = fixture(n_senders);
+        let mut par = fixture(n_senders);
+        assert_eq!(
+            seq.chain.state().state_digest(),
+            par.chain.state().state_digest(),
+            "fixtures must start identical (seed {seed})"
+        );
+        let txs = generate_block(&seq, &regime, &mut rng, txs_per_block);
+
+        let seq_results: Vec<Result<Receipt, ChainError>> =
+            seq.chain.execute_block_with(&txs, BlockMode::Sequential);
+        let par_results: Vec<Result<Receipt, ChainError>> = par
+            .chain
+            .execute_block_with(&txs, BlockMode::Parallel(&pool));
+
+        assert_eq!(
+            seq_results.len(),
+            par_results.len(),
+            "result count (seed {seed})"
+        );
+        for (i, (s, p)) in seq_results.iter().zip(&par_results).enumerate() {
+            assert_eq!(s, p, "tx {i} of seed {seed} diverged");
+        }
+        assert_eq!(
+            seq.chain.state().state_digest(),
+            par.chain.state().state_digest(),
+            "final state diverged (seed {seed})"
+        );
+        let seq_block = seq.chain.seal_block().clone();
+        let par_block = par.chain.seal_block().clone();
+        assert_eq!(
+            seq_block.transactions.len(),
+            par_block.transactions.len(),
+            "sealed block shape (seed {seed})"
+        );
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn low_conflict_blocks_match_sequential() {
+    run_regime(Regime::Low, &[11, 12, 13, 14], 16, 16);
+}
+
+#[test]
+fn high_conflict_blocks_match_sequential() {
+    run_regime(Regime::High, &[21, 22, 23, 24], 16, 16);
+}
+
+#[test]
+fn medium_conflict_blocks_match_sequential() {
+    run_regime(Regime::Medium, &[31, 32, 33, 34], 12, 32);
+}
+
+/// Short cross-regime pass for CI's parallel-exec differential smoke.
+#[test]
+fn parallel_differential_smoke() {
+    run_regime(Regime::Low, &[41], 8, 8);
+    run_regime(Regime::High, &[42], 8, 8);
+    run_regime(Regime::Medium, &[43], 8, 12);
+}

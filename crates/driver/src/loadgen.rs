@@ -155,6 +155,19 @@ fn schedule(cfg: &LoadConfig) -> Vec<Duration> {
 /// scheduled arrival time. Blocks until every event completed.
 pub fn run_open_loop(api: &dyn TsApi, requests: &[TokenRequest], cfg: &LoadConfig) -> LoadReport {
     assert!(!requests.is_empty(), "need at least one issuance template");
+    run_open_loop_with(cfg, |k| api.issue(&requests[k % requests.len()]).is_ok())
+}
+
+/// Drive an arbitrary per-event action open-loop: `event(k)` runs at
+/// event `k`'s scheduled arrival time and returns success. This is the
+/// core generator behind [`run_open_loop`]; use it directly when one
+/// "event" is more than a single TS issuance — e.g. the full
+/// issue-token → token-bearing on-chain call → receipt path, where the
+/// e2e percentile must cover the whole client-visible pipeline.
+pub fn run_open_loop_with<F>(cfg: &LoadConfig, event: F) -> LoadReport
+where
+    F: Fn(usize) -> bool + Sync,
+{
     let offsets = schedule(cfg);
     let senders = cfg.senders.max(1);
     let start = Instant::now();
@@ -164,6 +177,7 @@ pub fn run_open_loop(api: &dyn TsApi, requests: &[TokenRequest], cfg: &LoadConfi
         let handles: Vec<_> = (0..senders)
             .map(|lane| {
                 let offsets = &offsets;
+                let event = &event;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     let mut k = lane;
@@ -173,7 +187,7 @@ pub fn run_open_loop(api: &dyn TsApi, requests: &[TokenRequest], cfg: &LoadConfi
                             std::thread::sleep(wait);
                         }
                         let sent = Instant::now();
-                        let ok = api.issue(&requests[k % requests.len()]).is_ok();
+                        let ok = event(k);
                         let done = start.elapsed();
                         out.push(if ok {
                             Some((
