@@ -99,14 +99,29 @@ fn main() {
         wire_failover.recovered_one_time_per_sec
     );
 
-    println!("\n== TS connection scaling (pooled server, 1k keep-alive) ==");
-    let conn_probe = smacs_bench::perf::connection_scaling_probe(1_000);
+    println!("\n== TS connection scaling (epoll reactor, 50k keep-alive target) ==");
+    let conn_probe = smacs_bench::perf::connection_scaling_probe(50_000);
     println!(
-        "{} connections held: pool {} workers, {} process threads (thread-per-connection model: {})",
+        "{} of {} target connections held ({} parked): pool {} workers, {} process threads (thread-per-connection model: {}), idle CPU {:.2}% over {} ms",
         conn_probe.connections,
+        conn_probe.target_connections,
+        conn_probe.parked_connections,
         conn_probe.pool_workers,
         conn_probe.os_threads,
-        conn_probe.spawn_model_threads
+        conn_probe.spawn_model_threads,
+        conn_probe.idle_cpu_pct_x100 as f64 / 100.0,
+        conn_probe.idle_window_ms
+    );
+
+    println!("\n== TS connection storm (accept flood vs batch signing) ==");
+    let storm_probe = smacs_bench::perf::connection_storm_probe(500, 16, 16);
+    println!(
+        "{} parked + {} storm connections, {} errors: batch p99 calm {:>9} ns / storm {:>9} ns",
+        storm_probe.parked_connections,
+        storm_probe.storm_connections,
+        storm_probe.storm_errors,
+        storm_probe.calm_batch_p99_ns,
+        storm_probe.storm_batch_p99_ns
     );
 
     println!("\n== Open-loop load (scenario corpus, latency percentiles) ==");
@@ -184,6 +199,10 @@ fn main() {
         members.push((
             "connection_scaling".into(),
             smacs_bench::perf::connection_scaling_to_json(&conn_probe),
+        ));
+        members.push((
+            "connection_storm".into(),
+            smacs_bench::perf::connection_storm_to_json(&storm_probe),
         ));
         members.push((
             "open_loop_oracle".into(),

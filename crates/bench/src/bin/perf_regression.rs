@@ -8,8 +8,9 @@
 //!    with the same parallelism.
 //! 2. **History diff** — walks *every* numeric metric in the last two
 //!    history entries and flags the ones that moved past tolerance, with
-//!    direction awareness: `*_ns` metrics regress by going *up*,
-//!    `*per_sec`/`*speedup*` metrics regress by going *down*. Neutral
+//!    direction awareness: `*_ns` and `*cpu_pct*` metrics regress by
+//!    going *up*, `*per_sec`/`*speedup*` metrics regress by going
+//!    *down*. Neutral
 //!    facts (batch sizes, worker counts, thread counts, timestamps) are
 //!    skipped.
 //!
@@ -40,7 +41,7 @@ enum Direction {
 /// Classify a flattened metric path by its leaf key's naming convention.
 fn direction(path: &str) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf.ends_with("_ns") {
+    if leaf.ends_with("_ns") || leaf.contains("cpu_pct") {
         Direction::LowerIsBetter
     } else if leaf.contains("per_sec") || leaf.contains("speedup") {
         Direction::HigherIsBetter

@@ -451,13 +451,18 @@ pub fn http_issuance_scaling(client_axis: &[usize], requests_per_client: usize) 
     points
 }
 
-/// What holding many concurrent keep-alive connections costs in threads:
-/// the pooled server vs what the pre-pool thread-per-connection model
-/// would have spawned.
+/// What holding many concurrent keep-alive connections costs: threads
+/// (the pooled server vs the thread-per-connection model) and — the
+/// reactor's headline number — steady-state CPU while every one of them
+/// idles parked in the epoll set.
 pub struct ConnectionScaling {
-    /// Concurrent keep-alive connections held (each served at least one
-    /// request).
+    /// Connections requested — the headline target (e.g. 50k).
+    pub target_connections: usize,
+    /// Concurrent keep-alive connections actually held (each served at
+    /// least one request); clamped to the process fd budget.
     pub connections: usize,
+    /// Connections parked in the reactor's epoll set at steady state.
+    pub parked_connections: usize,
     /// Worker threads in the server's pool.
     pub pool_workers: usize,
     /// OS threads in this process while holding all connections
@@ -468,6 +473,12 @@ pub struct ConnectionScaling {
     /// What a thread-per-connection server would hold for the same load:
     /// one thread per open connection (plus its accept loop).
     pub spawn_model_threads: usize,
+    /// Process CPU over the idle window, in percent ×100 (`/proc/self/stat`
+    /// utime+stime; -1 when unreadable). Near zero proves the reactor
+    /// blocks in `epoll_wait` — no periodic per-connection sweep remains.
+    pub idle_cpu_pct_x100: i64,
+    /// Length of the idle measurement window, ms.
+    pub idle_window_ms: u64,
 }
 
 fn process_thread_count() -> usize {
@@ -482,8 +493,8 @@ fn process_thread_count() -> usize {
         .unwrap_or(0)
 }
 
-/// The soft `RLIMIT_NOFILE` ceiling, from `/proc/self/limits` (no libc
-/// available); `None` off Linux or if the row is missing/unlimited.
+/// The soft `RLIMIT_NOFILE` ceiling, from `/proc/self/limits`; `None`
+/// off Linux or if the row is missing/unlimited.
 fn open_file_soft_limit() -> Option<usize> {
     let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
     let row = limits.lines().find(|l| l.starts_with("Max open files"))?;
@@ -491,28 +502,93 @@ fn open_file_soft_limit() -> Option<usize> {
     row.split_whitespace().nth(3)?.parse().ok()
 }
 
-/// Hold `connections` live keep-alive connections against one pooled
-/// server (pinging each so every connection has really been served) and
-/// report the process thread count.
+/// Raise the soft `RLIMIT_NOFILE` to its hard ceiling and return the
+/// resulting soft limit — a 50k-connection probe needs ~100k fds, far
+/// past the stock 1024 soft limit, and raising soft→hard needs no
+/// privilege.
+fn raise_fd_limit() -> Option<usize> {
+    unsafe {
+        let mut lim = libc::rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        if libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) != 0 {
+            return None;
+        }
+        if lim.rlim_cur < lim.rlim_max {
+            let raised = libc::rlimit {
+                rlim_cur: lim.rlim_max,
+                rlim_max: lim.rlim_max,
+            };
+            let _ = libc::setrlimit(libc::RLIMIT_NOFILE, &raised);
+            if libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) != 0 {
+                return None;
+            }
+        }
+        Some(lim.rlim_cur as usize)
+    }
+}
+
+/// This process's consumed CPU in clock ticks (`/proc/self/stat`
+/// utime+stime — fields 14 and 15).
+fn process_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; fields count from after the ')'.
+    let after_comm = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    // `after_comm` starts at field 3 (state), so fields 14/15 sit at
+    // indexes 11/12.
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+fn clock_ticks_per_sec() -> f64 {
+    let hz = unsafe { libc::sysconf(libc::_SC_CLK_TCK) };
+    if hz > 0 {
+        hz as f64
+    } else {
+        100.0
+    }
+}
+
+/// Hold `target` live keep-alive connections against one reactor-backed
+/// server (pinging each so every connection has really been served),
+/// wait for them all to park in the epoll set, then measure process CPU
+/// over an idle window.
 ///
 /// Each connection costs two fds in this process (client socket +
-/// accepted server socket), so the count is clamped to fit the soft
-/// `ulimit -n` with headroom — on a stock 1024-fd box the 1k probe would
-/// otherwise wedge in `EMFILE` instead of measuring anything. The
-/// returned `connections` field reports what was actually held.
-pub fn connection_scaling_probe(connections: usize) -> ConnectionScaling {
-    let connections = match open_file_soft_limit() {
+/// accepted server socket), so the count is clamped to fit the fd budget
+/// with headroom — after raising the soft `RLIMIT_NOFILE` to the hard
+/// ceiling. `target_connections` records what was asked for,
+/// `connections` what the box allowed.
+pub fn connection_scaling_probe(target: usize) -> ConnectionScaling {
+    connection_scaling_probe_with_window(target, Duration::from_secs(2))
+}
+
+/// [`connection_scaling_probe`] with a caller-chosen idle window (tests
+/// use a short one).
+pub fn connection_scaling_probe_with_window(
+    target: usize,
+    idle_window: Duration,
+) -> ConnectionScaling {
+    let connections = match raise_fd_limit().or_else(open_file_soft_limit) {
         // 2 fds per connection + slack for stdio/listener/harness.
-        Some(limit) => connections.min(limit.saturating_sub(128) / 2).max(1),
-        None => connections,
+        Some(limit) => target.min(limit.saturating_sub(128) / 2).max(1),
+        None => target,
     };
     let service = TokenService::new(
         Keypair::from_seed(15_000),
         RuleBook::permissive(),
         TokenServiceConfig::default(),
     );
-    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "bench-owner", 0)))
-        .expect("loopback server");
+    let server = HttpServer::start_with(
+        Arc::new(FrontEnd::new(service, "bench-owner", 0)),
+        smacs_ts::HttpServerConfig::builder()
+            .max_connections(connections + 64)
+            .build(),
+    )
+    .expect("loopback server");
     let pool_workers = server.pool().threads();
     let clients: Vec<HttpClient> = (0..connections)
         .map(|_| HttpClient::connect(server.addr()))
@@ -520,14 +596,159 @@ pub fn connection_scaling_probe(connections: usize) -> ConnectionScaling {
     for client in &clients {
         client.ping().expect("every connection gets served");
     }
+    // Steady state: wait for every served connection to park.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.parked_connections() < connections && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let parked_connections = server.parked_connections();
     let os_threads = process_thread_count();
+
+    // Nobody talks during the window; a poller-era server would still
+    // burn a sweep per poll_interval here, the reactor burns nothing.
+    let before = process_cpu_ticks();
+    std::thread::sleep(idle_window);
+    let after = process_cpu_ticks();
+    let idle_cpu_pct_x100 = match (before, after) {
+        (Some(b), Some(a)) => {
+            let cpu_secs = a.saturating_sub(b) as f64 / clock_ticks_per_sec();
+            (cpu_secs / idle_window.as_secs_f64().max(1e-9) * 100.0 * 100.0) as i64
+        }
+        _ => -1,
+    };
+
     let result = ConnectionScaling {
+        target_connections: target,
         connections,
+        parked_connections,
         pool_workers,
         os_threads,
         spawn_model_threads: connections + 1,
+        idle_cpu_pct_x100,
+        idle_window_ms: idle_window.as_millis() as u64,
     };
     drop(clients);
+    server.shutdown();
+    result
+}
+
+/// Batch-signing latency under an accept storm: the reactor's
+/// two-priority lanes must keep `issue_batch` flowing (high lane) while
+/// a flood of fresh connections drains through the low lane.
+pub struct ConnectionStorm {
+    /// Idle keep-alive connections parked in the reactor throughout.
+    pub parked_connections: usize,
+    /// Fresh connections opened (and served once) during the storm phase.
+    pub storm_connections: usize,
+    /// Batches timed per phase.
+    pub batches: usize,
+    /// Requests per batch.
+    pub batch_size: usize,
+    /// p99 batch round-trip with the listener quiet, ns.
+    pub calm_batch_p99_ns: u64,
+    /// p99 batch round-trip while the storm hammers the listener, ns.
+    pub storm_batch_p99_ns: u64,
+    /// Storm requests that failed — every accepted connection must be
+    /// served, so anything but 0 is a dropped request.
+    pub storm_errors: usize,
+}
+
+fn p99_ns(latencies: &mut [u64]) -> u64 {
+    latencies.sort_unstable();
+    latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)]
+}
+
+/// Park `parked` keep-alive connections, then time `batches` batch
+/// issuances twice — once calm, once while storm threads keep opening,
+/// using, and dropping fresh connections.
+pub fn connection_storm_probe(parked: usize, batches: usize, batch_size: usize) -> ConnectionStorm {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    // Budget: 2 fds per parked conn + a few storm threads' transients.
+    let parked = match raise_fd_limit().or_else(open_file_soft_limit) {
+        Some(limit) => parked.min(limit.saturating_sub(256) / 2).max(1),
+        None => parked,
+    };
+    let service = TokenService::new(
+        Keypair::from_seed(15_500),
+        RuleBook::permissive(),
+        TokenServiceConfig::default(),
+    );
+    let server = HttpServer::start(Arc::new(FrontEnd::new(service, "bench-owner", 0)))
+        .expect("loopback server");
+    let addr = server.addr();
+    let held: Vec<HttpClient> = (0..parked).map(|_| HttpClient::connect(addr)).collect();
+    for client in &held {
+        client.ping().expect("park connection");
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.parked_connections() < parked && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let batch_client = HttpClient::connect(addr);
+    let contract = Address::from_low_u64(0xC0);
+    let run_batches = |base: u64| -> Vec<u64> {
+        (0..batches as u64)
+            .map(|b| {
+                let requests: Vec<TokenRequest> = (0..batch_size as u64)
+                    .map(|i| {
+                        TokenRequest::method_token(
+                            contract,
+                            Address::from_low_u64(base + b * 1_000 + i),
+                            BenchTarget::PING_SIG,
+                        )
+                    })
+                    .collect();
+                let start = Instant::now();
+                let results = batch_client.issue_batch(&requests).expect("batch envelope");
+                let elapsed = start.elapsed().as_nanos() as u64;
+                for result in results {
+                    result.expect("batch item minted");
+                }
+                elapsed
+            })
+            .collect()
+    };
+
+    let mut calm = run_batches(40_000);
+
+    // Storm: a few threads churning fresh connections until the timed
+    // batches finish.
+    let stop = Arc::new(AtomicBool::new(false));
+    let opened = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let stormers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = stop.clone();
+            let opened = opened.clone();
+            let errors = errors.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    opened.fetch_add(1, Ordering::Relaxed);
+                    if HttpClient::connect(addr).ping().is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut storm = run_batches(80_000);
+    stop.store(true, Ordering::Relaxed);
+    for handle in stormers {
+        handle.join().expect("storm thread");
+    }
+
+    let result = ConnectionStorm {
+        parked_connections: parked,
+        storm_connections: opened.load(Ordering::Relaxed),
+        batches,
+        batch_size,
+        calm_batch_p99_ns: p99_ns(&mut calm),
+        storm_batch_p99_ns: p99_ns(&mut storm),
+        storm_errors: errors.load(Ordering::Relaxed),
+    };
+    drop(held);
     server.shutdown();
     result
 }
@@ -810,13 +1031,54 @@ pub fn scaling_to_json(batch: usize, points: &[ScalePoint]) -> Json {
 /// Render the connection probe as JSON.
 pub fn connection_scaling_to_json(probe: &ConnectionScaling) -> Json {
     Json::Obj(vec![
+        (
+            "target_connections".into(),
+            Json::Int(probe.target_connections as i128),
+        ),
         ("connections".into(), Json::Int(probe.connections as i128)),
+        (
+            "parked_connections".into(),
+            Json::Int(probe.parked_connections as i128),
+        ),
         ("pool_workers".into(), Json::Int(probe.pool_workers as i128)),
         ("os_threads".into(), Json::Int(probe.os_threads as i128)),
         (
             "spawn_model_threads".into(),
             Json::Int(probe.spawn_model_threads as i128),
         ),
+        (
+            "idle_cpu_pct_x100".into(),
+            Json::Int(probe.idle_cpu_pct_x100 as i128),
+        ),
+        (
+            "idle_window_ms".into(),
+            Json::Int(probe.idle_window_ms as i128),
+        ),
+    ])
+}
+
+/// Render the accept-storm probe as JSON.
+pub fn connection_storm_to_json(probe: &ConnectionStorm) -> Json {
+    Json::Obj(vec![
+        (
+            "parked_connections".into(),
+            Json::Int(probe.parked_connections as i128),
+        ),
+        (
+            "storm_connections".into(),
+            Json::Int(probe.storm_connections as i128),
+        ),
+        ("batches".into(), Json::Int(probe.batches as i128)),
+        ("batch_size".into(), Json::Int(probe.batch_size as i128)),
+        (
+            "calm_batch_p99_ns".into(),
+            Json::Int(probe.calm_batch_p99_ns as i128),
+        ),
+        (
+            "storm_batch_p99_ns".into(),
+            Json::Int(probe.storm_batch_p99_ns as i128),
+        ),
+        ("storm_errors".into(), Json::Int(probe.storm_errors as i128)),
     ])
 }
 
@@ -1316,8 +1578,10 @@ mod tests {
 
     #[test]
     fn connection_probe_counts_threads_not_connections() {
-        let probe = connection_scaling_probe(32);
+        let probe = connection_scaling_probe_with_window(32, Duration::from_millis(100));
+        assert_eq!(probe.target_connections, 32);
         assert_eq!(probe.connections, 32);
+        assert_eq!(probe.parked_connections, 32, "every idle conn must park");
         assert_eq!(probe.spawn_model_threads, 33);
         // The pooled server's thread cost must not scale with the
         // connection count (32 idle connections, a handful of workers).
@@ -1327,7 +1591,21 @@ mod tests {
             probe.pool_workers,
             probe.connections
         );
+        assert!(probe.idle_cpu_pct_x100 >= 0, "CPU accounting unreadable");
         let json = connection_scaling_to_json(&probe);
         assert!(json.get("os_threads").is_some());
+        assert!(json.get("idle_cpu_pct_x100").is_some());
+    }
+
+    #[test]
+    fn storm_probe_serves_every_request() {
+        let probe = connection_storm_probe(32, 4, 4);
+        assert_eq!(probe.parked_connections, 32);
+        assert!(probe.storm_connections > 0, "storm never stormed");
+        assert_eq!(probe.storm_errors, 0, "storm requests dropped");
+        assert!(probe.calm_batch_p99_ns > 0);
+        assert!(probe.storm_batch_p99_ns > 0);
+        let json = connection_storm_to_json(&probe);
+        assert!(json.get("storm_batch_p99_ns").is_some());
     }
 }

@@ -75,9 +75,10 @@ use smacs_primitives::Address;
 
 use crate::api::{CounterCommitBody, CounterStateBody, CounterVoteBody};
 use crate::discovery::ContractMetadata;
+use crate::endpoint::Endpoint;
 use crate::fault::FaultPlan;
 use crate::front::{EndpointScope, FrontEnd};
-use crate::http::{HttpClient, HttpClientConfig, HttpServer, HttpServerConfig};
+use crate::http::{HttpClient, HttpClientConfig, HttpServerConfig};
 use crate::replica::{CommitReply, CounterCluster, CounterNode, CounterTransport, LocalTransport};
 use crate::rules::RuleBook;
 use crate::service::{ShardedRules, TokenService, TokenServiceConfig};
@@ -160,16 +161,16 @@ fn vote_client_config() -> HttpClientConfig {
 /// Pool sizing for the dedicated vote endpoints: vote handling is a
 /// mutex-guarded counter bump plus a WAL append — two workers keep a
 /// coordinator and a recovering peer served without stealing cores from
-/// issuance. [`EndpointScope::Vote`] is what admits the `counter_*` op
-/// family: the client-facing listeners stay [`EndpointScope::Public`]
-/// and refuse those ops, so outsiders cannot burn index ranges.
+/// issuance. The [`EndpointScope::Vote`] these bind under is what admits
+/// the `counter_*` op family: the client-facing listeners stay
+/// [`EndpointScope::Public`] and refuse those ops, so outsiders cannot
+/// burn index ranges. (The scope itself is pinned by [`Endpoint::bind`],
+/// not this config.)
 fn vote_server_config() -> HttpServerConfig {
-    HttpServerConfig {
-        workers: 2,
-        queue_capacity: 64,
-        scope: EndpointScope::Vote,
-        ..HttpServerConfig::default()
-    }
+    HttpServerConfig::builder()
+        .workers(2)
+        .queue_capacity(64)
+        .build()
 }
 
 /// The wire [`CounterTransport`]: speaks the `counter_*` op family to one
@@ -253,7 +254,7 @@ impl CounterTransport for WireCounterTransport {
 struct Replica {
     front: Arc<FrontEnd>,
     /// `None` while killed.
-    server: Option<HttpServer>,
+    server: Option<Endpoint>,
     /// The address this replica serves on — stable across kill/recover.
     addr: SocketAddr,
     faults: Arc<FaultPlan>,
@@ -261,7 +262,7 @@ struct Replica {
     node: Arc<CounterNode>,
     /// Wire mode: the dedicated vote endpoint (`None` while killed, and
     /// always `None` in in-process mode).
-    counter_server: Option<HttpServer>,
+    counter_server: Option<Endpoint>,
     /// Wire mode: the vote endpoint's address — stable across
     /// kill/recover.
     counter_addr: Option<SocketAddr>,
@@ -376,14 +377,17 @@ impl ReplicaSet {
                 .with_counter(nodes[id].clone()),
             );
             let counter_server = match config.counter_mode {
-                CounterMode::Wire => {
-                    Some(HttpServer::start_with(front.clone(), vote_server_config())?)
-                }
+                CounterMode::Wire => Some(Endpoint::bind(
+                    front.clone(),
+                    EndpointScope::Vote,
+                    vote_server_config(),
+                )?),
                 CounterMode::InProcess => None,
             };
-            let counter_addr = counter_server.as_ref().map(HttpServer::addr);
-            let server = HttpServer::start_with(
+            let counter_addr = counter_server.as_ref().map(Endpoint::addr);
+            let server = Endpoint::bind(
                 front.clone(),
+                EndpointScope::Public,
                 HttpServerConfig {
                     faults: Some(faults[id].clone()),
                     ..config.http.clone()
@@ -555,8 +559,9 @@ impl ReplicaSet {
         replica.node.adopt(frontier)?;
 
         if let (None, Some(addr)) = (&replica.counter_server, replica.counter_addr) {
-            let server = Self::rebind(
+            let server = Endpoint::bind_retry(
                 replica.front.clone(),
+                EndpointScope::Vote,
                 HttpServerConfig {
                     bind: Some(addr),
                     ..vote_server_config()
@@ -565,8 +570,9 @@ impl ReplicaSet {
             self.replicas[id].counter_server = Some(server);
         }
         if self.replicas[id].server.is_none() {
-            let server = Self::rebind(
+            let server = Endpoint::bind_retry(
                 self.replicas[id].front.clone(),
+                EndpointScope::Public,
                 HttpServerConfig {
                     bind: Some(self.replicas[id].addr),
                     faults: Some(self.replicas[id].faults.clone()),
@@ -576,21 +582,6 @@ impl ReplicaSet {
             self.replicas[id].server = Some(server);
         }
         Ok(())
-    }
-
-    /// Bind a server to its old (just-freed) address, retrying briefly.
-    fn rebind(front: Arc<FrontEnd>, config: HttpServerConfig) -> std::io::Result<HttpServer> {
-        let mut last_err = None;
-        for _ in 0..50 {
-            match HttpServer::start_with(front.clone(), config.clone()) {
-                Ok(server) => return Ok(server),
-                Err(e) => {
-                    last_err = Some(e);
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-            }
-        }
-        Err(last_err.expect("retry loop ran"))
     }
 
     /// Crash only replica `id`'s *counter node* — the replica keeps

@@ -1,0 +1,172 @@
+//! One listener API for every SMACS endpoint.
+//!
+//! The Token Service binds the same machinery twice: the client-facing
+//! listener ([`EndpointScope::Public`]) and, in wire-counter mode, one
+//! dedicated vote endpoint per replica ([`EndpointScope::Vote`]). Both
+//! used to be brought up by hand-rolled `HttpServer::start_with` calls
+//! scattered through `cluster.rs`, each re-deriving the scope, fault
+//! plan, and rebind-retry policy. [`Endpoint`] is the single bring-up
+//! path: callers say *what* they are binding (front end + scope + config)
+//! and every endpoint rides the same epoll reactor, worker-pool lanes,
+//! and [`crate::fault::FaultPlan`] injection points underneath.
+//!
+//! The scope passed to [`Endpoint::bind`] is authoritative — it
+//! overwrites whatever the config said, so a vote endpoint cannot be
+//! accidentally downgraded to `Public` (or vice versa) by a stale config
+//! literal.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::front::{EndpointScope, FrontEnd};
+use crate::http::{HttpServer, HttpServerConfig};
+
+/// A bound, serving listener: an [`HttpServer`] plus the scope it was
+/// brought up under. Dropping an `Endpoint` shuts the server down (see
+/// [`HttpServer`]'s drop semantics); prefer [`Endpoint::shutdown`] for a
+/// deterministic join.
+pub struct Endpoint {
+    server: HttpServer,
+    scope: EndpointScope,
+}
+
+impl Endpoint {
+    /// Bind `front` on `config.bind` (or an ephemeral port) under
+    /// `scope`. The scope parameter overrides `config.scope`.
+    pub fn bind(
+        front: Arc<FrontEnd>,
+        scope: EndpointScope,
+        config: HttpServerConfig,
+    ) -> std::io::Result<Endpoint> {
+        let server = HttpServer::start_with(front, HttpServerConfig { scope, ..config })?;
+        Ok(Endpoint { server, scope })
+    }
+
+    /// [`Endpoint::bind`], retrying briefly on failure — the recovery
+    /// path rebinds an address the kernel may be slow to release after
+    /// the previous listener closed.
+    pub fn bind_retry(
+        front: Arc<FrontEnd>,
+        scope: EndpointScope,
+        config: HttpServerConfig,
+    ) -> std::io::Result<Endpoint> {
+        let mut last_err = None;
+        for _ in 0..50 {
+            match Endpoint::bind(front.clone(), scope, config.clone()) {
+                Ok(endpoint) => return Ok(endpoint),
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        Err(last_err.expect("retry loop ran"))
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The service URL clients dial.
+    pub fn url(&self) -> String {
+        self.server.url()
+    }
+
+    /// The scope this endpoint serves under.
+    pub fn scope(&self) -> EndpointScope {
+        self.scope
+    }
+
+    /// The underlying server (diagnostics: parked/open connection
+    /// counts).
+    pub fn server(&self) -> &HttpServer {
+        &self.server
+    }
+
+    /// Deterministic shutdown: close parked connections, drain in-flight
+    /// requests, join the reactor thread.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ErrorCode, TsApi};
+    use crate::http::HttpClient;
+    use crate::rules::RuleBook;
+    use crate::service::{TokenService, TokenServiceConfig};
+    use smacs_crypto::Keypair;
+
+    fn front() -> Arc<FrontEnd> {
+        let service = TokenService::new(
+            Keypair::from_seed(77),
+            RuleBook::permissive(),
+            TokenServiceConfig::default(),
+        );
+        Arc::new(
+            FrontEnd::new(service, "secret", 1_700_000_000)
+                .with_counter(crate::replica::CounterNode::new()),
+        )
+    }
+
+    #[test]
+    fn bind_scope_overrides_the_config_scope() {
+        // A stale Public in the config literal must not leak into a vote
+        // endpoint: the bind-time scope wins.
+        let endpoint = Endpoint::bind(
+            front(),
+            EndpointScope::Vote,
+            HttpServerConfig::builder()
+                .workers(1)
+                .scope(EndpointScope::Public)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(endpoint.scope(), EndpointScope::Vote);
+        // Vote scope admits counter ops…
+        let client = HttpClient::connect(endpoint.addr());
+        assert!(client.call_detailed("counter_prepare", None, true).is_ok());
+        endpoint.shutdown();
+
+        // …and Public refuses them.
+        let endpoint = Endpoint::bind(
+            front(),
+            EndpointScope::Public,
+            HttpServerConfig::builder().workers(1).build(),
+        )
+        .unwrap();
+        let client = HttpClient::connect(endpoint.addr());
+        let err = client
+            .call_detailed("counter_prepare", None, true)
+            .unwrap_err()
+            .into_api();
+        assert_eq!(err.code, ErrorCode::CounterUnavailable);
+        client.ping().unwrap();
+        endpoint.shutdown();
+    }
+
+    #[test]
+    fn bind_retry_recovers_a_just_freed_address() {
+        let first = Endpoint::bind(
+            front(),
+            EndpointScope::Public,
+            HttpServerConfig::builder().workers(1).build(),
+        )
+        .unwrap();
+        let addr = first.addr();
+        first.shutdown();
+        let again = Endpoint::bind_retry(
+            front(),
+            EndpointScope::Public,
+            HttpServerConfig::builder().workers(1).bind(addr).build(),
+        )
+        .unwrap();
+        assert_eq!(again.addr(), addr);
+        HttpClient::connect(again.addr()).ping().unwrap();
+        again.shutdown();
+    }
+}

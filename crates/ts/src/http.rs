@@ -4,23 +4,35 @@
 //!
 //! # Threading model
 //!
-//! The server runs a **fixed worker pool** ([`smacs_primitives::pool`])
-//! instead of a thread per connection, so concurrent keep-alive clients
-//! cost `O(workers)` threads rather than `O(connections)`:
+//! The server is **readiness-driven**: one reactor thread
+//! ([`crate::reactor`], epoll via the in-repo `libc` shim) multiplexes
+//! the accept listener and *every* parked keep-alive socket, and a
+//! **fixed worker pool** ([`smacs_primitives::pool`]) does all the actual
+//! serving — so concurrent keep-alive clients cost `O(workers)` threads
+//! and an *idle* connection costs zero CPU (one registered fd, no sweep):
 //!
-//! - the **accept loop** (one thread) blocks in `accept()` — no polling
-//!   sleep — and submits each new connection to the pool's bounded job
-//!   queue; when the queue is full it answers a fast `503` with a v2
-//!   `internal` error instead of growing without bound;
+//! - the **reactor** (one thread) blocks in `epoll_wait` until a parked
+//!   connection has bytes (or closed) or the listener has a pending
+//!   accept burst. Readable connections are dispatched to the pool's
+//!   **high-priority lane**; the accept burst becomes one **low-priority
+//!   lane** drain job — under a connection storm, signing and request
+//!   serving always cut ahead of new accepts, so `issue_batch` latency
+//!   holds. A full high lane keeps the ready connection in the reactor's
+//!   retry backlog (the bytes wait in the socket; nothing is dropped).
 //! - **pool workers** serve a connection's requests back-to-back while
 //!   data keeps arriving (a short [`HttpServerConfig::keepalive_grace`]
-//!   covers the client's turnaround), then *park* the idle connection and
-//!   move on — a worker is only ever occupied by a connection that is
-//!   actually talking;
-//! - the **poller** (one thread) sweeps parked connections with
-//!   non-blocking peeks every [`HttpServerConfig::poll_interval`],
-//!   resubmitting the ones with pending data and reaping the ones that
-//!   closed or outlived [`HttpServerConfig::idle_timeout`].
+//!   covers the client's turnaround), then *park* the idle connection in
+//!   the reactor and move on — a worker is only ever occupied by a
+//!   connection that is actually talking. The **lifecycle of a parked
+//!   connection** is: park (epoll-register, one-shot) → readable event →
+//!   high-lane job → served back-to-back → re-park; or reaped on peer
+//!   close / [`HttpServerConfig::idle_timeout`] expiry, both detected by
+//!   the same readiness event, never by polling.
+//! - the **accept-drain job** (low lane) accepts until the backlog is
+//!   empty, parking each new connection so its first request arrives as
+//!   a readiness event; beyond [`HttpServerConfig::max_connections`] it
+//!   answers a fast `503` with a v2 `internal` error instead of growing
+//!   without bound, then re-arms the listener registration.
 //!
 //! Batch issuance fans its signing across the same pool (see
 //! [`crate::service::TokenService::issue_batch`]); pass a shared pool via
@@ -28,8 +40,10 @@
 //! workers — the fan-out's caller-participation makes that safe even when
 //! every worker is busy.
 //!
-//! [`HttpServer::shutdown`] stops accepting, closes parked (idle)
-//! connections, lets in-flight requests finish, and joins every thread.
+//! [`HttpServer::shutdown`] is deterministic: it wakes the reactor
+//! through its eventfd (no self-connect hack), which closes the listener
+//! and every parked connection and exits; in-flight requests finish and
+//! their workers observe the flag; every thread is joined.
 //!
 //! [`HttpClient`] is the wire implementation of [`TsApi`]: protocol-v2
 //! envelopes over one persistent connection. Before reusing a pooled
@@ -42,12 +56,14 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use smacs_primitives::json::{self, FromJson, Json, ToJson};
+use smacs_primitives::pool::Priority;
 use smacs_primitives::{Address, WorkerPool};
 use smacs_token::{Token, TokenRequest};
 
@@ -58,6 +74,7 @@ use crate::api::{
 use crate::discovery::ContractMetadata;
 use crate::fault::FaultPlan;
 use crate::front::{decode_token_hex, EndpointScope, FrontEnd};
+use crate::reactor::{Reactor, ReactorClient};
 use crate::rules::RuleBook;
 
 /// Request bodies above this size are refused (HTTP 413). Generous: a
@@ -73,8 +90,9 @@ const TURN_QUOTA: usize = 128;
 /// (bounds how long a worker can be pinned by one slow client).
 const REQUEST_IO_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// The body answered when the accept queue is full: a protocol-v2 error
-/// envelope a [`HttpClient`] decodes into [`ErrorCode::Internal`].
+/// The body answered when [`HttpServerConfig::max_connections`] is
+/// reached: a protocol-v2 error envelope a [`HttpClient`] decodes into
+/// [`ErrorCode::Internal`].
 const OVERLOADED_BODY: &str =
     r#"{"v":2,"ok":false,"error":{"code":"internal","message":"server overloaded"}}"#;
 
@@ -84,6 +102,9 @@ const FAULTED_BODY: &str =
     r#"{"v":2,"ok":false,"error":{"code":"internal","message":"injected service fault"}}"#;
 
 /// Tuning knobs for [`HttpServer::start_with`].
+///
+/// Prefer [`HttpServerConfig::builder`]; the struct-literal form (with
+/// `..Default::default()`) remains supported for poller-era callers.
 #[derive(Clone)]
 pub struct HttpServerConfig {
     /// Connection/signing worker threads. Defaults to
@@ -91,18 +112,22 @@ pub struct HttpServerConfig {
     /// socket I/O, so running more workers than cores keeps the CPU busy.
     /// Ignored when [`HttpServerConfig::pool`] supplies a pool.
     pub workers: usize,
-    /// Bound on the pool's pending-job queue (the accept queue). Overflow
-    /// is answered with a fast 503 instead of unbounded memory growth.
+    /// Bound on the pool's **high-priority lane** (request-serving and
+    /// signing jobs). When full, ready connections wait in the reactor's
+    /// retry backlog — their bytes sit in the socket; nothing is lost.
     /// Ignored when [`HttpServerConfig::pool`] supplies a pool.
     pub queue_capacity: usize,
-    /// How often the poller sweeps parked connections for pending data.
+    /// **Ignored.** The poller-era sweep cadence; the reactor is
+    /// readiness-driven (epoll) and never sweeps. Kept so poller-era
+    /// struct literals keep compiling unchanged.
     pub poll_interval: Duration,
     /// How long a worker waits for the next pipelined request before
     /// parking a connection. Loopback turnarounds are microseconds, so a
     /// short grace keeps hot connections on their worker.
     pub keepalive_grace: Duration,
     /// Parked connections idle longer than this are closed (`None`: kept
-    /// forever, the pre-pool behaviour).
+    /// forever). Enforced by the reactor on a coarse timer (a quarter of
+    /// the limit), not per-connection polling.
     pub idle_timeout: Option<Duration>,
     /// Share an existing pool (e.g. the one the wrapped `TokenService`
     /// fans batch signing across) instead of creating a server-owned one.
@@ -121,6 +146,16 @@ pub struct HttpServerConfig {
     /// ([`crate::cluster::ReplicaSet`]'s counter listeners) runs with
     /// [`EndpointScope::Vote`].
     pub scope: EndpointScope,
+    /// Ceiling on concurrently open (parked + in-flight) connections.
+    /// Beyond it, new accepts are answered with a fast 503 and closed —
+    /// bounding fds and memory instead of growing without limit.
+    pub max_connections: usize,
+    /// Kernel listen backlog. A connection storm queues here (absorbed at
+    /// kernel cost, drained at low priority) instead of seeing resets.
+    pub accept_backlog: usize,
+    /// Bound on the pool's **low-priority lane** (accept-drain jobs).
+    /// Ignored when [`HttpServerConfig::pool`] supplies a pool.
+    pub accept_queue_capacity: usize,
 }
 
 impl Default for HttpServerConfig {
@@ -138,7 +173,122 @@ impl Default for HttpServerConfig {
             bind: None,
             faults: None,
             scope: EndpointScope::Public,
+            max_connections: 65_536,
+            accept_backlog: 1_024,
+            accept_queue_capacity: 64,
         }
+    }
+}
+
+impl HttpServerConfig {
+    /// Fluent construction with reactor-native knobs:
+    /// `HttpServerConfig::builder().workers(4).max_connections(10_000).build()`.
+    pub fn builder() -> HttpServerConfigBuilder {
+        HttpServerConfigBuilder {
+            config: HttpServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`HttpServerConfig`] — see the field docs there.
+#[derive(Clone)]
+pub struct HttpServerConfigBuilder {
+    config: HttpServerConfig,
+}
+
+impl HttpServerConfigBuilder {
+    /// Worker threads (ignored when a shared [`Self::pool`] is supplied).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// High-priority (request/signing) lane capacity.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    /// Low-priority (accept-drain) lane capacity.
+    pub fn accept_queue_capacity(mut self, n: usize) -> Self {
+        self.config.accept_queue_capacity = n;
+        self
+    }
+
+    /// Ceiling on concurrently open connections (503 beyond it).
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.config.max_connections = n;
+        self
+    }
+
+    /// Kernel listen backlog depth.
+    pub fn accept_backlog(mut self, n: usize) -> Self {
+        self.config.accept_backlog = n;
+        self
+    }
+
+    /// Grace a worker waits for the next pipelined request before parking.
+    pub fn keepalive_grace(mut self, grace: Duration) -> Self {
+        self.config.keepalive_grace = grace;
+        self
+    }
+
+    /// Close parked connections idle longer than `limit`.
+    pub fn idle_timeout(mut self, limit: Duration) -> Self {
+        self.config.idle_timeout = Some(limit);
+        self
+    }
+
+    /// Serve connections on an existing shared pool.
+    pub fn pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.config.pool = Some(pool);
+        self
+    }
+
+    /// Bind to this exact address.
+    pub fn bind(mut self, addr: SocketAddr) -> Self {
+        self.config.bind = Some(addr);
+        self
+    }
+
+    /// Arm transport/service fault injection.
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
+    /// Which op families this listener dispatches.
+    pub fn scope(mut self, scope: EndpointScope) -> Self {
+        self.config.scope = scope;
+        self
+    }
+
+    /// Finish into an [`HttpServerConfig`].
+    pub fn build(self) -> HttpServerConfig {
+        self.config
+    }
+}
+
+/// Decrements the server's open-connection count when the connection
+/// drops (however it drops: served close, reaped idle, shutdown).
+struct ConnCount {
+    open: Arc<AtomicUsize>,
+    total_after_increment: usize,
+}
+
+impl ConnCount {
+    fn track(open: Arc<AtomicUsize>) -> ConnCount {
+        let total_after_increment = open.fetch_add(1, Ordering::SeqCst) + 1;
+        ConnCount {
+            open,
+            total_after_increment,
+        }
+    }
+}
+
+impl Drop for ConnCount {
+    fn drop(&mut self) {
+        self.open.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -147,14 +297,16 @@ impl Default for HttpServerConfig {
 /// bytes travel with the connection when it parks.
 struct Conn {
     reader: BufReader<TcpStream>,
+    _count: ConnCount,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+    fn new(stream: TcpStream, count: ConnCount) -> std::io::Result<Conn> {
         stream.set_nodelay(true)?;
         stream.set_write_timeout(Some(REQUEST_IO_TIMEOUT))?;
         Ok(Conn {
             reader: BufReader::new(stream),
+            _count: count,
         })
     }
 
@@ -163,24 +315,71 @@ impl Conn {
     }
 }
 
-/// A parked (idle, kept-alive) connection awaiting its next request.
-struct Parked {
-    conn: Conn,
-    since: Instant,
+impl AsRawFd for Conn {
+    fn as_raw_fd(&self) -> RawFd {
+        self.reader.get_ref().as_raw_fd()
+    }
 }
 
-/// State shared by the accept loop, the poller, and connection jobs.
+/// State shared by the reactor thread and connection jobs.
 struct ServerShared {
     front: Arc<FrontEnd>,
     pool: Arc<WorkerPool>,
-    parked: Mutex<Vec<Parked>>,
-    parked_changed: Condvar,
+    reactor: Arc<Reactor<Conn>>,
     shutdown: AtomicBool,
     keepalive_grace: Duration,
-    poll_interval: Duration,
-    idle_timeout: Option<Duration>,
     faults: Option<Arc<FaultPlan>>,
     scope: EndpointScope,
+    max_connections: usize,
+    open_connections: Arc<AtomicUsize>,
+    /// Self-reference so reactor callbacks can hand `Arc` clones to jobs.
+    me: Weak<ServerShared>,
+}
+
+impl ReactorClient<Conn> for ServerShared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A parked connection became readable (or closed): dispatch a serve
+    /// turn on the pool's high-priority lane. On a full lane the
+    /// connection goes back to the reactor's retry backlog — data waits
+    /// in the socket, no request is dropped.
+    fn on_ready(&self, conn: Conn) -> Result<(), Conn> {
+        if self.shutting_down() {
+            return Ok(()); // drop: shutdown closes keep-alive connections
+        }
+        let Some(me) = self.me.upgrade() else {
+            return Ok(());
+        };
+        // The connection rides in a shared slot so a refused submission
+        // can reclaim it (a consumed closure can't give it back).
+        let slot = Arc::new(Mutex::new(Some(conn)));
+        let job_slot = slot.clone();
+        let submitted = self.pool.try_execute(move || {
+            let conn = job_slot.lock().expect("conn slot").take();
+            if let Some(conn) = conn {
+                serve_turn(&me, conn);
+            }
+        });
+        match submitted {
+            Ok(()) => Ok(()),
+            Err(_) => match slot.lock().expect("conn slot").take() {
+                Some(conn) => Err(conn),
+                None => Ok(()),
+            },
+        }
+    }
+
+    /// The listener has a pending burst: queue one low-priority drain job.
+    fn on_accept_ready(&self) -> bool {
+        let Some(me) = self.me.upgrade() else {
+            return true;
+        };
+        self.pool
+            .try_execute_prio(Priority::Low, move || accept_drain(&me))
+            .is_ok()
+    }
 }
 
 /// A running HTTP front-end server.
@@ -188,8 +387,7 @@ pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     owns_pool: bool,
-    accept_handle: Option<JoinHandle<()>>,
-    poller_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
 }
 
 impl HttpServer {
@@ -199,7 +397,7 @@ impl HttpServer {
         HttpServer::start_with(front, HttpServerConfig::default())
     }
 
-    /// Start serving `front` with explicit pool/queue/poll tuning.
+    /// Start serving `front` with explicit reactor/pool tuning.
     pub fn start_with(
         front: Arc<FrontEnd>,
         config: HttpServerConfig,
@@ -209,39 +407,48 @@ impl HttpServer {
             None => TcpListener::bind("127.0.0.1:0")?,
         };
         let addr = listener.local_addr()?;
+        // Deepen the kernel accept backlog past std's default so a
+        // connection storm queues (drained at low priority) instead of
+        // seeing resets. Re-calling listen(2) on a listening socket only
+        // updates the backlog.
+        unsafe {
+            libc::listen(
+                listener.as_raw_fd(),
+                config.accept_backlog.min(i32::MAX as usize) as libc::c_int,
+            );
+        }
         let owns_pool = config.pool.is_none();
-        let pool = config
-            .pool
-            .unwrap_or_else(|| WorkerPool::new(config.workers, config.queue_capacity));
-        let shared = Arc::new(ServerShared {
+        let pool = config.pool.unwrap_or_else(|| {
+            WorkerPool::with_lanes(
+                config.workers,
+                config.queue_capacity,
+                config.accept_queue_capacity,
+            )
+        });
+        let reactor = Arc::new(Reactor::new(listener, config.idle_timeout)?);
+        let shared = Arc::new_cyclic(|me| ServerShared {
             front,
             pool,
-            parked: Mutex::new(Vec::new()),
-            parked_changed: Condvar::new(),
+            reactor,
             shutdown: AtomicBool::new(false),
             keepalive_grace: config.keepalive_grace,
-            poll_interval: config.poll_interval,
-            idle_timeout: config.idle_timeout,
             faults: config.faults,
             scope: config.scope,
+            max_connections: config.max_connections.max(1),
+            open_connections: Arc::new(AtomicUsize::new(0)),
+            me: me.clone(),
         });
 
-        let accept_shared = shared.clone();
-        let accept_handle = std::thread::Builder::new()
-            .name("smacs-http-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
-
-        let poller_shared = shared.clone();
-        let poller_handle = std::thread::Builder::new()
-            .name("smacs-http-poller".into())
-            .spawn(move || poller_loop(&poller_shared))?;
+        let run_shared = shared.clone();
+        let reactor_handle = std::thread::Builder::new()
+            .name("smacs-http-reactor".into())
+            .spawn(move || run_shared.reactor.run(&*run_shared))?;
 
         Ok(HttpServer {
             addr,
             shared,
             owns_pool,
-            accept_handle: Some(accept_handle),
-            poller_handle: Some(poller_handle),
+            reactor_handle: Some(reactor_handle),
         })
     }
 
@@ -263,19 +470,21 @@ impl HttpServer {
 
     /// Connections currently parked idle (diagnostics for probes/tests).
     pub fn parked_connections(&self) -> usize {
-        self.shared.parked.lock().expect("parked lock").len()
+        self.shared.reactor.parked_len()
+    }
+
+    /// Connections currently open — parked plus in-flight (diagnostics).
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::SeqCst)
     }
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept call; a failed connect means the listener is
-        // already gone, which is fine.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        self.shared.parked_changed.notify_all();
-        if let Some(handle) = self.poller_handle.take() {
+        // Wake the (possibly indefinitely blocked) epoll wait through the
+        // reactor's eventfd; it closes the listener and every parked
+        // connection, then exits.
+        self.shared.reactor.wake();
+        if let Some(handle) = self.reactor_handle.take() {
             let _ = handle.join();
         }
         if self.owns_pool {
@@ -286,9 +495,10 @@ impl HttpServer {
         }
     }
 
-    /// Graceful shutdown: stop accepting, close parked (idle) keep-alive
-    /// connections, finish in-flight requests, and join the accept loop,
-    /// the poller, and (when server-owned) the worker pool.
+    /// Graceful shutdown, deterministic: wake the reactor (eventfd), which
+    /// closes the listener and parked (idle) keep-alive connections and
+    /// exits; finish in-flight requests; join the reactor thread and
+    /// (when server-owned) the worker pool.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -300,50 +510,43 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+/// One low-priority pool job: drain the kernel accept backlog, parking
+/// each new connection in the reactor (its first request then arrives as
+/// a readiness event), and re-arm the listener registration when empty.
+/// Running at low priority is the storm defence: queued request/signing
+/// jobs always cut ahead of taking on new connections.
+fn accept_drain(shared: &Arc<ServerShared>) {
     loop {
-        match listener.accept() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match shared.reactor.try_accept() {
             Ok((stream, _)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+                let count = ConnCount::track(shared.open_connections.clone());
+                if count.total_after_increment > shared.max_connections {
+                    // Fast, decodable refusal; dropping `count` (with the
+                    // stream) keeps the book balanced.
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(REQUEST_IO_TIMEOUT));
+                    let _ = write_response(&mut stream, 503, true, OVERLOADED_BODY);
+                    continue;
                 }
-                let Ok(conn) = Conn::new(stream) else {
+                let Ok(conn) = Conn::new(stream, count) else {
                     continue;
                 };
-                submit_or_reject(shared, conn);
+                let _ = shared.reactor.park(conn); // failure drops (closes)
             }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Transient accept failure (EMFILE etc.): back off briefly
-                // so a persistent error cannot pin a core in a tight retry
-                // loop.
+                // Listener closed (shutdown) or transient failure (EMFILE
+                // etc.): back off briefly so the level-triggered re-arm
+                // below cannot spin a worker hot on a persistent error.
                 std::thread::sleep(Duration::from_millis(10));
+                break;
             }
         }
     }
-}
-
-/// Submit a connection turn to the pool; on a full queue, answer a fast
-/// 503 and close. The connection rides in a shared slot so it can be
-/// reclaimed for the rejection path (a consumed closure can't give it
-/// back).
-fn submit_or_reject(shared: &Arc<ServerShared>, conn: Conn) {
-    let slot = Arc::new(Mutex::new(Some(conn)));
-    let job_slot = slot.clone();
-    let job_shared = shared.clone();
-    let submitted = shared.pool.try_execute(move || {
-        let conn = job_slot.lock().expect("conn slot").take();
-        if let Some(conn) = conn {
-            serve_turn(&job_shared, conn);
-        }
-    });
-    if submitted.is_err() {
-        if let Some(mut conn) = slot.lock().expect("conn slot").take() {
-            let _ = write_response(conn.stream(), 503, true, OVERLOADED_BODY);
-        }
-    }
+    shared.reactor.rearm_accept();
 }
 
 /// What a readiness probe on an idle connection found.
@@ -354,28 +557,6 @@ enum Readiness {
     Idle,
     /// Peer closed (or the socket errored).
     Closed,
-}
-
-/// Non-blocking peek: is there a request waiting on this connection?
-fn probe_readiness(conn: &mut Conn) -> Readiness {
-    if !conn.reader.buffer().is_empty() {
-        return Readiness::Ready;
-    }
-    let stream = conn.stream();
-    if stream.set_nonblocking(true).is_err() {
-        return Readiness::Closed;
-    }
-    let mut probe = [0u8; 1];
-    let readiness = match stream.peek(&mut probe) {
-        Ok(0) => Readiness::Closed,
-        Ok(_) => Readiness::Ready,
-        Err(e) if e.kind() == ErrorKind::WouldBlock => Readiness::Idle,
-        Err(_) => Readiness::Closed,
-    };
-    if stream.set_nonblocking(false).is_err() {
-        return Readiness::Closed;
-    }
-    readiness
 }
 
 /// Blocking peek bounded by `grace`: catches the next pipelined request
@@ -403,7 +584,7 @@ fn await_data(conn: &mut Conn, grace: Duration) -> Readiness {
 }
 
 /// One pool job: serve requests on `conn` while data keeps arriving, then
-/// park it (or drop it on close/error/shutdown).
+/// park it in the reactor (or drop it on close/error/shutdown).
 fn serve_turn(shared: &Arc<ServerShared>, mut conn: Conn) {
     for _ in 0..TURN_QUOTA {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -422,82 +603,27 @@ fn serve_turn(shared: &Arc<ServerShared>, mut conn: Conn) {
             Ok(true) | Err(_) => return, // explicit close or broken pipe
         }
     }
-    // Quota exhausted: park (the poller re-readies it within one sweep)
-    // so one firehose connection cannot starve everyone else.
-    park(shared, conn);
+    // Quota exhausted: hand the still-hot connection back through the
+    // reactor (re-queued behind whoever else is waiting) so one firehose
+    // client cannot starve everyone else.
+    shared.reactor.hand_back(conn);
 }
 
 fn park(shared: &ServerShared, conn: Conn) {
-    let mut parked = shared.parked.lock().expect("parked lock");
-    parked.push(Parked {
-        conn,
-        since: Instant::now(),
-    });
-    drop(parked);
-    shared.parked_changed.notify_all();
-}
-
-/// The poller: promote parked connections with pending data back onto the
-/// pool, reap closed/expired ones, and otherwise sleep.
-fn poller_loop(shared: &Arc<ServerShared>) {
-    loop {
-        let batch = {
-            let mut parked = shared.parked.lock().expect("parked lock");
-            while parked.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                parked = shared.parked_changed.wait(parked).expect("parked lock");
-            }
-            if shared.shutdown.load(Ordering::SeqCst) {
-                parked.clear(); // close all idle connections
-                return;
-            }
-            std::mem::take(&mut *parked)
-        };
-
-        let mut keep = Vec::with_capacity(batch.len());
-        for mut entry in batch {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                continue; // drop
-            }
-            match probe_readiness(&mut entry.conn) {
-                Readiness::Ready => {
-                    // Hand back to the pool; if the queue is full the
-                    // connection just stays parked for the next sweep —
-                    // its data isn't going anywhere.
-                    let slot = Arc::new(Mutex::new(Some(entry.conn)));
-                    let job_slot = slot.clone();
-                    let job_shared = shared.clone();
-                    let submitted = shared.pool.try_execute(move || {
-                        let conn = job_slot.lock().expect("conn slot").take();
-                        if let Some(conn) = conn {
-                            serve_turn(&job_shared, conn);
-                        }
-                    });
-                    if submitted.is_err() {
-                        if let Some(conn) = slot.lock().expect("conn slot").take() {
-                            keep.push(Parked {
-                                conn,
-                                since: entry.since,
-                            });
-                        }
-                    }
-                }
-                Readiness::Idle => match shared.idle_timeout {
-                    Some(limit) if entry.since.elapsed() >= limit => {} // drop: expired
-                    _ => keep.push(entry),
-                },
-                Readiness::Closed => {} // drop
-            }
-        }
-
-        let any_parked = {
-            let mut parked = shared.parked.lock().expect("parked lock");
-            parked.extend(keep);
-            !parked.is_empty()
-        };
-        if any_parked {
-            std::thread::sleep(shared.poll_interval);
-        }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return; // drop: shutdown closes keep-alive connections
     }
+    // Buffered pipelined bytes never hit the socket again, so epoll would
+    // sleep through them: such a connection must re-queue, not park.
+    // (`await_data` returning `Idle` implies an empty buffer; this guards
+    // the invariant regardless of the call path.)
+    if !conn.reader.buffer().is_empty() {
+        shared.reactor.hand_back(conn);
+        return;
+    }
+    // Registration failure (or post-shutdown park) drops the connection,
+    // closing its socket.
+    let _ = shared.reactor.park(conn);
 }
 
 /// Headers both ends care about: body length (`None` when absent *or*
@@ -1063,6 +1189,7 @@ mod tests {
     use smacs_crypto::Keypair;
     use smacs_primitives::Address;
     use smacs_token::TokenRequest;
+    use std::time::Instant;
 
     fn front() -> Arc<FrontEnd> {
         let service = TokenService::new(
@@ -1137,11 +1264,9 @@ mod tests {
         // instead of surfacing a transport error.
         let server = HttpServer::start_with(
             front(),
-            HttpServerConfig {
-                idle_timeout: Some(Duration::from_millis(40)),
-                poll_interval: Duration::from_millis(5),
-                ..HttpServerConfig::default()
-            },
+            HttpServerConfig::builder()
+                .idle_timeout(Duration::from_millis(40))
+                .build(),
         )
         .unwrap();
         let client = HttpClient::connect(server.addr());
@@ -1155,34 +1280,24 @@ mod tests {
     }
 
     #[test]
-    fn full_accept_queue_answers_fast_503() {
-        // A zero-capacity... capacity-1 pool whose only worker is wedged
-        // by a connection we keep talking on, plus a full queue, forces
-        // the next accept onto the overload path.
+    fn connections_beyond_max_are_refused_with_fast_503() {
+        // Two established keep-alive connections saturate a
+        // max_connections(2) server: the third accept must be answered
+        // with a fast, decodable 503 and closed — the bounded-overload
+        // path — while the established two keep being served.
         let server = HttpServer::start_with(
             front(),
-            HttpServerConfig {
-                workers: 1,
-                queue_capacity: 1,
-                // Park nothing: a huge grace keeps the worker pinned to
-                // the first connection while it stays open.
-                keepalive_grace: Duration::from_secs(5),
-                ..HttpServerConfig::default()
-            },
+            HttpServerConfig::builder().max_connections(2).build(),
         )
         .unwrap();
-        // Wedge the worker: open a connection and say nothing — the
-        // worker sits in its 5 s keep-alive grace.
-        let wedge = TcpStream::connect(server.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(50));
-        // Fill the 1-slot queue.
-        let _queued = TcpStream::connect(server.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(50));
-        // This one must be refused immediately with a decodable internal
-        // error, not left hanging.
-        let client = HttpClient::connect(server.addr());
+        let held: Vec<HttpClient> = (0..2).map(|_| HttpClient::connect(server.addr())).collect();
+        for client in &held {
+            client.ping().unwrap(); // establish (and count) both
+        }
+        assert_eq!(server.open_connections(), 2);
+        let refused = HttpClient::connect(server.addr());
         let start = Instant::now();
-        let err = client.ping().unwrap_err();
+        let err = refused.ping().unwrap_err();
         assert!(
             matches!(err.code, ErrorCode::Internal | ErrorCode::Transport),
             "unexpected overload surface: {err:?}"
@@ -1192,7 +1307,78 @@ mod tests {
             "503 path must be fast, took {:?}",
             start.elapsed()
         );
-        drop(wedge);
+        // The held connections are unaffected by the refusal…
+        for client in &held {
+            client.ping().unwrap();
+        }
+        // …and capacity freed by a closing client is reusable.
+        drop(held);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            if HttpClient::connect(server.addr()).ping().is_ok() {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "freed capacity never became accept-able"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn builder_sets_reactor_native_knobs() {
+        let config = HttpServerConfig::builder()
+            .workers(3)
+            .queue_capacity(7)
+            .accept_queue_capacity(5)
+            .max_connections(11)
+            .accept_backlog(13)
+            .keepalive_grace(Duration::from_millis(2))
+            .idle_timeout(Duration::from_millis(17))
+            .scope(EndpointScope::Vote)
+            .build();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_capacity, 7);
+        assert_eq!(config.accept_queue_capacity, 5);
+        assert_eq!(config.max_connections, 11);
+        assert_eq!(config.accept_backlog, 13);
+        assert_eq!(config.keepalive_grace, Duration::from_millis(2));
+        assert_eq!(config.idle_timeout, Some(Duration::from_millis(17)));
+        assert_eq!(config.scope, EndpointScope::Vote);
+    }
+
+    #[test]
+    fn poller_era_struct_literal_still_serves_with_poll_interval_ignored() {
+        // The poller-era struct-literal configuration path must keep
+        // compiling and serving; `poll_interval` is accepted but ignored
+        // (the reactor never sweeps).
+        let server = HttpServer::start_with(
+            front(),
+            HttpServerConfig {
+                workers: 2,
+                poll_interval: Duration::from_millis(250),
+                ..HttpServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = HttpClient::connect(server.addr());
+        client.ping().unwrap();
+        // A parked connection answers far faster than the configured
+        // 250 ms "sweep" would allow — proof the knob is dead.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.parked_connections() == 0 {
+            assert!(Instant::now() < deadline, "connection never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let start = Instant::now();
+        client.ping().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "parked wake took {:?} — is something sweeping?",
+            start.elapsed()
+        );
         server.shutdown();
     }
 
@@ -1241,14 +1427,9 @@ mod tests {
 
     #[test]
     fn idle_connections_park_instead_of_pinning_workers() {
-        let server = HttpServer::start_with(
-            front(),
-            HttpServerConfig {
-                workers: 2,
-                ..HttpServerConfig::default()
-            },
-        )
-        .unwrap();
+        let server =
+            HttpServer::start_with(front(), HttpServerConfig::builder().workers(2).build())
+                .unwrap();
         // More idle keep-alive clients than workers: all must get served
         // (so none is starved by a pinned worker) and then sit parked.
         let clients: Vec<HttpClient> = (0..6).map(|_| HttpClient::connect(server.addr())).collect();

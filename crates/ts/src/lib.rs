@@ -34,14 +34,16 @@
 //! # Threading model
 //!
 //! The whole TS hot path scales with cores through one shared
-//! [`smacs_primitives::pool::WorkerPool`]:
+//! [`smacs_primitives::pool::WorkerPool`] fed by a readiness-driven
+//! reactor (epoll) — no thread ever sweeps or sleeps per connection:
 //!
 //! ```text
-//! accept loop ──▶ bounded job queue ──▶ worker pool (fixed N threads)
-//!                      │ full? fast 503         │
-//!                      │                        ├─ serve connection turn
-//! poller ◀── parked idle keep-alive conns ◀─────┘   (requests back-to-back,
-//!   └─ readiness sweep, re-submit / reap            then park when idle)
+//! reactor (1 thread, epoll_wait) ──readable conn──▶ high-priority lane ─┐
+//!   │  owns: listener + every parked                                    │
+//!   │  keep-alive conn + eventfd wake     worker pool (fixed N threads)─┤
+//!   ├──listener readable──▶ low-priority lane ──▶ accept drain          │
+//!   │       (signing never queues behind accepts)                       │
+//!   ◀──────── park idle conn back / hand back pipelined conn ───────────┘
 //!
 //! issue_batch ──▶ scope_map fan-out: calling thread + idle workers sign
 //!                 in parallel, results in request order
@@ -52,9 +54,18 @@
 //!
 //! - **Connections** cost `O(workers)` threads, not `O(connections)`: a
 //!   worker serves a connection only while it is talking, then parks it
-//!   for the single poller thread to watch ([`http::HttpServerConfig`]
-//!   exposes `workers`, `queue_capacity`, `poll_interval`,
-//!   `keepalive_grace`, `idle_timeout`, and an optional shared `pool`).
+//!   in the reactor's epoll set, where 50 000+ idle keep-alive
+//!   connections cost zero steady-state CPU — the reactor blocks in
+//!   `epoll_wait` until one becomes readable, closes, or idles out
+//!   ([`http::HttpServerConfig::builder`] exposes `workers`,
+//!   `queue_capacity`, `accept_queue_capacity`, `max_connections`,
+//!   `accept_backlog`, `keepalive_grace`, `idle_timeout`, and an
+//!   optional shared `pool`).
+//! - **Endpoint bring-up is one API**: the public listener and every
+//!   vote endpoint bind through [`endpoint::Endpoint`] /
+//!   [`EndpointScope`](front::EndpointScope), so they ride the same
+//!   reactor machinery and the same [`fault::FaultPlan`] injection
+//!   points.
 //! - **Batch signing** fans the ~90 µs per-token `k·G` across the pool
 //!   with caller participation (no pool-within-pool deadlock), preserving
 //!   per-item partial failure and request-order results; one-time indexes
@@ -155,10 +166,12 @@
 pub mod api;
 pub mod cluster;
 pub mod discovery;
+pub mod endpoint;
 pub mod failover;
 pub mod fault;
 pub mod front;
 pub mod http;
+pub(crate) mod reactor;
 pub mod replica;
 pub mod rules;
 pub mod service;
@@ -169,9 +182,12 @@ pub mod wal;
 pub use api::{ApiError, ErrorCode, InProcessClient, TsApi, MAX_BATCH, PROTOCOL_VERSION};
 pub use cluster::{CounterMode, ReplicaSet, ReplicaSetConfig};
 pub use discovery::ServiceDirectory;
+pub use endpoint::Endpoint;
 pub use failover::{BreakerConfig, FailoverClient, RetryPolicy};
 pub use fault::FaultPlan;
-pub use http::{HttpClient, HttpClientConfig, HttpServer, HttpServerConfig};
+pub use http::{
+    HttpClient, HttpClientConfig, HttpServer, HttpServerConfig, HttpServerConfigBuilder,
+};
 pub use replica::{CommitReply, CounterCluster, CounterNode, CounterTransport, LocalTransport};
 pub use rules::{ListPolicy, RuleBook, RuleViolation, TypeRules};
 pub use service::{IssueError, ShardedRules, TokenService, TokenServiceConfig};

@@ -24,7 +24,10 @@
 //! 8. delayed and duplicated vote deliveries never yield a duplicate
 //!    one-time index;
 //! 9. a torn WAL tail is discarded on recovery and the node re-fetches
-//!    the lost frontier from its peers over the wire.
+//!    the lost frontier from its peers over the wire;
+//! 10. request-side [`smacs_ts::FaultPlan`] faults (drop, delay) still
+//!     fire on connections that were parked in the epoll reactor — the
+//!     readiness rewrite moved the transport, not the injection points.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -473,5 +476,48 @@ fn discovered_directory_survives_kill_and_recovery() {
     // discovered directory still names.
     HttpClient::connect(set.addrs()[0]).ping().unwrap();
     client.issue(&request(72).one_time()).unwrap();
+    set.shutdown();
+}
+
+/// Invariant 10: the reactor rewrite must not strand the fault hooks.
+/// A connection that has been parked in the epoll set and woken by
+/// readiness serves its next request through the same `FaultPlan`
+/// gauntlet as before: an armed drop severs exactly one request, an
+/// armed delay stalls the response.
+#[test]
+fn request_faults_fire_on_connections_parked_in_the_reactor() {
+    let set = set();
+    let client = HttpClient::connect(set.addrs()[0]);
+    // Establish and let the connection park (keep-alive grace is ~1 ms;
+    // the pause guarantees the next request arrives via epoll readiness,
+    // not the same serving turn).
+    client.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Drop: the one-time issue is NOT idempotent, so the client must
+    // surface the severed connection instead of blind-retrying.
+    set.faults(0).drop_requests(1);
+    let err = client.issue(&request(90).one_time()).unwrap_err();
+    assert_eq!(err.code, ErrorCode::Transport, "drop fault did not fire");
+
+    // The client reconnects; park again, then prove delay fires on the
+    // freshly parked connection too.
+    client.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    set.faults(0).delay_responses(Duration::from_millis(200));
+    let start = Instant::now();
+    client.ping().unwrap();
+    assert!(
+        start.elapsed() >= Duration::from_millis(200),
+        "delay fault did not fire: {:?}",
+        start.elapsed()
+    );
+    set.faults(0).clear();
+
+    // With faults cleared the same parked connection serves normally and
+    // the dropped request burned no index.
+    std::thread::sleep(Duration::from_millis(50));
+    let token = client.issue(&request(91).one_time()).unwrap();
+    assert_eq!(token.index, 0, "dropped request must not burn an index");
     set.shutdown();
 }

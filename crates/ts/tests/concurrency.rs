@@ -37,14 +37,8 @@ fn hammering_clients_get_unique_indexes_and_clean_shutdown() {
     const BATCHES: usize = 3;
     const BATCH: usize = 16;
 
-    let server = HttpServer::start_with(
-        front(77),
-        HttpServerConfig {
-            workers: 4,
-            ..HttpServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server =
+        HttpServer::start_with(front(77), HttpServerConfig::builder().workers(4).build()).unwrap();
     let addr = server.addr();
 
     let handles: Vec<_> = (0..CLIENTS as u64)
@@ -115,10 +109,7 @@ fn one_pool_can_serve_connections_and_fan_out_signing() {
     let front = Arc::new(FrontEnd::new(service, "stress-owner", 0));
     let server = HttpServer::start_with(
         front,
-        HttpServerConfig {
-            pool: Some(pool.clone()),
-            ..HttpServerConfig::default()
-        },
+        HttpServerConfig::builder().pool(pool.clone()).build(),
     )
     .unwrap();
 
@@ -200,5 +191,91 @@ fn rule_swaps_during_concurrent_issuance_are_atomic() {
     assert_eq!(total_granted + total_denied, 4 * 40);
     assert!(total_granted >= 10, "the permissive book never served");
     assert!(total_denied > 0, "the deny-all swap never took effect");
+    server.shutdown();
+}
+
+#[test]
+fn connection_storm_does_not_stall_batch_signing() {
+    // The reactor's priority split under fire: with hundreds of idle
+    // keep-alive connections parked in the epoll set, an accept storm
+    // (a burst of fresh connections, each served once) rides the
+    // low-priority lane while `issue_batch` keeps flowing through the
+    // high-priority lane. Every request — batch and storm — must be
+    // answered (nothing dropped), and batch latency must not collapse.
+    const PARKED: usize = 300;
+    const STORM_THREADS: usize = 4;
+    const STORM_PER_THREAD: usize = 50;
+    const BATCHES: usize = 24;
+    const BATCH: usize = 8;
+
+    let server =
+        HttpServer::start_with(front(80), HttpServerConfig::builder().workers(4).build()).unwrap();
+    let addr = server.addr();
+
+    // Fill the epoll set: hundreds of established, idle connections.
+    let parked: Vec<HttpClient> = (0..PARKED).map(|_| HttpClient::connect(addr)).collect();
+    for client in &parked {
+        client.ping().expect("establish parked connection");
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.parked_connections() < PARKED {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {PARKED} connections parked",
+            server.parked_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Batch issuance flows for the whole duration of the storm.
+    let signer = std::thread::spawn(move || {
+        let client = HttpClient::connect(addr);
+        let mut latencies = Vec::with_capacity(BATCHES);
+        for b in 0..BATCHES as u64 {
+            let requests: Vec<TokenRequest> = (0..BATCH as u64)
+                .map(|i| one_time_request(7_000_000 + 1_000 * b + i))
+                .collect();
+            let start = Instant::now();
+            let results = client.issue_batch(&requests).expect("batch under storm");
+            latencies.push(start.elapsed());
+            assert_eq!(results.len(), BATCH, "batch item lost under storm");
+            for result in results {
+                result.expect("batch item minted under storm");
+            }
+        }
+        latencies
+    });
+
+    // The storm: four threads each opening a burst of fresh connections,
+    // every one of which must be accepted and served.
+    let storm: Vec<_> = (0..STORM_THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..STORM_PER_THREAD {
+                    HttpClient::connect(addr).ping().expect("storm request");
+                }
+            })
+        })
+        .collect();
+    for handle in storm {
+        handle.join().expect("storm thread panicked");
+    }
+
+    let mut latencies = signer.join().expect("signer thread panicked");
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    // Generous ceiling — the point is "accepts did not starve signing",
+    // not a microbenchmark. Debug builds sign ~100× slower.
+    let bound = if cfg!(debug_assertions) {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(1)
+    };
+    assert!(
+        p99 < bound,
+        "batch p99 {p99:?} collapsed under the accept storm"
+    );
+
+    drop(parked);
     server.shutdown();
 }
